@@ -1,0 +1,96 @@
+package wasp
+
+import (
+	"fmt"
+
+	"wasp/internal/core"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+)
+
+// RunMany computes SSSP from each source in turn, sharing preprocessing
+// across the batch (for AlgoWasp, the shortest-path-tree leaf bitmap is
+// built once). This is the access pattern of the SSSP-as-inner-loop
+// applications the paper's introduction motivates — betweenness and
+// closeness centrality run one SSSP per pivot over a fixed graph.
+//
+// Results are returned in source order. Options are interpreted as in
+// Run; algorithms other than AlgoWasp simply run sequentially per
+// source.
+func RunMany(g *Graph, sources []Vertex, opt Options) ([]*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("wasp: nil graph")
+	}
+	for _, s := range sources {
+		if int(s) >= g.NumVertices() {
+			return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", s, g.NumVertices())
+		}
+	}
+	results := make([]*Result, len(sources))
+	if opt.Algorithm != AlgoWasp {
+		for i, s := range sources {
+			res, err := Run(g, s, opt)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+
+	// Wasp path: amortize the leaf bitmap across the batch.
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if opt.Delta == 0 {
+		opt.Delta = 1
+	}
+	var leaves *graph.Bitmap
+	if !opt.NoLeafPruning {
+		leaves = graph.LeafBitmap(g)
+	}
+	for i, s := range sources {
+		var m *metrics.Set
+		if opt.CollectMetrics {
+			m = metrics.NewSet(opt.Workers)
+		}
+		r, err := runWaspWithLeaves(g, s, opt, leaves, m)
+		if err != nil {
+			return nil, err
+		}
+		results[i] = r
+	}
+	return results, nil
+}
+
+func runWaspWithLeaves(g *Graph, source Vertex, opt Options,
+	leaves *graph.Bitmap, m *metrics.Set) (*Result, error) {
+	res := &Result{Algorithm: AlgoWasp}
+	elapsed := timeIt(func() {
+		r := core.Run(g, source, core.Options{
+			Delta:           opt.Delta,
+			Workers:         opt.Workers,
+			Topology:        opt.Topology,
+			Policy:          opt.Steal,
+			Retries:         opt.StealRetries,
+			NoLeafPruning:   opt.NoLeafPruning,
+			NoDecomposition: opt.NoDecomposition,
+			NoBidirectional: opt.NoBidirectional,
+			Theta:           opt.Theta,
+			Metrics:         m,
+			Leaves:          leaves,
+		})
+		res.Dist = r.Dist
+	})
+	res.Elapsed = elapsed
+	if m != nil {
+		t := m.Totals()
+		res.Metrics = &t
+	}
+	if opt.Verify {
+		if err := verifyResult(g, source, res.Dist); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}

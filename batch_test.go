@@ -1,0 +1,81 @@
+package wasp_test
+
+import (
+	"testing"
+
+	"wasp"
+)
+
+func TestRunManyMatchesSingleRuns(t *testing.T) {
+	g, _ := wasp.GenerateWorkload("kron", wasp.WorkloadConfig{N: 1500, Seed: 21})
+	sources := []wasp.Vertex{0, 7, 42, 100}
+	batch, err := wasp.RunMany(g, sources, wasp.Options{
+		Algorithm: wasp.AlgoWasp, Workers: 2, Delta: 4, Verify: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(sources) {
+		t.Fatalf("got %d results", len(batch))
+	}
+	for i, s := range sources {
+		single, err := wasp.Run(g, s, wasp.Options{Algorithm: wasp.AlgoDijkstra})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range single.Dist {
+			if batch[i].Dist[v] != single.Dist[v] {
+				t.Fatalf("source %d: d(%d) = %d, want %d", s, v, batch[i].Dist[v], single.Dist[v])
+			}
+		}
+	}
+}
+
+func TestRunManyOtherAlgorithms(t *testing.T) {
+	g, _ := wasp.GenerateWorkload("urand", wasp.WorkloadConfig{N: 1000, Seed: 5})
+	batch, err := wasp.RunMany(g, []wasp.Vertex{1, 2}, wasp.Options{
+		Algorithm: wasp.AlgoGAP, Workers: 2, Delta: 16,
+	})
+	if err != nil || len(batch) != 2 {
+		t.Fatalf("batch = %v, %v", batch, err)
+	}
+	want, _ := wasp.Run(g, 1, wasp.Options{Algorithm: wasp.AlgoDijkstra})
+	for v := range want.Dist {
+		if batch[0].Dist[v] != want.Dist[v] {
+			t.Fatalf("d(%d) mismatch", v)
+		}
+	}
+}
+
+func TestRunManyErrors(t *testing.T) {
+	if _, err := wasp.RunMany(nil, []wasp.Vertex{0}, wasp.Options{}); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	g := wasp.FromEdges(2, true, []wasp.Edge{{From: 0, To: 1, W: 1}})
+	if _, err := wasp.RunMany(g, []wasp.Vertex{5}, wasp.Options{}); err == nil {
+		t.Fatal("out-of-range source accepted")
+	}
+}
+
+func TestRunManyEmptySources(t *testing.T) {
+	g := wasp.FromEdges(2, true, []wasp.Edge{{From: 0, To: 1, W: 1}})
+	batch, err := wasp.RunMany(g, nil, wasp.Options{})
+	if err != nil || len(batch) != 0 {
+		t.Fatalf("empty batch: %v, %v", batch, err)
+	}
+}
+
+func TestRunManyCollectsMetrics(t *testing.T) {
+	g, _ := wasp.GenerateWorkload("urand", wasp.WorkloadConfig{N: 800, Seed: 9})
+	batch, err := wasp.RunMany(g, []wasp.Vertex{0, 1}, wasp.Options{
+		Algorithm: wasp.AlgoWasp, Workers: 2, CollectMetrics: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range batch {
+		if r.Metrics == nil || r.Metrics.Relaxations == 0 {
+			t.Fatalf("result %d missing metrics", i)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package wasp_test
+
+// Benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (DESIGN.md §3 maps each to its experiment), plus
+// per-algorithm microbenchmarks on the main workload classes.
+//
+// The experiment benchmarks run the corresponding harness experiment
+// once per b.N iteration at a bench-friendly scale; the rendered tables
+// go to the benchmark log on the first iteration so `go test -bench=.`
+// output doubles as a mini reproduction report. For the full-scale
+// reproduction use `go run ./cmd/experiments`.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"wasp"
+	"wasp/internal/experiments"
+)
+
+const benchScale = 4096
+
+func benchRunner() *experiments.Runner {
+	return experiments.NewRunner(experiments.Config{
+		Scale:   benchScale,
+		Workers: runtime.GOMAXPROCS(0),
+		Trials:  1,
+		Seed:    42,
+	})
+}
+
+// benchExperiment runs one harness experiment per iteration and logs
+// its table once.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := benchRunner()
+	var first bytes.Buffer
+	r.Cfg.Out = &first
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(r); err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", first.String())
+			r.Cfg.Out = io.Discard
+		}
+	}
+}
+
+func BenchmarkTab1Datasets(b *testing.B)         { benchExperiment(b, "tab1") }
+func BenchmarkFig1BarrierBreakdown(b *testing.B) { benchExperiment(b, "fig1") }
+func BenchmarkFig2MQBreakdown(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkFig4DeltaTuning(b *testing.B)      { benchExperiment(b, "fig4") }
+func BenchmarkFig5Heatmap(b *testing.B)          { benchExperiment(b, "fig5") }
+func BenchmarkFig6Scaling(b *testing.B)          { benchExperiment(b, "fig6") }
+func BenchmarkFig7Ablation(b *testing.B)         { benchExperiment(b, "fig7") }
+func BenchmarkFig8PriorityDrift(b *testing.B)    { benchExperiment(b, "fig8") }
+func BenchmarkTab2Speedups(b *testing.B)         { benchExperiment(b, "tab2") }
+func BenchmarkTab3SelfSpeedup(b *testing.B)      { benchExperiment(b, "tab3") }
+func BenchmarkStealPolicies(b *testing.B)        { benchExperiment(b, "steal") }
+func BenchmarkFig9Appendix(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkExtQueueSubstrates(b *testing.B)   { benchExperiment(b, "ext") }
+func BenchmarkExt2Algorithms(b *testing.B)       { benchExperiment(b, "ext2") }
+func BenchmarkWaspBreakdown(b *testing.B)        { benchExperiment(b, "breakdown") }
+
+// Per-algorithm microbenchmarks over three structurally distinct
+// workloads (skewed, road, star), reporting edges/second.
+func BenchmarkAlgorithms(b *testing.B) {
+	for _, wl := range []string{"kron", "road-usa", "mawi"} {
+		g, err := wasp.GenerateWorkload(wl, wasp.WorkloadConfig{N: benchScale, Seed: 42})
+		if err != nil {
+			b.Fatal(err)
+		}
+		src := wasp.SourceInLargestComponent(g, 42)
+		for _, name := range wasp.Algorithms() {
+			algo, _ := wasp.ParseAlgorithm(name)
+			b.Run(fmt.Sprintf("%s/%s", wl, name), func(b *testing.B) {
+				opt := wasp.Options{
+					Algorithm: algo,
+					Workers:   runtime.GOMAXPROCS(0),
+					Delta:     16,
+				}
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := wasp.Run(g, src, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.SetBytes(g.NumEdges()) // edges per op ~ relaxation throughput
+			})
+		}
+	}
+}
+
+// BenchmarkWaspDeltaSweep isolates the Δ sensitivity of Wasp itself
+// (the paper's "Δ=1 is safe" claim, Figure 4).
+func BenchmarkWaspDeltaSweep(b *testing.B) {
+	g, err := wasp.GenerateWorkload("twitter", wasp.WorkloadConfig{N: benchScale, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := wasp.SourceInLargestComponent(g, 42)
+	for _, delta := range []uint32{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("delta-%d", delta), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := wasp.Run(g, src, wasp.Options{
+					Algorithm: wasp.AlgoWasp,
+					Workers:   runtime.GOMAXPROCS(0),
+					Delta:     delta,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWaspWorkers isolates worker scaling of Wasp (Figure 6's
+// Wasp series).
+func BenchmarkWaspWorkers(b *testing.B) {
+	g, err := wasp.GenerateWorkload("road-usa", wasp.WorkloadConfig{N: benchScale, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := wasp.SourceInLargestComponent(g, 42)
+	for _, p := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("p%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := wasp.Run(g, src, wasp.Options{
+					Algorithm: wasp.AlgoWasp, Workers: p, Delta: 16,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Command experiments runs the paper-reproduction harness: every table
+// and figure of the Wasp paper's evaluation, rendered as plain-text
+// tables (see DESIGN.md §3 for the experiment index and EXPERIMENTS.md
+// for the paper-vs-measured record).
+//
+// Usage:
+//
+//	experiments -list
+//	experiments -run fig5 -scale 16384 -workers 8
+//	experiments -run all -scale 8192 | tee results.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"wasp/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	var (
+		list    = flag.Bool("list", false, "list experiments and exit")
+		run     = flag.String("run", "all", "experiment id(s), comma separated, or 'all'")
+		scale   = flag.Int("scale", 1<<14, "approximate vertices per workload")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "max worker count")
+		trials  = flag.Int("trials", 3, "trials per timed configuration")
+		seed    = flag.Uint64("seed", 42, "workload seed")
+		csvDir  = flag.String("csv", "", "also write each table as CSV into this directory")
+	)
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-6s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	r := experiments.NewRunner(experiments.Config{
+		Scale:   *scale,
+		Workers: *workers,
+		Trials:  *trials,
+		Seed:    *seed,
+		Out:     os.Stdout,
+		CSVDir:  *csvDir,
+	})
+
+	var selected []experiments.Experiment
+	if *run == "all" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*run, ",") {
+			e, err := experiments.ByID(strings.TrimSpace(id))
+			if err != nil {
+				log.Fatal(err)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("wasp paper reproduction | scale=%d workers=%d trials=%d seed=%d gomaxprocs=%d\n\n",
+		*scale, *workers, *trials, *seed, runtime.GOMAXPROCS(0))
+	for _, e := range selected {
+		start := time.Now()
+		if err := e.Run(r); err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Printf("[%s completed in %v]\n\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,122 @@
+// Command graphgen generates the synthetic benchmark workloads and
+// writes them in the WSPG binary or text edge-list format — the
+// analogue of the paper artifact's dataset download/convert pipeline.
+//
+// Usage:
+//
+//	graphgen -list
+//	graphgen -graph road-usa -n 65536 -seed 42 -o road.wspg
+//	graphgen -graph kron -n 32768 -format text -o kron.txt
+//	graphgen -all -n 16384 -dir graphs/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"wasp"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("graphgen: ")
+	var (
+		list     = flag.Bool("list", false, "list available workloads and exit")
+		name     = flag.String("graph", "", "workload to generate (see -list)")
+		all      = flag.Bool("all", false, "generate every workload into -dir")
+		appendix = flag.Bool("appendix", false, "with -all/-list: include the appendix (Table 4) workloads")
+		n        = flag.Int("n", 1<<15, "approximate vertex count")
+		degree   = flag.Int("degree", 0, "average degree override (0: per-class default)")
+		seed     = flag.Uint64("seed", 1, "generator seed")
+		weights  = flag.String("weights", "uniform", "weight scheme: uniform | unit | normal")
+		format   = flag.String("format", "binary", "output format: binary | text")
+		out      = flag.String("o", "", "output file (default <graph>.wspg / .txt)")
+		dir      = flag.String("dir", ".", "output directory for -all")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available workloads (paper Table 1" + map[bool]string{true: " + Table 4", false: ""}[*appendix] + "):")
+		for _, w := range wasp.Workloads(*appendix) {
+			fmt.Println("  " + w)
+		}
+		return
+	}
+
+	scheme, err := parseScheme(*weights)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := wasp.WorkloadConfig{N: *n, Degree: *degree, Seed: *seed, Weight: scheme}
+
+	if *all {
+		for _, w := range wasp.Workloads(*appendix) {
+			path := filepath.Join(*dir, w+ext(*format))
+			if err := generate(w, cfg, *format, path); err != nil {
+				log.Fatal(err)
+			}
+		}
+		return
+	}
+	if *name == "" {
+		log.Fatal("need -graph, -all or -list")
+	}
+	path := *out
+	if path == "" {
+		path = *name + ext(*format)
+	}
+	if err := generate(*name, cfg, *format, path); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseScheme(s string) (wasp.WeightScheme, error) {
+	switch s {
+	case "uniform":
+		return wasp.WeightUniform, nil
+	case "unit":
+		return wasp.WeightUnit, nil
+	case "normal":
+		return wasp.WeightNormal, nil
+	default:
+		return 0, fmt.Errorf("unknown weight scheme %q", s)
+	}
+}
+
+func ext(format string) string {
+	if format == "text" {
+		return ".txt"
+	}
+	return ".wspg"
+}
+
+func generate(name string, cfg wasp.WorkloadConfig, format, path string) error {
+	g, err := wasp.GenerateWorkload(name, cfg)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	switch format {
+	case "text":
+		err = wasp.WriteTextGraph(f, g)
+	case "binary":
+		err = wasp.WriteBinaryGraph(f, g)
+	default:
+		return fmt.Errorf("unknown format %q", format)
+	}
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %s  %v\n", name, path, wasp.Stats(g))
+	return nil
+}

@@ -1,0 +1,32 @@
+// Package wasp is a Go implementation of Wasp — Work-Stealing Shortest
+// Path — the asynchronous single-source shortest-path algorithm of
+// D'Antonio, Mai, Tsigas and Vandierendonck (SC '25), together with the
+// six parallel SSSP baselines the paper evaluates against and the
+// synthetic workload generators and experiment harness that reproduce
+// the paper's tables and figures.
+//
+// # Quick start
+//
+//	g, _ := wasp.GenerateWorkload("kron", wasp.WorkloadConfig{N: 1 << 16, Seed: 42})
+//	src := wasp.SourceInLargestComponent(g, 1)
+//	res, _ := wasp.Run(g, src, wasp.Options{Algorithm: wasp.AlgoWasp, Delta: 1})
+//	fmt.Println(res.Dist[123], res.Elapsed)
+//
+// Wasp organizes vertices into Δ-coarsened priority buckets like
+// Δ-stepping, but runs without barriers: each worker owns its buckets,
+// exposes the chunks of its current priority level in a lock-free
+// Chase-Lev deque, and — when it runs out of high-priority work — steals
+// from topologically close workers that still have some, falling back to
+// its own lower-priority buckets only when no better work exists
+// anywhere. Priority drifting (working out of priority order, the source
+// of redundant relaxations in parallel SSSP) therefore happens only on
+// demand, which is the paper's central contribution.
+//
+// The package-level API is a thin façade; the implementation lives in
+// internal packages (see DESIGN.md for the system inventory):
+//
+//   - internal/core — the Wasp algorithm, steal protocol, termination
+//   - internal/baseline/... — GAP, GBBS, Δ*/ρ-stepping, MultiQueue, Galois
+//   - internal/graph, internal/gen — CSR graphs and workload generators
+//   - internal/experiments — the table/figure reproduction harness
+package wasp

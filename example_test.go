@@ -1,0 +1,65 @@
+package wasp_test
+
+import (
+	"fmt"
+
+	"wasp"
+)
+
+// The basic flow: build a graph, run Wasp, read distances.
+func ExampleRun() {
+	g := wasp.FromEdges(4, false, []wasp.Edge{
+		{From: 0, To: 1, W: 2},
+		{From: 1, To: 2, W: 2},
+		{From: 0, To: 3, W: 9},
+		{From: 2, To: 3, W: 2},
+	})
+	res, err := wasp.Run(g, 0, wasp.Options{Algorithm: wasp.AlgoWasp, Workers: 2})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Dist)
+	// Output: [0 2 4 6]
+}
+
+// Reconstructing an actual path from a distance array.
+func ExampleBuildParents() {
+	g := wasp.FromEdges(4, true, []wasp.Edge{
+		{From: 0, To: 1, W: 1},
+		{From: 1, To: 2, W: 1},
+		{From: 0, To: 2, W: 5},
+		{From: 2, To: 3, W: 1},
+	})
+	res, _ := wasp.Run(g, 0, wasp.Options{})
+	parents, _ := wasp.BuildParents(g, 0, res.Dist)
+	fmt.Println(wasp.PathTo(parents, 0, 3))
+	// Output: [0 1 2 3]
+}
+
+// Comparing two algorithms on a generated workload.
+func ExampleGenerateWorkload() {
+	g, _ := wasp.GenerateWorkload("road-usa", wasp.WorkloadConfig{N: 1024, Seed: 7})
+	src := wasp.SourceInLargestComponent(g, 1)
+
+	a, _ := wasp.Run(g, src, wasp.Options{Algorithm: wasp.AlgoWasp, Workers: 2, Delta: 16})
+	b, _ := wasp.Run(g, src, wasp.Options{Algorithm: wasp.AlgoDijkstra})
+	same := true
+	for v := range a.Dist {
+		if a.Dist[v] != b.Dist[v] {
+			same = false
+		}
+	}
+	fmt.Println("agree:", same)
+	// Output: agree: true
+}
+
+// Batch SSSP over several sources with shared preprocessing.
+func ExampleRunMany() {
+	g := wasp.FromEdges(3, false, []wasp.Edge{
+		{From: 0, To: 1, W: 4},
+		{From: 1, To: 2, W: 6},
+	})
+	results, _ := wasp.RunMany(g, []wasp.Vertex{0, 2}, wasp.Options{})
+	fmt.Println(results[0].Dist, results[1].Dist)
+	// Output: [0 4 10] [10 6 0]
+}

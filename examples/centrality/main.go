@@ -1,0 +1,110 @@
+// Centrality computes weighted betweenness centrality with Brandes'
+// algorithm (the paper's §1 motivates SSSP exactly as the inner loop of
+// betweenness centrality). For each of a set of pivot sources, one
+// Wasp SSSP supplies the distances; shortest-path counts and dependency
+// accumulation then run over the "tight" edges (those with
+// d(u) + w = d(v)) in distance order.
+//
+// The example estimates betweenness on a web-crawl-like graph using a
+// pivot sample, and prints the most central vertices.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"runtime"
+	"sort"
+
+	"wasp"
+)
+
+func main() {
+	n := flag.Int("n", 1<<14, "approximate number of pages")
+	pivots := flag.Int("pivots", 16, "number of SSSP pivots to sample")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "worker count per SSSP")
+	flag.Parse()
+
+	g, err := wasp.GenerateWorkload("sk2005", wasp.WorkloadConfig{N: *n, Seed: 31})
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := wasp.Stats(g)
+	fmt.Printf("web graph: %d pages, %d links, max out-degree %d\n",
+		s.Vertices, s.Edges, s.MaxOutDegree)
+
+	bc := make([]float64, g.NumVertices())
+	for k := 0; k < *pivots; k++ {
+		src := wasp.SourceInLargestComponent(g, uint64(100+k))
+		res, err := wasp.Run(g, src, wasp.Options{
+			Algorithm: wasp.AlgoWasp, Workers: *workers, Delta: 1,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		accumulate(g, src, res.Dist, bc)
+	}
+
+	type ranked struct {
+		v  wasp.Vertex
+		bc float64
+	}
+	var top []ranked
+	for v, c := range bc {
+		if c > 0 {
+			top = append(top, ranked{wasp.Vertex(v), c})
+		}
+	}
+	sort.Slice(top, func(i, j int) bool { return top[i].bc > top[j].bc })
+	fmt.Printf("\nmost central pages (%d pivots):\n", *pivots)
+	for i := 0; i < len(top) && i < 10; i++ {
+		fmt.Printf("  %2d. page %7d  betweenness %.1f  (degree %d)\n",
+			i+1, top[i].v, top[i].bc, g.OutDegree(top[i].v))
+	}
+}
+
+// accumulate adds one pivot's Brandes dependencies into bc.
+func accumulate(g *wasp.Graph, src wasp.Vertex, dist []uint32, bc []float64) {
+	// Vertices reachable from src, ordered by distance: the tight-edge
+	// DAG's topological order.
+	var order []wasp.Vertex
+	for v := 0; v < g.NumVertices(); v++ {
+		if dist[v] != wasp.Infinity {
+			order = append(order, wasp.Vertex(v))
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return dist[order[i]] < dist[order[j]] })
+
+	// Shortest-path counts over tight edges, in increasing distance.
+	sigma := make([]float64, g.NumVertices())
+	sigma[src] = 1
+	for _, v := range order {
+		if v == src {
+			continue
+		}
+		in, w := g.InNeighbors(v)
+		for i, u := range in {
+			if dist[u] != wasp.Infinity && dist[u]+w[i] == dist[v] {
+				sigma[v] += sigma[u]
+			}
+		}
+	}
+
+	// Dependency accumulation in decreasing distance.
+	delta := make([]float64, g.NumVertices())
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		if v == src || sigma[v] == 0 {
+			continue
+		}
+		in, w := g.InNeighbors(v)
+		for j, u := range in {
+			if dist[u] != wasp.Infinity && dist[u]+w[j] == dist[v] && sigma[u] > 0 {
+				delta[u] += sigma[u] / sigma[v] * (1 + delta[v])
+			}
+		}
+		if v != src {
+			bc[v] += delta[v]
+		}
+	}
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a small graph, run Wasp, and compare every
+// algorithm in the package on the same workload.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+
+	"wasp"
+)
+
+func main() {
+	// A hand-built commuter map: distances in minutes.
+	//
+	//	home →5→ station →12→ downtown →3→ office
+	//	home →25→ downtown (direct highway)
+	//	station →9→ mall →8→ office
+	const (
+		home = iota
+		station
+		downtown
+		office
+		mall
+		nVertices
+	)
+	g := wasp.FromEdges(nVertices, false, []wasp.Edge{
+		{From: home, To: station, W: 5},
+		{From: station, To: downtown, W: 12},
+		{From: downtown, To: office, W: 3},
+		{From: home, To: downtown, W: 25},
+		{From: station, To: mall, W: 9},
+		{From: mall, To: office, W: 8},
+	})
+
+	res, err := wasp.Run(g, home, wasp.Options{
+		Algorithm: wasp.AlgoWasp,
+		Workers:   runtime.GOMAXPROCS(0),
+		Verify:    true, // re-check the output against the SSSP certificate
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := []string{"home", "station", "downtown", "office", "mall"}
+	fmt.Println("Shortest travel times from home:")
+	for v, d := range res.Dist {
+		fmt.Printf("  %-9s %3d min\n", names[v], d)
+	}
+
+	// The same query through every implementation in the package —
+	// they must all agree.
+	fmt.Println("\nAll implementations, office distance:")
+	for _, name := range wasp.Algorithms() {
+		algo, _ := wasp.ParseAlgorithm(name)
+		r, err := wasp.Run(g, home, wasp.Options{Algorithm: algo, Workers: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s d(office) = %d   (%v)\n", name, r.Dist[office], r.Elapsed)
+	}
+}

@@ -1,0 +1,3 @@
+module wasp
+
+go 1.24

@@ -1,0 +1,104 @@
+package wasp
+
+import (
+	"io"
+
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+)
+
+// Re-exported graph types. The aliases make the internal implementation
+// usable through the public API without widening the import surface.
+type (
+	// Graph is an immutable weighted graph in CSR form.
+	Graph = graph.Graph
+	// Builder accumulates edges and produces a Graph.
+	Builder = graph.Builder
+	// Edge is a weighted directed edge.
+	Edge = graph.Edge
+	// Vertex is a 32-bit vertex identifier.
+	Vertex = graph.Vertex
+	// Weight is a 32-bit non-negative edge weight.
+	Weight = graph.Weight
+	// GraphStats summarizes a graph's structure.
+	GraphStats = graph.Stats
+)
+
+// Infinity is the distance value of unreachable vertices.
+const Infinity = graph.Infinity
+
+// NewBuilder returns a Builder for a graph with n vertices.
+func NewBuilder(n int, directed bool) *Builder { return graph.NewBuilder(n, directed) }
+
+// FromEdges builds a graph directly from an edge list.
+func FromEdges(n int, directed bool, edges []Edge) *Graph {
+	return graph.FromEdges(n, directed, edges)
+}
+
+// ReadTextGraph parses a weighted edge list ("u v w" lines with an
+// optional "n <count> <directed|undirected>" header).
+func ReadTextGraph(r io.Reader) (*Graph, error) { return graph.ReadText(r) }
+
+// WriteTextGraph writes g as a weighted edge list.
+func WriteTextGraph(w io.Writer, g *Graph) error { return graph.WriteText(w, g) }
+
+// ReadBinaryGraph loads a graph in the WSPG binary CSR format.
+func ReadBinaryGraph(r io.Reader) (*Graph, error) { return graph.ReadBinary(r) }
+
+// WriteBinaryGraph writes g in the WSPG binary CSR format.
+func WriteBinaryGraph(w io.Writer, g *Graph) error { return graph.WriteBinary(w, g) }
+
+// Stats scans g and returns its structural summary.
+func Stats(g *Graph) GraphStats { return graph.ComputeStats(g) }
+
+// SourceInLargestComponent returns a deterministic vertex in the largest
+// weakly-connected component — the paper's methodology for picking SSSP
+// sources (§5).
+func SourceInLargestComponent(g *Graph, seed uint64) Vertex {
+	return graph.SourceInLargestComponent(g, seed)
+}
+
+// RelabelByDegree returns a copy of g with vertex ids assigned in
+// decreasing-degree order plus the old→new mapping — the
+// vertex-reordering preprocessing of GPU SSSP systems (paper [68]) that
+// also improves CSR locality on skewed CPU workloads. Distances are
+// invariant under the relabeling; use ApplyPermutation to map a
+// relabeled solve's distances back to the original ids.
+func RelabelByDegree(g *Graph) (*Graph, []Vertex) {
+	return graph.RelabelByDegree(g)
+}
+
+// ApplyPermutation remaps a per-vertex array computed on a relabeled
+// graph back to original vertex ids.
+func ApplyPermutation(in []uint32, oldToNew []Vertex) []uint32 {
+	return graph.ApplyPermutation(in, oldToNew)
+}
+
+// WeightScheme selects how generated edge weights are drawn.
+type WeightScheme = gen.WeightScheme
+
+// Weight schemes for GenerateWorkload.
+const (
+	// WeightUniform draws integers uniformly from [1, 255] (the GAP
+	// Benchmarking Suite scheme used for most paper graphs).
+	WeightUniform = gen.WeightUniform
+	// WeightUnit assigns weight 1 to every edge.
+	WeightUnit = gen.WeightUnit
+	// WeightNormal draws from the appendix's truncated normal
+	// distribution (mean 1, σ = sqrt(|V|/|E|)).
+	WeightNormal = gen.WeightNormal
+)
+
+// WorkloadConfig parameterizes a workload generator.
+type WorkloadConfig = gen.Config
+
+// GenerateWorkload builds the named synthetic workload — a scale model
+// of one of the paper's evaluation graphs. Names follow the paper's
+// datasets ("twitter", "road-usa", "mawi", …); Workloads lists them.
+func GenerateWorkload(name string, cfg WorkloadConfig) (*Graph, error) {
+	return gen.Generate(name, cfg)
+}
+
+// Workloads returns the available workload names in the paper's Table 1
+// order, optionally including the appendix's Table 4 graphs.
+func Workloads(includeAppendix bool) []string { return gen.Names(includeAppendix) }

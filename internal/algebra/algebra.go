@@ -1,0 +1,161 @@
+// Package algebra implements SSSP in the language of sparse linear
+// algebra over the (min, +) tropical semiring, following the
+// GraphBLAS-style formulation of Δ-stepping (Sridhar et al., IPDPSW
+// 2019) cited in the Wasp paper's related work (§6). The state is a
+// dense distance vector; one step is a masked semiring
+// matrix-vector product
+//
+//	d' = d ⊕ (Aᵀ ⊗ d|mask)        ⊕ = elementwise min, ⊗ = +
+//
+// where the mask selects the current frontier. Δ-stepping emerges by
+// restricting the iterated mask to distances below a threshold that
+// advances by Δ. Everything is bulk vector work over dense bitmaps —
+// the structural opposite of Wasp's fine-grained chunks, which makes
+// it a useful foil in the extension benchmarks.
+package algebra
+
+import (
+	"sync/atomic"
+
+	"wasp/internal/dist"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+	"wasp/internal/parallel"
+)
+
+// Options configures a run.
+type Options struct {
+	// Delta is the threshold increment; 0 selects pure algebraic
+	// Bellman–Ford (iterate the full product to a fixed point).
+	Delta   uint32
+	Workers int
+	Metrics *metrics.Set
+}
+
+// Result carries distances and the operation counts.
+type Result struct {
+	Dist  []uint32
+	SpMVs int64 // masked semiring products performed
+	Steps int64 // threshold advances (1 for Bellman–Ford)
+}
+
+// Run computes SSSP from source.
+func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
+	p := opt.Workers
+	if p <= 0 {
+		p = 1
+	}
+	m := opt.Metrics
+	if m == nil || len(m.Workers) < p {
+		m = metrics.NewSet(p)
+	}
+	n := g.NumVertices()
+	d := dist.New(n, source)
+	frontier := graph.NewBitmap(n)
+	next := graph.NewBitmap(n)
+	frontier.Set(int(source))
+	res := &Result{}
+
+	if opt.Delta == 0 {
+		res.Steps = 1
+		for {
+			res.SpMVs++
+			if spmvMasked(g, d, frontier, next, p, m) == 0 {
+				break
+			}
+			frontier, next = next, frontier
+			next.Clear()
+		}
+		res.Dist = d.Snapshot()
+		return res
+	}
+
+	// Algebraic Δ-stepping: within each threshold, iterate the masked
+	// product to a local fixed point; then advance the threshold and
+	// promote pending vertices.
+	threshold := uint64(opt.Delta)
+	pending := graph.NewBitmap(n) // improved vertices beyond the threshold
+	for {
+		// Inner fixed point below the threshold.
+		for {
+			res.SpMVs++
+			changed := spmvMasked(g, d, frontier, next, p, m)
+			frontier.Clear()
+			var below atomic.Int64
+			parallel.For(p, n, 1024, func(v int) {
+				if !next.Get(v) {
+					return
+				}
+				if uint64(d.Get(graph.Vertex(v))) < threshold {
+					frontier.SetAtomic(v)
+					below.Add(1)
+				} else {
+					pending.SetAtomic(v)
+				}
+			})
+			next.Clear()
+			if changed == 0 || below.Load() == 0 {
+				break
+			}
+		}
+		res.Steps++
+
+		// Advance: pull pending vertices into the next threshold. If
+		// none qualify, jump straight to the smallest pending bucket
+		// (the "super sparse" shortcut every stepping system needs on
+		// sparse weight distributions).
+		if pending.Count() == 0 {
+			break
+		}
+		minPending := uint64(graph.Infinity)
+		for v := 0; v < n; v++ {
+			if pending.Get(v) {
+				if dv := uint64(d.Get(graph.Vertex(v))); dv < minPending {
+					minPending = dv
+				}
+			}
+		}
+		if minPending == uint64(graph.Infinity) {
+			break
+		}
+		if minPending >= threshold+uint64(opt.Delta) {
+			threshold = minPending + uint64(opt.Delta)
+		} else {
+			threshold += uint64(opt.Delta)
+		}
+		for v := 0; v < n; v++ {
+			if pending.Get(v) && uint64(d.Get(graph.Vertex(v))) < threshold {
+				frontier.Set(v)
+				pending.Unset(v)
+			}
+		}
+	}
+	res.Dist = d.Snapshot()
+	return res
+}
+
+// spmvMasked performs one masked (min,+) product: every source vertex
+// in the mask relaxes its out-edges (the ⊗ and row-wise ⊕); improved
+// destinations join the next mask. Returns the improvement count.
+func spmvMasked(g *graph.Graph, d *dist.Array, mask, next *graph.Bitmap,
+	p int, m *metrics.Set) int64 {
+	n := g.NumVertices()
+	var changed atomic.Int64
+	parallel.ForWorkers(p, n, 256, func(w, ui int) {
+		if !mask.Get(ui) {
+			return
+		}
+		mw := &m.Workers[w]
+		u := graph.Vertex(ui)
+		dst, wts := g.OutNeighbors(u)
+		for i, v := range dst {
+			mw.Relaxations++
+			if _, improved := d.Relax(u, v, wts[i]); improved {
+				mw.Improvements++
+				next.SetAtomic(int(v))
+				changed.Add(1)
+			}
+		}
+	})
+	return changed.Load()
+}

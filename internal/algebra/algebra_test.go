@@ -1,0 +1,78 @@
+package algebra
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+	"wasp/internal/verify"
+)
+
+func TestBellmanFordMode(t *testing.T) {
+	g := graph.FromEdges(4, true, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+		{From: 0, To: 3, W: 5}, {From: 2, To: 3, W: 1},
+	})
+	res := Run(g, 0, Options{Workers: 1}) // Delta 0: algebraic BF
+	if err := verify.Equal(res.Dist, []uint32{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if res.Steps != 1 || res.SpMVs < 3 {
+		t.Fatalf("counters: %+v", res)
+	}
+}
+
+func TestAllWorkloadsBothModes(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, name := range []string{"urand", "kron", "road-usa", "mawi", "kmer", "hypercube"} {
+		g, err := gen.Generate(name, gen.Config{N: 2000, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.SourceInLargestComponent(g, 1)
+		want := dijkstra.Distances(g, src)
+		for _, delta := range []uint32{0, 1, 32, 1024} {
+			for _, p := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/d%d/p%d", name, delta, p), func(t *testing.T) {
+					res := Run(g, src, Options{Delta: delta, Workers: p})
+					if err := verify.Equal(res.Dist, want); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestDeltaCutsSpMVCount(t *testing.T) {
+	// Pure BF iterates full products to the global fixed point; a
+	// moderate Δ keeps products masked and should not exceed BF's
+	// relaxation total on a road graph.
+	g, _ := gen.Generate("road-usa", gen.Config{N: 3000, Seed: 5})
+	src := graph.SourceInLargestComponent(g, 1)
+	mBF := metrics.NewSet(2)
+	bf := Run(g, src, Options{Workers: 2, Metrics: mBF})
+	mD := metrics.NewSet(2)
+	ds := Run(g, src, Options{Workers: 2, Delta: 256, Metrics: mD})
+	if err := verify.Equal(bf.Dist, ds.Dist); err != nil {
+		t.Fatal(err)
+	}
+	if mD.Totals().Relaxations > 2*mBF.Totals().Relaxations {
+		t.Fatalf("Δ-masked relaxations %d far exceed BF's %d",
+			mD.Totals().Relaxations, mBF.Totals().Relaxations)
+	}
+}
+
+func TestCertificate(t *testing.T) {
+	g, _ := gen.Generate("mawi", gen.Config{N: 2000, Seed: 3})
+	src := graph.SourceInLargestComponent(g, 2)
+	res := Run(g, src, Options{Workers: 3, Delta: 64})
+	if err := verify.Certificate(g, src, res.Dist); err != nil {
+		t.Fatal(err)
+	}
+}

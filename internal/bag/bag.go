@@ -1,0 +1,55 @@
+// Package bag implements the frontier container behind the Δ*-stepping
+// and ρ-stepping baselines: the paper describes their Lazy-Batched
+// Priority Queue as "a parallel hash-bag to extract and update
+// vertices". The essential service is contention-free parallel
+// insertion with bulk extraction at step boundaries; this implementation
+// provides it with per-worker staging buffers merged by the coordinator,
+// which matches the hash-bag's behaviour (unordered, duplicate-tolerant,
+// batch-drained) without its hashing machinery.
+package bag
+
+// Bag collects vertices inserted concurrently by p workers.
+type Bag struct {
+	perWorker [][]uint32
+}
+
+// New returns a Bag for p workers.
+func New(p int) *Bag {
+	return &Bag{perWorker: make([][]uint32, p)}
+}
+
+// Add inserts v from the given worker. Calls from distinct workers are
+// concurrency-safe; calls from the same worker must be serial.
+func (b *Bag) Add(worker int, v uint32) {
+	b.perWorker[worker] = append(b.perWorker[worker], v)
+}
+
+// Len returns the total number of staged vertices. Only exact when no
+// concurrent Adds are in flight (step boundaries).
+func (b *Bag) Len() int {
+	total := 0
+	for _, buf := range b.perWorker {
+		total += len(buf)
+	}
+	return total
+}
+
+// Drain appends all staged vertices to dst, clears the bag, and returns
+// the extended slice. Coordinator-only, between steps.
+func (b *Bag) Drain(dst []uint32) []uint32 {
+	for w, buf := range b.perWorker {
+		dst = append(dst, buf...)
+		b.perWorker[w] = buf[:0]
+	}
+	return dst
+}
+
+// Empty reports whether no vertices are staged. Step-boundary exact.
+func (b *Bag) Empty() bool {
+	for _, buf := range b.perWorker {
+		if len(buf) > 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,60 @@
+package bag
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+
+	"wasp/internal/parallel"
+)
+
+func TestAddDrain(t *testing.T) {
+	b := New(2)
+	b.Add(0, 1)
+	b.Add(1, 2)
+	b.Add(0, 3)
+	if b.Len() != 3 || b.Empty() {
+		t.Fatalf("len = %d", b.Len())
+	}
+	got := b.Drain(nil)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("drained %v", got)
+	}
+	if !b.Empty() || b.Len() != 0 {
+		t.Fatal("bag not cleared by drain")
+	}
+}
+
+func TestDrainAppends(t *testing.T) {
+	b := New(1)
+	b.Add(0, 9)
+	got := b.Drain([]uint32{7})
+	if len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestConcurrentAdds(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const workers = 8
+	const each = 10000
+	b := New(workers)
+	parallel.Run(workers, func(w int) {
+		for i := 0; i < each; i++ {
+			b.Add(w, uint32(w*each+i))
+		}
+	})
+	got := b.Drain(nil)
+	if len(got) != workers*each {
+		t.Fatalf("len = %d, want %d", len(got), workers*each)
+	}
+	seen := make(map[uint32]bool, len(got))
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("duplicate %d", v)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,74 @@
+package barrier
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wasp/internal/parallel"
+)
+
+func TestBarrierSynchronizes(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const parties = 4
+	const rounds = 200
+	b := New(parties)
+	var phase atomic.Int64
+	fail := atomic.Bool{}
+	parallel.Run(parties, func(id int) {
+		for r := 0; r < rounds; r++ {
+			// Everyone must observe the same round number here.
+			if int(phase.Load()) != r {
+				fail.Store(true)
+			}
+			b.Wait(id)
+			if id == 0 {
+				phase.Add(1)
+			}
+			b.Wait(id)
+		}
+	})
+	if fail.Load() {
+		t.Fatal("a party ran ahead of the barrier")
+	}
+	if got := phase.Load(); got != rounds {
+		t.Fatalf("phases = %d, want %d", got, rounds)
+	}
+}
+
+func TestWaitTimeAccumulates(t *testing.T) {
+	b := New(2)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		b.Wait(1)
+	}()
+	b.Wait(0) // blocks ~20ms
+	if b.WaitTime(0) < 10*time.Millisecond {
+		t.Fatalf("party 0 wait = %v, expected >= 10ms", b.WaitTime(0))
+	}
+	if b.TotalWaitTime() < b.WaitTime(0) {
+		t.Fatal("total < single party")
+	}
+	b.ResetStats()
+	if b.TotalWaitTime() != 0 {
+		t.Fatal("reset did not clear stats")
+	}
+}
+
+func TestSinglePartyNeverBlocks(t *testing.T) {
+	b := New(1)
+	done := make(chan struct{})
+	go func() {
+		for i := 0; i < 1000; i++ {
+			b.Wait(0)
+		}
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("single-party barrier deadlocked")
+	}
+}

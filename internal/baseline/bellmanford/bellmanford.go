@@ -1,0 +1,43 @@
+// Package bellmanford implements a queue-based sequential Bellman–Ford
+// (SPFA variant). It serves as a second, structurally different
+// correctness oracle: Dijkstra and Bellman–Ford agreeing on every test
+// graph rules out a common bug in the shared test harness.
+package bellmanford
+
+import "wasp/internal/graph"
+
+// Run computes single-source shortest paths from source.
+func Run(g *graph.Graph, source graph.Vertex) []uint32 {
+	n := g.NumVertices()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = graph.Infinity
+	}
+	dist[source] = 0
+
+	inQueue := make([]bool, n)
+	queue := make([]graph.Vertex, 0, 1024)
+	queue = append(queue, source)
+	inQueue[source] = true
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		inQueue[u] = false
+		du := dist[u]
+		dst, wts := g.OutNeighbors(u)
+		for i, v := range dst {
+			if nd := du + wts[i]; nd < dist[v] {
+				dist[v] = nd
+				if !inQueue[v] {
+					inQueue[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+		// Compact the queue occasionally to bound memory.
+		if head > 1<<20 && head*2 > len(queue) {
+			queue = append(queue[:0], queue[head+1:]...)
+			head = -1
+		}
+	}
+	return dist
+}

@@ -1,0 +1,39 @@
+package bellmanford
+
+import (
+	"testing"
+
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/verify"
+)
+
+func TestDiamond(t *testing.T) {
+	g := graph.FromEdges(4, true, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+		{From: 0, To: 3, W: 5}, {From: 2, To: 3, W: 1},
+	})
+	if err := verify.Equal(Run(g, 0), []uint32{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNegativeFreeCycleSafe(t *testing.T) {
+	// A positive-weight cycle must terminate and give shortest paths.
+	g := graph.FromEdges(3, true, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1}, {From: 2, To: 0, W: 1},
+	})
+	if err := verify.Equal(Run(g, 0), []uint32{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateOnWorkloads(t *testing.T) {
+	for _, name := range []string{"urand", "road-usa", "mawi", "delaunay"} {
+		g, _ := gen.Generate(name, gen.Config{N: 1500, Seed: 8})
+		src := graph.SourceInLargestComponent(g, 4)
+		if err := verify.Certificate(g, src, Run(g, src)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}

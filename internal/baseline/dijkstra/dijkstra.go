@@ -1,0 +1,57 @@
+// Package dijkstra implements sequential Dijkstra's algorithm with a
+// d-ary heap. It is the work-efficiency reference of the paper: the
+// number of edge relaxations it performs is the theoretical minimum that
+// Figure 8 normalizes every parallel implementation against, and its
+// output is the correctness oracle for every test in this repository.
+package dijkstra
+
+import (
+	"wasp/internal/graph"
+	"wasp/internal/heap"
+)
+
+// Result carries the distances and the relaxation count.
+type Result struct {
+	Dist        []uint32
+	Relaxations int64 // edge relaxations performed (Fig 8's denominator)
+	Pops        int64 // heap extractions, counting duplicates skipped
+}
+
+// Run computes single-source shortest paths from source.
+func Run(g *graph.Graph, source graph.Vertex) *Result {
+	n := g.NumVertices()
+	res := &Result{Dist: make([]uint32, n)}
+	for i := range res.Dist {
+		res.Dist[i] = graph.Infinity
+	}
+	res.Dist[source] = 0
+
+	h := heap.New(4, n/4+16)
+	h.Push(heap.Item{Prio: 0, Vertex: uint32(source)})
+	for {
+		it, ok := h.Pop()
+		if !ok {
+			break
+		}
+		res.Pops++
+		u := graph.Vertex(it.Vertex)
+		if uint32(it.Prio) != res.Dist[u] {
+			continue // stale queue entry: u was settled at a lower distance
+		}
+		du := res.Dist[u]
+		dst, wts := g.OutNeighbors(u)
+		for i, v := range dst {
+			res.Relaxations++
+			if nd := du + wts[i]; nd < res.Dist[v] {
+				res.Dist[v] = nd
+				h.Push(heap.Item{Prio: uint64(nd), Vertex: uint32(v)})
+			}
+		}
+	}
+	return res
+}
+
+// Distances is a convenience wrapper returning only the distance array.
+func Distances(g *graph.Graph, source graph.Vertex) []uint32 {
+	return Run(g, source).Dist
+}

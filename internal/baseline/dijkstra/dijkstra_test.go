@@ -1,0 +1,71 @@
+package dijkstra
+
+import (
+	"testing"
+
+	"wasp/internal/baseline/bellmanford"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/verify"
+)
+
+func TestDiamond(t *testing.T) {
+	g := graph.FromEdges(4, true, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+		{From: 0, To: 3, W: 5}, {From: 2, To: 3, W: 1},
+	})
+	res := Run(g, 0)
+	want := []uint32{0, 1, 2, 3}
+	if err := verify.Equal(res.Dist, want); err != nil {
+		t.Fatal(err)
+	}
+	if res.Relaxations != 4 {
+		t.Fatalf("relaxations = %d, want 4", res.Relaxations)
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := graph.FromEdges(3, true, []graph.Edge{{From: 0, To: 1, W: 2}})
+	d := Distances(g, 0)
+	if d[2] != graph.Infinity {
+		t.Fatalf("d[2] = %d", d[2])
+	}
+}
+
+func TestCertificateOnAllWorkloads(t *testing.T) {
+	for _, name := range gen.Names(true) {
+		g, err := gen.Generate(name, gen.Config{N: 2000, Seed: 21})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.SourceInLargestComponent(g, 1)
+		d := Distances(g, src)
+		if err := verify.Certificate(g, src, d); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestAgreesWithBellmanFord(t *testing.T) {
+	for _, name := range []string{"urand", "kron", "road-usa", "mawi", "kmer"} {
+		g, _ := gen.Generate(name, gen.Config{N: 1500, Seed: 33})
+		src := graph.SourceInLargestComponent(g, 2)
+		if err := verify.Equal(Distances(g, src), bellmanford.Run(g, src)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestRelaxationCountMinimal(t *testing.T) {
+	// Dijkstra relaxes each settled vertex's out-edges exactly once:
+	// the count is bounded by |E|.
+	g, _ := gen.Generate("kron", gen.Config{N: 2000, Seed: 5})
+	src := graph.SourceInLargestComponent(g, 1)
+	res := Run(g, src)
+	if res.Relaxations > g.NumEdges() {
+		t.Fatalf("relaxations %d exceed |E| = %d", res.Relaxations, g.NumEdges())
+	}
+	if res.Pops == 0 {
+		t.Fatal("no pops recorded")
+	}
+}

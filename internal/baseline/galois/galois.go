@@ -1,0 +1,96 @@
+// Package galois implements asynchronous Δ-stepping over an OBIM-style
+// priority scheduler, modelling the Galois baseline of the paper (§2,
+// §5): vertices are chunked into thread-local bags per coarsened
+// priority, full chunks publish to global bags, and threads work on
+// their best local level after consulting the global advertisement.
+// There are no barriers; asynchrony comes at the price of more priority
+// drift than Wasp, which is what Figure 8 quantifies.
+package galois
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"wasp/internal/dist"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+	"wasp/internal/obim"
+	"wasp/internal/parallel"
+)
+
+// Options configures a run.
+type Options struct {
+	Delta   uint32 // Δ-coarsening factor (0 → 1)
+	Workers int
+	Metrics *metrics.Set
+}
+
+// Result carries the distances.
+type Result struct {
+	Dist []uint32
+}
+
+// Run computes SSSP from source.
+func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
+	p := opt.Workers
+	if p <= 0 {
+		p = 1
+	}
+	delta := opt.Delta
+	if delta == 0 {
+		delta = 1
+	}
+	m := opt.Metrics
+	if m == nil || len(m.Workers) < p {
+		m = metrics.NewSet(p)
+	}
+
+	d := dist.New(g.NumVertices(), source)
+	sched := obim.New()
+
+	var inFlight atomic.Int64
+	parallel.Run(p, func(w int) {
+		h := sched.NewHandle()
+		if w == 0 {
+			h.Push(uint32(source), 0)
+		}
+		mw := &m.Workers[w]
+		for {
+			inFlight.Add(1)
+			u, prio, ok := h.Pop()
+			if ok {
+				if uint64(d.Get(graph.Vertex(u))) < prio*uint64(delta) {
+					mw.StaleSkips++ // re-bucketed below this entry's level
+					inFlight.Add(-1)
+					continue
+				}
+				dst, wts := g.OutNeighbors(graph.Vertex(u))
+				for i, v := range dst {
+					mw.Relaxations++
+					nd, improved := d.Relax(graph.Vertex(u), v, wts[i])
+					if !improved {
+						continue
+					}
+					mw.Improvements++
+					h.Push(uint32(v), uint64(nd)/uint64(delta))
+				}
+				inFlight.Add(-1)
+				continue
+			}
+			inFlight.Add(-1)
+			// Pop fails only when this worker's local bags are empty,
+			// so a worker never exits while holding work: every local
+			// vertex is drained by its owner before the owner can
+			// leave, and global chunks are counted by GlobalLen. The
+			// ordered double-check below may let a worker leave while
+			// another still holds *local* work — that costs tail
+			// parallelism, never correctness, and mirrors OBIM's
+			// loosely-coordinated termination.
+			if sched.GlobalLen() == 0 && inFlight.Load() == 0 && sched.GlobalLen() == 0 {
+				return
+			}
+			runtime.Gosched()
+		}
+	})
+	return &Result{Dist: d.Snapshot()}
+}

@@ -1,0 +1,75 @@
+package galois
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+	"wasp/internal/verify"
+)
+
+func TestAllWorkloads(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, name := range gen.Names(false) {
+		g, err := gen.Generate(name, gen.Config{N: 2500, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.SourceInLargestComponent(g, 1)
+		want := dijkstra.Distances(g, src)
+		for _, p := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/p%d", name, p), func(t *testing.T) {
+				res := Run(g, src, Options{Workers: p, Delta: 16})
+				if err := verify.Equal(res.Dist, want); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestDeltaSweep(t *testing.T) {
+	g, _ := gen.Generate("road-usa", gen.Config{N: 3000, Seed: 3})
+	src := graph.SourceInLargestComponent(g, 1)
+	want := dijkstra.Distances(g, src)
+	for _, delta := range []uint32{1, 16, 1024} {
+		res := Run(g, src, Options{Workers: 3, Delta: delta})
+		if err := verify.Equal(res.Dist, want); err != nil {
+			t.Fatalf("delta %d: %v", delta, err)
+		}
+	}
+}
+
+func TestRelaxationsExceedDijkstra(t *testing.T) {
+	// Asynchronous Δ-stepping trades work for parallelism: with a
+	// coarse Δ its relaxation count must be at least Dijkstra's (the
+	// theoretical minimum, paper Fig 8).
+	g, _ := gen.Generate("kron", gen.Config{N: 3000, Seed: 9})
+	src := graph.SourceInLargestComponent(g, 1)
+	m := metrics.NewSet(4)
+	Run(g, src, Options{Workers: 4, Delta: 1024, Metrics: m})
+	d := dijkstra.Run(g, src)
+	if m.Totals().Relaxations < d.Relaxations {
+		t.Fatalf("galois relaxations %d below Dijkstra minimum %d",
+			m.Totals().Relaxations, d.Relaxations)
+	}
+}
+
+func TestTerminationStress(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for seed := uint64(0); seed < 15; seed++ {
+		g, _ := gen.Generate("urand", gen.Config{N: 400, Seed: seed, Degree: 4})
+		src := graph.SourceInLargestComponent(g, seed)
+		want := dijkstra.Distances(g, src)
+		res := Run(g, src, Options{Workers: 6, Delta: 4})
+		if err := verify.Equal(res.Dist, want); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package gapds
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+	"wasp/internal/verify"
+)
+
+func TestAllWorkloads(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, name := range gen.Names(false) {
+		g, err := gen.Generate(name, gen.Config{N: 2500, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.SourceInLargestComponent(g, 1)
+		want := dijkstra.Distances(g, src)
+		for _, p := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/p%d", name, p), func(t *testing.T) {
+				res := Run(g, src, Options{Workers: p, Delta: 16})
+				if err := verify.Equal(res.Dist, want); err != nil {
+					t.Fatal(err)
+				}
+				if res.Steps == 0 {
+					t.Fatal("no steps recorded")
+				}
+			})
+		}
+	}
+}
+
+func TestDeltaSweep(t *testing.T) {
+	g, _ := gen.Generate("kron", gen.Config{N: 3000, Seed: 3})
+	src := graph.SourceInLargestComponent(g, 1)
+	want := dijkstra.Distances(g, src)
+	for _, delta := range []uint32{1, 8, 128, 1 << 16} {
+		res := Run(g, src, Options{Workers: 2, Delta: delta})
+		if err := verify.Equal(res.Dist, want); err != nil {
+			t.Fatalf("delta %d: %v", delta, err)
+		}
+	}
+}
+
+func TestBucketFusionReducesSteps(t *testing.T) {
+	// On a large-diameter road graph, fusion must cut the number of
+	// synchronous steps — that is its entire purpose.
+	g, _ := gen.Generate("road-usa", gen.Config{N: 4000, Seed: 7})
+	src := graph.SourceInLargestComponent(g, 1)
+	fused := Run(g, src, Options{Workers: 2, Delta: 16})
+	plain := Run(g, src, Options{Workers: 2, Delta: 16, NoBucketFusion: true})
+	if err := verify.Equal(fused.Dist, plain.Dist); err != nil {
+		t.Fatal(err)
+	}
+	if fused.Steps >= plain.Steps {
+		t.Fatalf("fusion did not reduce steps: %d vs %d", fused.Steps, plain.Steps)
+	}
+}
+
+func TestBarrierTimeRecorded(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	g, _ := gen.Generate("road-usa", gen.Config{N: 4000, Seed: 9})
+	src := graph.SourceInLargestComponent(g, 1)
+	m := metrics.NewSet(4)
+	Run(g, src, Options{Workers: 4, Delta: 4, Metrics: m})
+	if m.BarrierTime() == 0 {
+		t.Fatal("no barrier time recorded on a road graph")
+	}
+	if m.Totals().Relaxations == 0 {
+		t.Fatal("no relaxations recorded")
+	}
+}
+
+func TestCertificate(t *testing.T) {
+	g, _ := gen.Generate("mawi", gen.Config{N: 3000, Seed: 13})
+	src := graph.SourceInLargestComponent(g, 1)
+	res := Run(g, src, Options{Workers: 4, Delta: 32})
+	if err := verify.Certificate(g, src, res.Dist); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package gapds
+
+import "testing"
+
+func TestGatherFindsMinimumAcrossWorkers(t *testing.T) {
+	bins := make([][][]uint32, 3)
+	bins[0] = [][]uint32{nil, nil, nil, nil, nil, {7}}
+	bins[1] = [][]uint32{nil, nil, nil, {4, 5}}
+	bins[2] = [][]uint32{nil, nil, nil, {6}}
+	next, frontier, done := gather(bins, 0)
+	if done {
+		t.Fatal("unexpected done")
+	}
+	if next != 3 {
+		t.Fatalf("next bucket = %d, want 3", next)
+	}
+	if len(frontier) != 3 {
+		t.Fatalf("frontier = %v", frontier)
+	}
+	// Consumed bins must be cleared.
+	if bins[1][3] != nil || bins[2][3] != nil {
+		t.Fatal("bins not cleared")
+	}
+	// Bucket 5 survives.
+	if len(bins[0][5]) != 1 {
+		t.Fatal("later bucket lost")
+	}
+}
+
+func TestGatherDone(t *testing.T) {
+	bins := make([][][]uint32, 2)
+	bins[0] = [][]uint32{nil, nil}
+	bins[1] = nil
+	if _, _, done := gather(bins, 0); !done {
+		t.Fatal("expected done on empty bins")
+	}
+}
+
+func TestGatherSkipsBinsBelowCurrent(t *testing.T) {
+	// Entries below the current bucket cannot exist (distances only
+	// grow past the frontier); gather must not look at them.
+	bins := make([][][]uint32, 1)
+	bins[0] = [][]uint32{{9}, nil, {1}}
+	next, frontier, done := gather(bins, 2)
+	if done || next != 2 || len(frontier) != 1 || frontier[0] != 1 {
+		t.Fatalf("gather = %d %v %v", next, frontier, done)
+	}
+}

@@ -1,0 +1,49 @@
+package gapds
+
+import (
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/verify"
+)
+
+// The KLA extension: fusing k priority levels between barriers stays
+// correct and cuts synchronous steps on large-diameter graphs.
+func TestKLevelsCorrectAndFewerSteps(t *testing.T) {
+	g, _ := gen.Generate("road-usa", gen.Config{N: 4000, Seed: 7})
+	src := graph.SourceInLargestComponent(g, 1)
+	want := dijkstra.Distances(g, src)
+
+	base := Run(g, src, Options{Workers: 2, Delta: 16, KLevels: 1})
+	if err := verify.Equal(base.Dist, want); err != nil {
+		t.Fatal(err)
+	}
+	prevSteps := base.Steps
+	for _, k := range []int{4, 16, 64} {
+		res := Run(g, src, Options{Workers: 2, Delta: 16, KLevels: k})
+		if err := verify.Equal(res.Dist, want); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if res.Steps > prevSteps {
+			t.Fatalf("k=%d steps %d exceed k-smaller steps %d", k, res.Steps, prevSteps)
+		}
+		prevSteps = res.Steps
+	}
+	if prevSteps >= base.Steps {
+		t.Fatalf("k=64 did not reduce steps: %d vs %d", prevSteps, base.Steps)
+	}
+}
+
+func TestKLevelsSkewedGraphCorrect(t *testing.T) {
+	g, _ := gen.Generate("kron", gen.Config{N: 3000, Seed: 9})
+	src := graph.SourceInLargestComponent(g, 1)
+	want := dijkstra.Distances(g, src)
+	for _, k := range []int{2, 8} {
+		res := Run(g, src, Options{Workers: 4, Delta: 4, KLevels: k})
+		if err := verify.Equal(res.Dist, want); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+package gbbs
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/verify"
+)
+
+func TestAllWorkloads(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, name := range gen.Names(false) {
+		g, err := gen.Generate(name, gen.Config{N: 2500, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.SourceInLargestComponent(g, 1)
+		want := dijkstra.Distances(g, src)
+		for _, p := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/p%d", name, p), func(t *testing.T) {
+				res := Run(g, src, Options{Workers: p, Delta: 16})
+				if err := verify.Equal(res.Dist, want); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestOpenBucketVariants(t *testing.T) {
+	g, _ := gen.Generate("road-usa", gen.Config{N: 3000, Seed: 5})
+	src := graph.SourceInLargestComponent(g, 2)
+	want := dijkstra.Distances(g, src)
+	for _, open := range []int{2, 8, 32, 128} {
+		res := Run(g, src, Options{Workers: 2, Delta: 8, OpenBucket: open})
+		if err := verify.Equal(res.Dist, want); err != nil {
+			t.Fatalf("open=%d: %v", open, err)
+		}
+	}
+}
+
+func TestDeltaSweep(t *testing.T) {
+	g, _ := gen.Generate("urand", gen.Config{N: 3000, Seed: 6})
+	src := graph.SourceInLargestComponent(g, 1)
+	want := dijkstra.Distances(g, src)
+	for _, delta := range []uint32{1, 32, 1 << 12} {
+		res := Run(g, src, Options{Workers: 3, Delta: delta})
+		if err := verify.Equal(res.Dist, want); err != nil {
+			t.Fatalf("delta %d: %v", delta, err)
+		}
+	}
+}
+
+func TestStepsOnRoadExceedSkewed(t *testing.T) {
+	// The structural reason GBBS loses on road graphs: many more
+	// synchronous steps than on a skewed graph of similar size.
+	road, _ := gen.Generate("road-usa", gen.Config{N: 4000, Seed: 5})
+	kron, _ := gen.Generate("kron", gen.Config{N: 4000, Seed: 5})
+	r1 := Run(road, graph.SourceInLargestComponent(road, 1), Options{Workers: 2, Delta: 8})
+	r2 := Run(kron, graph.SourceInLargestComponent(kron, 1), Options{Workers: 2, Delta: 8})
+	if r1.Steps <= r2.Steps {
+		t.Fatalf("road steps %d not greater than kron steps %d", r1.Steps, r2.Steps)
+	}
+}

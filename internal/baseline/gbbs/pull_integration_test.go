@@ -1,0 +1,35 @@
+package gbbs
+
+import (
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+	"wasp/internal/verify"
+)
+
+// Direction optimization on the Mawi star (paper §5.1): correct with
+// and without, and the pull path engages on the hub frontier.
+func TestDirectionOptimizationOnStar(t *testing.T) {
+	g, _ := gen.Generate("mawi", gen.Config{N: 8000, Seed: 3})
+	src := graph.SourceInLargestComponent(g, 1)
+	want := dijkstra.Distances(g, src)
+
+	mOn := metrics.NewSet(2)
+	on := Run(g, src, Options{Workers: 2, Delta: 64, Metrics: mOn})
+	if err := verify.Equal(on.Dist, want); err != nil {
+		t.Fatalf("with pull: %v", err)
+	}
+	mOff := metrics.NewSet(2)
+	off := Run(g, src, Options{
+		Workers: 2, Delta: 64, NoDirectionOptimization: true, Metrics: mOff,
+	})
+	if err := verify.Equal(off.Dist, want); err != nil {
+		t.Fatalf("without pull: %v", err)
+	}
+	if mOn.Totals().Relaxations == mOff.Totals().Relaxations {
+		t.Fatal("pull step apparently never engaged on the star")
+	}
+}

@@ -1,0 +1,70 @@
+package mqsssp
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+	"wasp/internal/verify"
+)
+
+func TestAllWorkloads(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, name := range gen.Names(false) {
+		g, err := gen.Generate(name, gen.Config{N: 2500, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.SourceInLargestComponent(g, 1)
+		want := dijkstra.Distances(g, src)
+		for _, p := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/p%d", name, p), func(t *testing.T) {
+				res := Run(g, src, Options{Workers: p})
+				if err := verify.Equal(res.Dist, want); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+func TestStickinessVariants(t *testing.T) {
+	g, _ := gen.Generate("kron", gen.Config{N: 3000, Seed: 3})
+	src := graph.SourceInLargestComponent(g, 1)
+	want := dijkstra.Distances(g, src)
+	for _, s := range []int{1, 4, 16, 64} {
+		res := Run(g, src, Options{Workers: 3, Stickiness: s})
+		if err := verify.Equal(res.Dist, want); err != nil {
+			t.Fatalf("stickiness %d: %v", s, err)
+		}
+	}
+}
+
+func TestQueueOpTimingRecorded(t *testing.T) {
+	g, _ := gen.Generate("urand", gen.Config{N: 3000, Seed: 5})
+	src := graph.SourceInLargestComponent(g, 1)
+	m := metrics.NewSet(2)
+	Run(g, src, Options{Workers: 2, Timing: true, Metrics: m})
+	if m.QueueOpTime() == 0 {
+		t.Fatal("no queue-op time recorded with Timing enabled")
+	}
+}
+
+func TestTerminationStress(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for seed := uint64(0); seed < 15; seed++ {
+		g, _ := gen.Generate("urand", gen.Config{N: 400, Seed: seed, Degree: 4})
+		src := graph.SourceInLargestComponent(g, seed)
+		want := dijkstra.Distances(g, src)
+		res := Run(g, src, Options{Workers: 6})
+		if err := verify.Equal(res.Dist, want); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}

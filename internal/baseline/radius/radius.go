@@ -1,0 +1,210 @@
+// Package radius implements radius-stepping (Blelloch, Gu, Sun,
+// Tangwongsan, SPAA 2016), discussed in the Wasp paper's related work
+// (§6): a Δ-stepping descendant with work and depth guarantees.
+// Preprocessing computes, for every vertex v, the radius r(v) of its
+// ρ-nearest-neighbor ball via a truncated local Dijkstra. Each step
+// then advances the settle threshold to
+//
+//	min over active v of (d(v) + r(v)),
+//
+// and runs Bellman–Ford sub-steps restricted to vertices below the
+// threshold until they converge, at which point all of them are
+// settled at once. Larger ρ gives fewer, heavier steps.
+package radius
+
+import (
+	"sync/atomic"
+
+	"wasp/internal/dist"
+	"wasp/internal/graph"
+	"wasp/internal/heap"
+	"wasp/internal/metrics"
+	"wasp/internal/parallel"
+)
+
+// Options configures a run.
+type Options struct {
+	Rho     int // ball size ρ for the radius precomputation (0 → 8)
+	Workers int
+	Metrics *metrics.Set
+}
+
+// Result carries distances and counters.
+type Result struct {
+	Dist     []uint32
+	Steps    int64 // outer threshold advances
+	SubSteps int64 // inner Bellman–Ford rounds
+}
+
+// Run computes SSSP from source.
+func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
+	p := opt.Workers
+	if p <= 0 {
+		p = 1
+	}
+	rho := opt.Rho
+	if rho <= 0 {
+		rho = 8
+	}
+	m := opt.Metrics
+	if m == nil || len(m.Workers) < p {
+		m = metrics.NewSet(p)
+	}
+
+	radii := Radii(g, rho, p)
+	n := g.NumVertices()
+	d := dist.New(n, source)
+	inSet := make([]uint32, n)
+	inSet[source] = 1
+	active := []uint32{uint32(source)}
+	res := &Result{}
+
+	for len(active) > 0 {
+		res.Steps++
+		// Threshold: the nearest active ball boundary.
+		threshold := uint64(graph.Infinity)
+		for _, u := range active {
+			du := uint64(d.Get(graph.Vertex(u)))
+			if t := du + uint64(radii[u]); t < threshold {
+				threshold = t
+			}
+		}
+		if threshold < uint64(graph.Infinity) {
+			threshold++ // settle the boundary vertex itself
+		}
+
+		// Inner Bellman–Ford rounds below the threshold.
+		below := active[:0]
+		var above []uint32
+		for _, u := range active {
+			if uint64(d.Get(graph.Vertex(u))) < threshold {
+				below = append(below, u)
+			} else {
+				above = append(above, u)
+			}
+		}
+		frontier := below
+		for len(frontier) > 0 {
+			res.SubSteps++
+			perWorker := make([][]uint32, p)
+			parallel.ForWorkers(p, len(frontier), 64, func(w, i int) {
+				u := graph.Vertex(frontier[i])
+				mw := &m.Workers[w]
+				dst, wts := g.OutNeighbors(u)
+				for j, v := range dst {
+					mw.Relaxations++
+					nd, improved := d.Relax(u, v, wts[j])
+					if !improved {
+						continue
+					}
+					mw.Improvements++
+					if uint64(nd) < threshold {
+						// Still inside this step: another round.
+						perWorker[w] = append(perWorker[w], uint32(v))
+					} else if atomic.CompareAndSwapUint32(&inSet[v], 0, 1) {
+						perWorker[w] = append(perWorker[w], uint32(v)|futureBit)
+					}
+				}
+			})
+			var staged []uint32
+			for _, buf := range perWorker {
+				for _, tagged := range buf {
+					if tagged&futureBit != 0 {
+						above = append(above, tagged&^futureBit)
+					} else {
+						staged = append(staged, tagged)
+					}
+				}
+			}
+			frontier = staged
+		}
+		// Everything below the threshold is settled; clear their
+		// in-set flags so later relaxations can re-activate them only
+		// if they genuinely improve (they cannot: settled).
+		for _, u := range below {
+			inSet[u] = 0
+		}
+		active = above
+	}
+	res.Dist = d.Snapshot()
+	return res
+}
+
+// futureBit tags vertices that landed beyond the current threshold.
+const futureBit = uint32(1) << 31
+
+// Radii computes r(v) = the distance from v to its ρ-th nearest vertex
+// (by a truncated Dijkstra over out-edges), in parallel over vertices.
+// Vertices with fewer than ρ reachable neighbors get an infinite
+// radius — their whole component settles in one step. Scratch state
+// (visited map, local heap) is reused per worker to keep the
+// preprocessing allocation-free on the hot path.
+func Radii(g *graph.Graph, rho, p int) []uint32 {
+	n := g.NumVertices()
+	radii := make([]uint32, n)
+	scratch := make([]*localState, p)
+	for i := range scratch {
+		scratch[i] = &localState{
+			dist: make(map[graph.Vertex]uint32, rho*32),
+			heap: heap.New(4, rho*4),
+		}
+	}
+	parallel.ForWorkers(p, n, 64, func(w, vi int) {
+		radii[vi] = localRadius(g, graph.Vertex(vi), rho, scratch[w])
+	})
+	return radii
+}
+
+// localState is one worker's reusable truncated-Dijkstra scratch.
+type localState struct {
+	dist map[graph.Vertex]uint32
+	heap *heap.DAry
+}
+
+func (s *localState) reset() {
+	clear(s.dist)
+	s.heap.Reset()
+}
+
+// localRadius runs Dijkstra from v until rho vertices settle. The
+// exploration is budgeted: a hub adjacent to v could otherwise make
+// the preprocessing quadratic (the Mawi pathology). Truncation only
+// shrinks the returned radius, which merely makes the outer steps more
+// conservative — correctness rests on the inner Bellman–Ford fixpoint,
+// not on r(v) being exact.
+func localRadius(g *graph.Graph, v graph.Vertex, rho int, s *localState) uint32 {
+	budget := rho * 32 // edges we are willing to scan
+	s.reset()
+	distLocal := s.dist
+	distLocal[v] = 0
+	h := s.heap
+	h.Push(heap.Item{Prio: 0, Vertex: uint32(v)})
+	settled := 0
+	for {
+		it, ok := h.Pop()
+		if !ok {
+			return graph.Infinity // component smaller than ρ
+		}
+		u := graph.Vertex(it.Vertex)
+		du, ok := distLocal[u]
+		if !ok || uint64(du) != it.Prio {
+			continue
+		}
+		settled++
+		if settled >= rho || budget <= 0 {
+			return du
+		}
+		dst, wts := g.OutNeighbors(u)
+		if len(dst) > budget {
+			dst, wts = dst[:budget], wts[:budget]
+		}
+		budget -= len(dst)
+		for i, t := range dst {
+			nd := du + wts[i]
+			if old, ok := distLocal[t]; !ok || nd < old {
+				distLocal[t] = nd
+				h.Push(heap.Item{Prio: uint64(nd), Vertex: uint32(t)})
+			}
+		}
+	}
+}

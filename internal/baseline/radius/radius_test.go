@@ -1,0 +1,86 @@
+package radius
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/verify"
+)
+
+func TestRadiiPath(t *testing.T) {
+	// Path 0-1-2-3 with unit weights: r_2(v) = distance to the 2nd
+	// settled vertex (itself counts as the 1st) = nearest neighbor.
+	g := graph.FromEdges(4, false, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1}, {From: 2, To: 3, W: 1},
+	})
+	r := Radii(g, 2, 1)
+	for v, want := range []uint32{1, 1, 1, 1} {
+		if r[v] != want {
+			t.Fatalf("r(%d) = %d, want %d", v, r[v], want)
+		}
+	}
+	// ρ=3: 0's 3rd nearest is vertex 2 at distance 2.
+	r3 := Radii(g, 3, 1)
+	if r3[0] != 2 {
+		t.Fatalf("r3(0) = %d, want 2", r3[0])
+	}
+}
+
+func TestRadiiSmallComponent(t *testing.T) {
+	g := graph.FromEdges(3, false, []graph.Edge{{From: 0, To: 1, W: 5}})
+	r := Radii(g, 3, 1) // component {0,1} has only 2 vertices
+	if r[0] != graph.Infinity || r[2] != graph.Infinity {
+		t.Fatalf("radii = %v", r)
+	}
+}
+
+func TestAllWorkloads(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, name := range []string{"urand", "kron", "road-usa", "mawi", "kmer", "delaunay"} {
+		g, err := gen.Generate(name, gen.Config{N: 2000, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.SourceInLargestComponent(g, 1)
+		want := dijkstra.Distances(g, src)
+		for _, p := range []int{1, 4} {
+			t.Run(fmt.Sprintf("%s/p%d", name, p), func(t *testing.T) {
+				res := Run(g, src, Options{Workers: p, Rho: 8})
+				if err := verify.Equal(res.Dist, want); err != nil {
+					t.Fatal(err)
+				}
+				if res.Steps == 0 || res.SubSteps == 0 {
+					t.Fatal("no steps recorded")
+				}
+			})
+		}
+	}
+}
+
+func TestRhoControlsStepCount(t *testing.T) {
+	g, _ := gen.Generate("road-usa", gen.Config{N: 3000, Seed: 5})
+	src := graph.SourceInLargestComponent(g, 1)
+	small := Run(g, src, Options{Workers: 2, Rho: 2})
+	big := Run(g, src, Options{Workers: 2, Rho: 64})
+	if err := verify.Equal(small.Dist, big.Dist); err != nil {
+		t.Fatal(err)
+	}
+	if big.Steps >= small.Steps {
+		t.Fatalf("ρ=64 took %d steps, ρ=2 took %d: larger balls must cut steps",
+			big.Steps, small.Steps)
+	}
+}
+
+func TestCertificate(t *testing.T) {
+	g, _ := gen.Generate("mawi", gen.Config{N: 2000, Seed: 7})
+	src := graph.SourceInLargestComponent(g, 2)
+	res := Run(g, src, Options{Workers: 3})
+	if err := verify.Certificate(g, src, res.Dist); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,50 @@
+package relaxed
+
+import (
+	"wasp/internal/graph"
+	"wasp/internal/mbq"
+	"wasp/internal/mq"
+	"wasp/internal/smq"
+)
+
+// Adapters lifting the concrete queue packages to the Queue interface
+// (their NewHandle methods return concrete handle types).
+
+type smqQueue struct{ *smq.SMQ }
+
+func (q smqQueue) NewHandle(id int) Handle { return q.SMQ.NewHandle(id) }
+
+type mbqQueue struct{ *mbq.MBQ }
+
+func (q mbqQueue) NewHandle(id int) Handle { return q.MBQ.NewHandle(id) }
+
+type mqQueue struct{ *mq.MQ }
+
+func (q mqQueue) NewHandle(id int) Handle { return q.MQ.NewHandle(id) }
+
+// RunSMQ computes SSSP over a Stealing MultiQueue.
+func RunSMQ(g *graph.Graph, source graph.Vertex, cfg smq.Config, opt Options) []uint32 {
+	if cfg.Threads <= 0 {
+		cfg.Threads = opt.Workers
+	}
+	return Run(g, source, smqQueue{smq.New(cfg)}, opt)
+}
+
+// RunMBQ computes SSSP over a Multi Bucket Queue.
+func RunMBQ(g *graph.Graph, source graph.Vertex, cfg mbq.Config, opt Options) []uint32 {
+	if cfg.Threads <= 0 {
+		cfg.Threads = opt.Workers
+	}
+	return Run(g, source, mbqQueue{mbq.New(cfg)}, opt)
+}
+
+// RunMQ computes SSSP over a MultiQueue through the generic driver.
+// The dedicated mqsssp package remains the instrumented paper baseline;
+// this entry point exists so the queue substrates can be compared under
+// an identical driver (the "ext" experiment).
+func RunMQ(g *graph.Graph, source graph.Vertex, cfg mq.Config, opt Options) []uint32 {
+	if cfg.Threads <= 0 {
+		cfg.Threads = opt.Workers
+	}
+	return Run(g, source, mqQueue{mq.New(cfg)}, opt)
+}

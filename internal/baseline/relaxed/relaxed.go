@@ -1,0 +1,102 @@
+// Package relaxed runs parallel Dijkstra's algorithm over any relaxed
+// concurrent priority queue exposing the Queue interface. It powers the
+// extension baselines from the Wasp paper's related work (§6): the
+// Stealing MultiQueue (internal/smq) and the Multi Bucket Queue
+// (internal/mbq). The driver and termination protocol mirror the
+// MultiQueue baseline (internal/baseline/mqsssp).
+package relaxed
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"wasp/internal/dist"
+	"wasp/internal/graph"
+	"wasp/internal/heap"
+	"wasp/internal/metrics"
+	"wasp/internal/parallel"
+)
+
+// Handle is one worker's queue accessor.
+type Handle interface {
+	Push(heap.Item)
+	Pop() (heap.Item, bool)
+}
+
+// Queue is a relaxed concurrent priority queue usable by the driver.
+// Empty must be exact at quiescence (its counter must cover any
+// worker-local buffers, so that work never hides from the termination
+// check).
+type Queue interface {
+	NewHandle(id int) Handle
+	Empty() bool
+}
+
+// Options configures a run.
+type Options struct {
+	Workers int
+	Metrics *metrics.Set
+}
+
+// Run computes SSSP from source over the given queue.
+func Run(g *graph.Graph, source graph.Vertex, q Queue, opt Options) []uint32 {
+	p := opt.Workers
+	if p <= 0 {
+		p = 1
+	}
+	m := opt.Metrics
+	if m == nil || len(m.Workers) < p {
+		m = metrics.NewSet(p)
+	}
+
+	d := dist.New(g.NumVertices(), source)
+
+	// The source is seeded by worker 0's own handle: queues with
+	// thread-local storage (the SMQ's heaps) would otherwise strand the
+	// seed in a handle nobody drains. The seeded latch keeps other
+	// workers from passing the termination check before the seed lands.
+	var seeded atomic.Bool
+	var inFlight atomic.Int64
+	parallel.Run(p, func(w int) {
+		h := q.NewHandle(w)
+		mw := &m.Workers[w]
+		if w == 0 {
+			h.Push(heap.Item{Prio: 0, Vertex: uint32(source)})
+			seeded.Store(true)
+		}
+		for {
+			inFlight.Add(1)
+			it, ok := h.Pop()
+			if ok {
+				u := graph.Vertex(it.Vertex)
+				if uint64(d.Get(u)) < it.Prio {
+					mw.StaleSkips++
+					inFlight.Add(-1)
+					continue
+				}
+				dst, wts := g.OutNeighbors(u)
+				for i, v := range dst {
+					mw.Relaxations++
+					nd, improved := d.Relax(u, v, wts[i])
+					if !improved {
+						continue
+					}
+					mw.Improvements++
+					h.Push(heap.Item{Prio: uint64(nd), Vertex: uint32(v)})
+				}
+				inFlight.Add(-1)
+				continue
+			}
+			inFlight.Add(-1)
+			// See mqsssp: the ordered Empty→inFlight→Empty check can
+			// only pass when no work exists anywhere (Queue.Empty
+			// covers buffered items; in-hand items are covered by the
+			// holder's pre-pop inFlight increment).
+			if seeded.Load() && q.Empty() && inFlight.Load() == 0 && q.Empty() {
+				return
+			}
+			runtime.Gosched()
+		}
+	})
+	return d.Snapshot()
+}

@@ -1,0 +1,81 @@
+package relaxed
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/mbq"
+	"wasp/internal/mq"
+	"wasp/internal/smq"
+	"wasp/internal/verify"
+)
+
+type runner struct {
+	name string
+	run  func(g *graph.Graph, src graph.Vertex, p int) []uint32
+}
+
+var runners = []runner{
+	{"smq", func(g *graph.Graph, src graph.Vertex, p int) []uint32 {
+		return RunSMQ(g, src, smq.Config{}, Options{Workers: p})
+	}},
+	{"mbq", func(g *graph.Graph, src graph.Vertex, p int) []uint32 {
+		return RunMBQ(g, src, mbq.Config{Delta: 8}, Options{Workers: p})
+	}},
+	{"mq", func(g *graph.Graph, src graph.Vertex, p int) []uint32 {
+		return RunMQ(g, src, mq.Config{}, Options{Workers: p})
+	}},
+}
+
+func TestAllQueuesAllWorkloads(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, name := range []string{"urand", "kron", "road-usa", "mawi", "kmer", "twitter"} {
+		g, err := gen.Generate(name, gen.Config{N: 2000, Seed: 19})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.SourceInLargestComponent(g, 1)
+		want := dijkstra.Distances(g, src)
+		for _, r := range runners {
+			for _, p := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/%s/p%d", r.name, name, p), func(t *testing.T) {
+					got := r.run(g, src, p)
+					if err := verify.Equal(got, want); err != nil {
+						t.Fatal(err)
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestTerminationStress(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for seed := uint64(0); seed < 10; seed++ {
+		g, _ := gen.Generate("urand", gen.Config{N: 300, Seed: seed, Degree: 4})
+		src := graph.SourceInLargestComponent(g, seed)
+		want := dijkstra.Distances(g, src)
+		for _, r := range runners {
+			got := r.run(g, src, 6)
+			if err := verify.Equal(got, want); err != nil {
+				t.Fatalf("%s seed %d: %v", r.name, seed, err)
+			}
+		}
+	}
+}
+
+func TestCertificate(t *testing.T) {
+	g, _ := gen.Generate("mawi", gen.Config{N: 2000, Seed: 23})
+	src := graph.SourceInLargestComponent(g, 2)
+	for _, r := range runners {
+		if err := verify.Certificate(g, src, r.run(g, src, 3)); err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+	}
+}

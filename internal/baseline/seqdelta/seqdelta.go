@@ -1,0 +1,114 @@
+// Package seqdelta implements the original sequential Δ-stepping of
+// Meyer and Sanders (J. Algorithms 2003) — the foundational algorithm
+// of the Wasp paper's §2 — with the light/heavy edge distinction the
+// parallel derivatives drop: within a bucket, only light edges
+// (weight ≤ Δ) are relaxed iteratively, because only they can
+// re-insert into the current bucket; heavy edges are relaxed once,
+// after the bucket settles. The implementation doubles as a reference
+// for how Δ controls the re-relaxation count (the paper's Figure 8
+// phenomenon, in its purest form).
+package seqdelta
+
+import (
+	"wasp/internal/graph"
+)
+
+// Options configures a run.
+type Options struct {
+	Delta uint32 // Δ (0 → 1)
+}
+
+// Result carries distances and the phase/relaxation counters.
+type Result struct {
+	Dist             []uint32
+	Buckets          int64 // buckets processed
+	Phases           int64 // light-edge relaxation phases
+	LightRelaxations int64
+	HeavyRelaxations int64
+}
+
+// Run computes SSSP from source.
+func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
+	delta := opt.Delta
+	if delta == 0 {
+		delta = 1
+	}
+	n := g.NumVertices()
+	res := &Result{Dist: make([]uint32, n)}
+	dist := res.Dist
+	for i := range dist {
+		dist[i] = graph.Infinity
+	}
+	dist[source] = 0
+
+	// Buckets as a growable vector of vertex stacks; inBucket tracks
+	// each vertex's current bucket so moves can skip stale entries.
+	var buckets [][]uint32
+	where := make([]uint64, n)
+	for i := range where {
+		where[i] = none
+	}
+	place := func(v graph.Vertex, nd uint32) {
+		idx := uint64(nd) / uint64(delta)
+		for uint64(len(buckets)) <= idx {
+			buckets = append(buckets, nil)
+		}
+		buckets[idx] = append(buckets[idx], uint32(v))
+		where[v] = idx
+	}
+	place(source, 0)
+
+	relax := func(u, v graph.Vertex, w graph.Weight) bool {
+		if nd := dist[u] + w; nd < dist[v] {
+			dist[v] = nd
+			place(v, nd)
+			return true
+		}
+		return false
+	}
+
+	var settled []uint32 // vertices removed from the current bucket
+	for i := 0; i < len(buckets); i++ {
+		if len(buckets[i]) == 0 {
+			continue
+		}
+		res.Buckets++
+		settled = settled[:0]
+		// Light phases: keep relaxing light edges until the bucket
+		// stops refilling.
+		for len(buckets[i]) > 0 {
+			res.Phases++
+			current := buckets[i]
+			buckets[i] = nil
+			for _, ur := range current {
+				u := graph.Vertex(ur)
+				if where[u] != uint64(i) {
+					continue // moved to a lower bucket: stale entry
+				}
+				where[u] = none
+				settled = append(settled, ur)
+				dst, wts := g.OutNeighbors(u)
+				for j, v := range dst {
+					if wts[j] <= delta {
+						res.LightRelaxations++
+						relax(u, v, wts[j])
+					}
+				}
+			}
+		}
+		// Heavy edges once per settled vertex.
+		for _, ur := range settled {
+			u := graph.Vertex(ur)
+			dst, wts := g.OutNeighbors(u)
+			for j, v := range dst {
+				if wts[j] > delta {
+					res.HeavyRelaxations++
+					relax(u, v, wts[j])
+				}
+			}
+		}
+	}
+	return res
+}
+
+const none = ^uint64(0)

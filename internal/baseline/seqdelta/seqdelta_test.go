@@ -1,0 +1,79 @@
+package seqdelta
+
+import (
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/verify"
+)
+
+func TestDiamond(t *testing.T) {
+	g := graph.FromEdges(4, true, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+		{From: 0, To: 3, W: 5}, {From: 2, To: 3, W: 1},
+	})
+	res := Run(g, 0, Options{Delta: 2})
+	if err := verify.Equal(res.Dist, []uint32{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if res.LightRelaxations == 0 || res.HeavyRelaxations == 0 {
+		t.Fatalf("light/heavy split not exercised: %+v", res)
+	}
+}
+
+func TestAllWorkloadsDeltaSweep(t *testing.T) {
+	for _, name := range []string{"urand", "kron", "road-usa", "mawi", "kmer"} {
+		g, _ := gen.Generate(name, gen.Config{N: 2000, Seed: 13})
+		src := graph.SourceInLargestComponent(g, 1)
+		want := dijkstra.Distances(g, src)
+		for _, delta := range []uint32{1, 16, 256, 1 << 16} {
+			res := Run(g, src, Options{Delta: delta})
+			if err := verify.Equal(res.Dist, want); err != nil {
+				t.Fatalf("%s Δ=%d: %v", name, delta, err)
+			}
+		}
+	}
+}
+
+func TestDeltaOneIsDijkstraOrder(t *testing.T) {
+	// With Δ=1 and integer weights, every bucket holds one distance
+	// value: no re-relaxation beyond Dijkstra's is possible through
+	// light edges (weight ≤ 1 cannot re-enter a settled bucket more
+	// than once per improvement).
+	g, _ := gen.Generate("kron", gen.Config{N: 2000, Seed: 5})
+	src := graph.SourceInLargestComponent(g, 1)
+	res := Run(g, src, Options{Delta: 1})
+	d := dijkstra.Run(g, src)
+	total := res.LightRelaxations + res.HeavyRelaxations
+	if float64(total) > 1.05*float64(d.Relaxations) {
+		t.Fatalf("Δ=1 relaxations %d vs dijkstra %d", total, d.Relaxations)
+	}
+}
+
+func TestCoarseningIncreasesWork(t *testing.T) {
+	// The Figure 8 phenomenon in its sequential form: a huge Δ throws
+	// everything into one bucket and multiplies light-phase work.
+	g, _ := gen.Generate("kron", gen.Config{N: 2000, Seed: 5})
+	src := graph.SourceInLargestComponent(g, 1)
+	fine := Run(g, src, Options{Delta: 1})
+	coarse := Run(g, src, Options{Delta: 1 << 16})
+	fineTotal := fine.LightRelaxations + fine.HeavyRelaxations
+	coarseTotal := coarse.LightRelaxations + coarse.HeavyRelaxations
+	if coarseTotal <= fineTotal {
+		t.Fatalf("coarse Δ did %d relaxations, fine Δ did %d", coarseTotal, fineTotal)
+	}
+	if coarse.Buckets >= fine.Buckets {
+		t.Fatalf("coarse Δ used %d buckets, fine Δ used %d", coarse.Buckets, fine.Buckets)
+	}
+}
+
+func TestPhaseCounters(t *testing.T) {
+	g, _ := gen.Generate("road-usa", gen.Config{N: 1000, Seed: 2})
+	src := graph.SourceInLargestComponent(g, 1)
+	res := Run(g, src, Options{Delta: 64})
+	if res.Phases < res.Buckets {
+		t.Fatalf("phases %d < buckets %d", res.Phases, res.Buckets)
+	}
+}

@@ -1,0 +1,43 @@
+package stepping
+
+import (
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+	"wasp/internal/verify"
+)
+
+// The Mawi star is the workload the paper credits direction
+// optimization for (§5.1): both directions must stay correct, and the
+// pull path must actually engage (observable via relaxation counts: a
+// pull step scans every vertex's in-edges).
+func TestDirectionOptimizationOnStar(t *testing.T) {
+	g, _ := gen.Generate("mawi", gen.Config{N: 8000, Seed: 3})
+	src := graph.SourceInLargestComponent(g, 1)
+	want := dijkstra.Distances(g, src)
+
+	for _, alg := range []Algorithm{DeltaStar, Rho} {
+		mOn := metrics.NewSet(2)
+		on := Run(g, src, Options{Algorithm: alg, Workers: 2, Delta: 64, Metrics: mOn})
+		if err := verify.Equal(on.Dist, want); err != nil {
+			t.Fatalf("alg %d with pull: %v", alg, err)
+		}
+		mOff := metrics.NewSet(2)
+		off := Run(g, src, Options{
+			Algorithm: alg, Workers: 2, Delta: 64,
+			NoDirectionOptimization: true, Metrics: mOff,
+		})
+		if err := verify.Equal(off.Dist, want); err != nil {
+			t.Fatalf("alg %d without pull: %v", alg, err)
+		}
+		// The hub's neighborhood covers >90% of edges, so the pull
+		// variant must take at least one pull step, visible as a
+		// different relaxation profile.
+		if mOn.Totals().Relaxations == mOff.Totals().Relaxations {
+			t.Fatalf("alg %d: pull step apparently never engaged", alg)
+		}
+	}
+}

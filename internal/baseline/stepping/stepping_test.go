@@ -1,0 +1,94 @@
+package stepping
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/verify"
+)
+
+func TestBothAlgorithmsAllWorkloads(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, name := range gen.Names(false) {
+		g, err := gen.Generate(name, gen.Config{N: 2500, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.SourceInLargestComponent(g, 1)
+		want := dijkstra.Distances(g, src)
+		for _, alg := range []Algorithm{DeltaStar, Rho} {
+			for _, p := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/alg%d/p%d", name, alg, p), func(t *testing.T) {
+					res := Run(g, src, Options{Algorithm: alg, Workers: p, Delta: 16, Rho: 512})
+					if err := verify.Equal(res.Dist, want); err != nil {
+						t.Fatal(err)
+					}
+					if res.Steps == 0 {
+						t.Fatal("no steps")
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestDeltaStarParams(t *testing.T) {
+	g, _ := gen.Generate("road-usa", gen.Config{N: 3000, Seed: 4})
+	src := graph.SourceInLargestComponent(g, 1)
+	want := dijkstra.Distances(g, src)
+	for _, delta := range []uint32{1, 64, 4096} {
+		res := Run(g, src, Options{Algorithm: DeltaStar, Workers: 2, Delta: delta})
+		if err := verify.Equal(res.Dist, want); err != nil {
+			t.Fatalf("delta %d: %v", delta, err)
+		}
+	}
+}
+
+func TestRhoParams(t *testing.T) {
+	g, _ := gen.Generate("kron", gen.Config{N: 3000, Seed: 4})
+	src := graph.SourceInLargestComponent(g, 1)
+	want := dijkstra.Distances(g, src)
+	for _, rho := range []int{16, 256, 100000} {
+		res := Run(g, src, Options{Algorithm: Rho, Workers: 2, Rho: rho})
+		if err := verify.Equal(res.Dist, want); err != nil {
+			t.Fatalf("rho %d: %v", rho, err)
+		}
+	}
+}
+
+func TestLargerDeltaFewerSteps(t *testing.T) {
+	g, _ := gen.Generate("road-usa", gen.Config{N: 4000, Seed: 2})
+	src := graph.SourceInLargestComponent(g, 1)
+	small := Run(g, src, Options{Algorithm: DeltaStar, Workers: 2, Delta: 2})
+	large := Run(g, src, Options{Algorithm: DeltaStar, Workers: 2, Delta: 1024})
+	if large.Steps >= small.Steps {
+		t.Fatalf("Δ=1024 took %d steps, Δ=2 took %d: coarsening should cut steps",
+			large.Steps, small.Steps)
+	}
+}
+
+func TestRhoControlsStepCount(t *testing.T) {
+	g, _ := gen.Generate("urand", gen.Config{N: 4000, Seed: 2})
+	src := graph.SourceInLargestComponent(g, 1)
+	smallRho := Run(g, src, Options{Algorithm: Rho, Workers: 2, Rho: 64})
+	bigRho := Run(g, src, Options{Algorithm: Rho, Workers: 2, Rho: 1 << 20})
+	if bigRho.Steps >= smallRho.Steps {
+		t.Fatalf("ρ=2^20 took %d steps, ρ=64 took %d", bigRho.Steps, smallRho.Steps)
+	}
+}
+
+func TestCertificate(t *testing.T) {
+	g, _ := gen.Generate("mawi", gen.Config{N: 3000, Seed: 7})
+	src := graph.SourceInLargestComponent(g, 3)
+	for _, alg := range []Algorithm{DeltaStar, Rho} {
+		res := Run(g, src, Options{Algorithm: alg, Workers: 4, Delta: 8})
+		if err := verify.Certificate(g, src, res.Dist); err != nil {
+			t.Fatalf("alg %d: %v", alg, err)
+		}
+	}
+}

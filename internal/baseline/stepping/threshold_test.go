@@ -1,0 +1,73 @@
+package stepping
+
+import (
+	"testing"
+
+	"wasp/internal/dist"
+	"wasp/internal/graph"
+)
+
+func mkDist(vals map[graph.Vertex]uint32) *dist.Array {
+	max := graph.Vertex(0)
+	for v := range vals {
+		if v > max {
+			max = v
+		}
+	}
+	d := dist.New(int(max)+1, 0)
+	for v, x := range vals {
+		d.RelaxTo(v, x)
+	}
+	return d
+}
+
+func TestDeltaStarThreshold(t *testing.T) {
+	d := mkDist(map[graph.Vertex]uint32{1: 10, 2: 25, 3: 40})
+	active := []uint32{1, 2, 3}
+	got := computeThreshold(active, d, Options{Algorithm: DeltaStar, Delta: 16})
+	if got != 26 { // min(10,25,40) + 16
+		t.Fatalf("threshold = %d, want 26", got)
+	}
+}
+
+func TestDeltaStarThresholdAdmitsMinimum(t *testing.T) {
+	// Progress guarantee: the minimum-distance vertex always qualifies.
+	d := mkDist(map[graph.Vertex]uint32{5: 100})
+	got := computeThreshold([]uint32{5}, d, Options{Algorithm: DeltaStar, Delta: 1})
+	if got <= 100 {
+		t.Fatalf("threshold %d does not admit the minimum (100)", got)
+	}
+}
+
+func TestRhoThresholdSmallSetsProcessEverything(t *testing.T) {
+	d := mkDist(map[graph.Vertex]uint32{1: 3, 2: 9})
+	got := computeThreshold([]uint32{1, 2}, d, Options{Algorithm: Rho, Rho: 10})
+	if got != uint32max() {
+		t.Fatalf("small active set should process everything, got %d", got)
+	}
+}
+
+func uint32max() uint64 { return uint64(graph.Infinity) }
+
+func TestRhoThresholdLargeSetsSelectQuantile(t *testing.T) {
+	// 10000 active vertices with distances 0..9999, ρ=100: threshold
+	// must admit roughly the 100 smallest, not everything.
+	vals := map[graph.Vertex]uint32{}
+	active := make([]uint32, 10000)
+	for i := 0; i < 10000; i++ {
+		vals[graph.Vertex(i+1)] = uint32(i)
+		active[i] = uint32(i + 1)
+	}
+	d := mkDist(vals)
+	got := computeThreshold(active, d, Options{Algorithm: Rho, Rho: 100})
+	if got > 2000 {
+		t.Fatalf("ρ=100 threshold %d admits far more than ρ vertices", got)
+	}
+	if got == 0 {
+		t.Fatal("threshold admits nothing")
+	}
+	// Progress: the global minimum (0) must qualify.
+	if got < 1 {
+		t.Fatalf("threshold %d excludes the minimum", got)
+	}
+}

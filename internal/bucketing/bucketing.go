@@ -1,0 +1,168 @@
+// Package bucketing implements a Julienne-style centralized bucketing
+// structure (Dhulipala, Blelloch, Shun, SPAA 2017), the substrate of
+// the GBBS Δ-stepping baseline. It maintains an open range of buckets
+// indexed by coarsened priority; the frontier of the next step is
+// extracted as the lowest non-empty bucket, and vertex updates are
+// staged per worker and merged when the bucket range rotates — the
+// parallel-update interface the paper's §2 describes.
+//
+// GBBS uses a fixed number of open buckets (default 32 in the paper's
+// configuration) with an overflow bucket for priorities beyond the open
+// range; that behaviour is reproduced here, including the re-bucketing
+// pass when the open range advances past the overflow threshold.
+package bucketing
+
+import "math"
+
+// None is the priority returned by prioOf for vertices that no longer
+// belong in any bucket (e.g. already settled); such entries are dropped
+// at extraction time.
+const None = math.MaxUint64
+
+// Buckets is the centralized bucket structure. Insertions are staged
+// per worker (concurrency-safe across workers); extraction and rotation
+// are coordinator-only, between synchronous steps.
+type Buckets struct {
+	open     int        // number of simultaneously open buckets
+	base     uint64     // priority of open bucket 0
+	buckets  [][]uint32 // open buckets, indexed by prio - base
+	overflow []uint32   // vertices with prio >= base + open
+	staged   [][]stagedItem
+	prioOf   func(v uint32) uint64 // recomputed priority (distance/Δ)
+}
+
+type stagedItem struct {
+	v    uint32
+	prio uint64
+}
+
+// New returns a bucket structure with the given number of open buckets
+// (0 → 32, the GBBS default) for p workers. prioOf recomputes a
+// vertex's current priority at extraction time, so stale staged entries
+// resolve to their latest bucket, as in Julienne's lazy semantics.
+func New(open, p int, prioOf func(v uint32) uint64) *Buckets {
+	if open <= 0 {
+		open = 32
+	}
+	return &Buckets{
+		open:    open,
+		buckets: make([][]uint32, open),
+		staged:  make([][]stagedItem, p),
+		prioOf:  prioOf,
+	}
+}
+
+// Stage records that vertex v now belongs to bucket prio. Safe for
+// concurrent use across distinct workers.
+func (b *Buckets) Stage(worker int, v uint32, prio uint64) {
+	b.staged[worker] = append(b.staged[worker], stagedItem{v, prio})
+}
+
+// merge moves staged items into buckets. Coordinator-only.
+func (b *Buckets) merge() {
+	for w := range b.staged {
+		for _, it := range b.staged[w] {
+			b.place(it.v, it.prio)
+		}
+		b.staged[w] = b.staged[w][:0]
+	}
+}
+
+func (b *Buckets) place(v uint32, prio uint64) {
+	if prio < b.base {
+		prio = b.base // cannot go below the open range: clamp (stale entry)
+	}
+	idx := prio - b.base
+	if idx >= uint64(b.open) {
+		b.overflow = append(b.overflow, v)
+		return
+	}
+	b.buckets[idx] = append(b.buckets[idx], v)
+}
+
+// NextBucket merges staged updates and extracts the lowest non-empty
+// bucket, returning its priority and vertices. The returned slice is
+// owned by the caller. ok is false when the structure is empty.
+// Duplicate and stale entries are filtered by recomputing each vertex's
+// priority with prioOf: only vertices whose current priority matches the
+// extracted bucket are returned; later ones are re-placed.
+func (b *Buckets) NextBucket() (prio uint64, frontier []uint32, ok bool) {
+	b.merge()
+	for {
+		advanced := false
+		for i := 0; i < b.open; i++ {
+			if len(b.buckets[i]) == 0 {
+				continue
+			}
+			prio = b.base + uint64(i)
+			raw := b.buckets[i]
+			b.buckets[i] = nil
+			// Rotate the open range forward so bucket i becomes 0.
+			if i > 0 {
+				copy(b.buckets, b.buckets[i:])
+				for j := b.open - i; j < b.open; j++ {
+					b.buckets[j] = nil
+				}
+				b.base += uint64(i)
+				b.spillOverflow()
+			}
+			// Lazy filtering: keep vertices whose recomputed priority
+			// is due (≤ this bucket — distances only decrease, so an
+			// entry can only have become more urgent); re-place later
+			// ones and drop settled ones.
+			for _, v := range raw {
+				p := b.prioOf(v)
+				if p <= prio {
+					frontier = append(frontier, v)
+				} else if p != None {
+					b.place(v, p)
+				}
+			}
+			if len(frontier) == 0 {
+				advanced = true
+				break // bucket was all-stale: rescan
+			}
+			return prio, frontier, true
+		}
+		if advanced {
+			continue
+		}
+		if len(b.overflow) == 0 {
+			return 0, nil, false
+		}
+		// Open range exhausted: rebase onto the overflow.
+		min := uint64(math.MaxUint64)
+		for _, v := range b.overflow {
+			if p := b.prioOf(v); p < min {
+				min = p
+			}
+		}
+		if min == math.MaxUint64 {
+			b.overflow = b.overflow[:0]
+			return 0, nil, false
+		}
+		b.base = min
+		b.spillOverflow()
+	}
+}
+
+// spillOverflow re-places overflow vertices that now fall inside the
+// open range.
+func (b *Buckets) spillOverflow() {
+	keep := b.overflow[:0]
+	for _, v := range b.overflow {
+		p := b.prioOf(v)
+		if p == None {
+			continue
+		}
+		if p < b.base {
+			p = b.base
+		}
+		if p-b.base < uint64(b.open) {
+			b.buckets[p-b.base] = append(b.buckets[p-b.base], v)
+		} else {
+			keep = append(keep, v)
+		}
+	}
+	b.overflow = keep
+}

@@ -1,0 +1,156 @@
+package bucketing
+
+import (
+	"sort"
+	"testing"
+)
+
+// staticPrio builds a prioOf closure over a mutable map.
+func staticPrio(m map[uint32]uint64) func(uint32) uint64 {
+	return func(v uint32) uint64 {
+		if p, ok := m[v]; ok {
+			return p
+		}
+		return None
+	}
+}
+
+func TestExtractionOrder(t *testing.T) {
+	prios := map[uint32]uint64{10: 3, 11: 1, 12: 1, 13: 7}
+	b := New(32, 1, staticPrio(prios))
+	for v, p := range prios {
+		b.Stage(0, v, p)
+	}
+	var order []uint64
+	var all []uint32
+	for {
+		p, f, ok := b.NextBucket()
+		if !ok {
+			break
+		}
+		order = append(order, p)
+		all = append(all, f...)
+		for _, v := range f {
+			delete(prios, v) // settled
+		}
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 3 || order[2] != 7 {
+		t.Fatalf("bucket order = %v", order)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	if len(all) != 4 {
+		t.Fatalf("extracted %v", all)
+	}
+}
+
+func TestOverflowRebasing(t *testing.T) {
+	// With only 4 open buckets, priority 100 must go to overflow and
+	// still come back out.
+	prios := map[uint32]uint64{1: 0, 2: 100}
+	b := New(4, 1, staticPrio(prios))
+	b.Stage(0, 1, 0)
+	b.Stage(0, 2, 100)
+	p, f, ok := b.NextBucket()
+	if !ok || p != 0 || len(f) != 1 || f[0] != 1 {
+		t.Fatalf("first bucket: %d %v %v", p, f, ok)
+	}
+	delete(prios, 1)
+	p, f, ok = b.NextBucket()
+	if !ok || p != 100 || len(f) != 1 || f[0] != 2 {
+		t.Fatalf("overflow bucket: %d %v %v", p, f, ok)
+	}
+	delete(prios, 2)
+	if _, _, ok := b.NextBucket(); ok {
+		t.Fatal("expected empty")
+	}
+}
+
+func TestStaleEntriesDropped(t *testing.T) {
+	// Vertex staged for bucket 5 but settled (prio None) before
+	// extraction: it must be silently dropped.
+	prios := map[uint32]uint64{}
+	b := New(8, 1, staticPrio(prios))
+	b.Stage(0, 42, 5)
+	if _, _, ok := b.NextBucket(); ok {
+		t.Fatal("settled vertex should not form a bucket")
+	}
+}
+
+func TestMovedEntriesReplaced(t *testing.T) {
+	// Vertex staged at prio 2 whose current priority is 6: extracting
+	// bucket 2 must re-place it, and it must come out at 6.
+	prios := map[uint32]uint64{1: 2, 2: 6}
+	b := New(8, 1, staticPrio(prios))
+	b.Stage(0, 1, 2)
+	b.Stage(0, 2, 2) // staged stale: its real priority is 6
+	p, f, ok := b.NextBucket()
+	if !ok || p != 2 || len(f) != 1 || f[0] != 1 {
+		t.Fatalf("bucket 2: %d %v %v", p, f, ok)
+	}
+	delete(prios, 1)
+	p, f, ok = b.NextBucket()
+	if !ok || p != 6 || len(f) != 1 || f[0] != 2 {
+		t.Fatalf("re-placed bucket: %d %v %v", p, f, ok)
+	}
+}
+
+func TestMoreUrgentEntriesExtractedEarly(t *testing.T) {
+	// Vertex staged at prio 9 whose priority dropped to 3 (a better
+	// path was found): extracting bucket 3's frontier must include it
+	// if bucket 3 is extracted, or it must appear when bucket 9 is
+	// reached (never lost).
+	prios := map[uint32]uint64{1: 3, 2: 3}
+	b := New(16, 1, staticPrio(prios))
+	b.Stage(0, 1, 3)
+	b.Stage(0, 2, 9) // stale: dropped to 3
+	p, f, ok := b.NextBucket()
+	if !ok || p != 3 {
+		t.Fatalf("bucket: %d %v", p, ok)
+	}
+	found := map[uint32]bool{}
+	for _, v := range f {
+		found[v] = true
+		delete(prios, v)
+	}
+	if !found[1] {
+		t.Fatal("vertex 1 missing")
+	}
+	if !found[2] {
+		// Must still come out later.
+		p, f, ok = b.NextBucket()
+		if !ok || len(f) != 1 || f[0] != 2 {
+			t.Fatalf("vertex 2 lost: %d %v %v", p, f, ok)
+		}
+	}
+}
+
+func TestManyBucketsChurn(t *testing.T) {
+	// Simulates Δ-stepping churn: 1000 vertices across 200 priorities,
+	// all must come out in non-decreasing priority order.
+	prios := map[uint32]uint64{}
+	b := New(32, 4, staticPrio(prios))
+	for v := uint32(0); v < 1000; v++ {
+		p := uint64(v % 200)
+		prios[v] = p
+		b.Stage(int(v%4), v, p)
+	}
+	prev := uint64(0)
+	count := 0
+	for {
+		p, f, ok := b.NextBucket()
+		if !ok {
+			break
+		}
+		if p < prev {
+			t.Fatalf("priority went backwards: %d after %d", p, prev)
+		}
+		prev = p
+		count += len(f)
+		for _, v := range f {
+			delete(prios, v)
+		}
+	}
+	if count != 1000 {
+		t.Fatalf("extracted %d of 1000", count)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+// The three optimizations of paper §4.4, ablated in Figure 7:
+// neighborhood decomposition (ND), bidirectional relaxation (BR); leaf
+// pruning (LP) lives in processNeighborhood/Run since it is a push-time
+// filter over a precomputed bitmap.
+
+// decompose splits a high-degree vertex's neighborhood into θ-sized
+// ranges (paper §4.4 "Neighborhood Decomposition"). The ranges beyond
+// the first are published as single-vertex range chunks — into the
+// current bucket's deque when they belong to the current level, where
+// thieves can pick them up while this worker processes the first range.
+func (w *worker) decompose(u uint32, prio uint64, deg int) {
+	theta := w.opt.Theta
+	for begin := theta; begin < deg; begin += theta {
+		end := begin + theta
+		if end > deg {
+			end = deg
+		}
+		c := w.pool.Get()
+		c.SetRange(u, uint32(begin), uint32(end), prio)
+		if prio == w.currLoc {
+			w.dq.PushBottom(c)
+		} else {
+			w.pushLocalChunk(c)
+		}
+	}
+	w.processNeighborhood(u, 0, uint32(theta))
+}
+
+// bidirectionalPull implements bidirectional relaxation (paper §4.4):
+// on undirected graphs, before pushing u's distance out, pull a better
+// distance for u in through its neighbors. Restricted to neighborhoods
+// of at most 8 weighted vertices — one L1 cache line, per the paper —
+// so the pull adds no extra misses. Returns whether u improved.
+func (w *worker) bidirectionalPull(u uint32, deg int) bool {
+	if w.opt.NoBidirectional || w.g.Directed() || deg > 8 || deg == 0 {
+		return false
+	}
+	src, wts := w.g.InNeighbors(u)
+	best := w.d.Get(u)
+	improved := false
+	for i, n := range src {
+		dn := w.d.Get(n)
+		if dn == ^uint32(0) {
+			continue
+		}
+		if nd := dn + wts[i]; nd < best {
+			best = nd
+			improved = true
+		}
+	}
+	if !improved {
+		return false
+	}
+	return w.d.RelaxTo(u, best)
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"wasp/internal/chunk"
+	"wasp/internal/trace"
+)
+
+// stealRound performs one invocation of the work-stealing protocol.
+// next is the priority of the thief's best local bucket (infPrio when it
+// has none); PolicyWasp only steals work at least that good.
+//
+// The round is bracketed by the worker's stealing flag, and on success
+// curr is re-published to the best stolen priority before the flag
+// drops — the ordering the termination protocol relies on (term.go).
+func (w *worker) stealRound(next uint64) []*chunk.Chunk {
+	if w.opt.Workers == 1 {
+		return nil
+	}
+	w.m.StealRounds++
+	w.stealing.Store(true)
+	var stolen []*chunk.Chunk
+	switch w.opt.Policy {
+	case PolicyRandom:
+		stolen = w.stealRandom()
+	case PolicyTwoChoice:
+		stolen = w.stealTwoChoice()
+	default:
+		stolen = w.stealWasp(next)
+	}
+	if len(stolen) > 0 {
+		minPrio := infPrio
+		for _, c := range stolen {
+			if c.Prio < minPrio {
+				minPrio = c.Prio
+			}
+		}
+		w.ops.Add(1) // invalidates any in-flight termination scan
+		w.setCurr(minPrio)
+		w.m.StealHits += int64(len(stolen))
+		w.opt.Trace.Add(w.id, trace.StealHit, minPrio, uint64(len(stolen)))
+	} else {
+		w.opt.Trace.Add(w.id, trace.StealMiss, next, 0)
+	}
+	w.stealing.Store(false)
+	return stolen
+}
+
+// stealWasp is Algorithm 2: walk NUMA tiers from closest to furthest;
+// within a tier, attempt to steal one chunk from every victim whose
+// current priority level is at least as urgent as next; stop at the
+// first tier that yields anything.
+func (w *worker) stealWasp(next uint64) []*chunk.Chunk {
+	var stolen []*chunk.Chunk
+	for _, tier := range w.tiers {
+		for _, t := range tier {
+			victim := w.workers[t]
+			if victim.curr.Load() > next {
+				continue
+			}
+			w.m.StealAttempts++
+			if c := victim.dq.Steal(); c != nil {
+				stolen = append(stolen, c)
+			}
+		}
+		if len(stolen) > 0 {
+			return stolen
+		}
+	}
+	return nil
+}
+
+// stealRandom is the traditional protocol evaluated in §4.2: a uniform
+// random victim, any priority, up to Retries attempts.
+func (w *worker) stealRandom() []*chunk.Chunk {
+	p := w.opt.Workers
+	for attempt := 0; attempt < w.opt.Retries; attempt++ {
+		t := w.r.IntN(p)
+		if t == w.id {
+			continue
+		}
+		w.m.StealAttempts++
+		if c := w.workers[t].dq.Steal(); c != nil {
+			return []*chunk.Chunk{c}
+		}
+	}
+	return nil
+}
+
+// stealTwoChoice is the MultiQueue-like protocol of §4.2: two random
+// victims, steal from the one advertising the better priority.
+func (w *worker) stealTwoChoice() []*chunk.Chunk {
+	p := w.opt.Workers
+	for attempt := 0; attempt < w.opt.Retries; attempt++ {
+		a := w.r.IntN(p)
+		b := w.r.IntN(p)
+		if a == w.id {
+			a = b
+		}
+		if b == w.id {
+			b = a
+		}
+		if a == w.id {
+			continue
+		}
+		t := a
+		if w.workers[b].curr.Load() < w.workers[a].curr.Load() && b != w.id {
+			t = b
+		}
+		w.m.StealAttempts++
+		if c := w.workers[t].dq.Steal(); c != nil {
+			return []*chunk.Chunk{c}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package core
+
+import (
+	"runtime"
+	"testing"
+
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/trace"
+)
+
+func TestTraceRecordsSchedulerEvents(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	g, _ := gen.Generate("road-usa", gen.Config{N: 4000, Seed: 3})
+	src := graph.SourceInLargestComponent(g, 1)
+	tl := trace.New(4)
+	Run(g, src, Options{Workers: 4, Delta: 16, Trace: tl})
+
+	if tl.CountKind(trace.Terminate) != 4 {
+		t.Fatalf("terminate events = %d, want one per worker", tl.CountKind(trace.Terminate))
+	}
+	if tl.CountKind(trace.BucketAdvance) == 0 {
+		t.Fatal("no bucket advances on a road graph")
+	}
+	if tl.CountKind(trace.IdleEnter) < 3 {
+		t.Fatalf("idle events = %d, want ≥ 3 (workers 1-3 start empty)",
+			tl.CountKind(trace.IdleEnter))
+	}
+	// The last event of the merged stream must be a termination.
+	merged := tl.Merged()
+	if merged[len(merged)-1].Kind != trace.Terminate {
+		t.Fatalf("last event = %v", merged[len(merged)-1])
+	}
+}
+
+func TestTraceDisabledByDefault(t *testing.T) {
+	g := graph.FromEdges(2, true, []graph.Edge{{From: 0, To: 1, W: 1}})
+	Run(g, 0, Options{Workers: 2}) // nil Trace must be safe
+}

@@ -1,0 +1,376 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"wasp/internal/chunk"
+	"wasp/internal/deque"
+	"wasp/internal/dist"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+	"wasp/internal/parallel"
+	"wasp/internal/rng"
+	"wasp/internal/trace"
+)
+
+// Run computes single-source shortest paths from source using the Wasp
+// algorithm (paper Algorithm 1).
+func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
+	opt = opt.withDefaults()
+	p := opt.Workers
+	m := opt.Metrics
+	if m == nil || len(m.Workers) < p {
+		m = metrics.NewSet(p)
+	}
+
+	d := dist.New(g.NumVertices(), source)
+	var leaves *graph.Bitmap
+	if !opt.NoLeafPruning {
+		leaves = opt.Leaves
+		if leaves == nil {
+			leaves = graph.LeafBitmap(g)
+		}
+	}
+
+	ops := new(atomic.Int64)
+	ws := make([]*worker, p)
+	for i := 0; i < p; i++ {
+		ws[i] = newWorker(i, g, d, leaves, opt, ws, ops, &m.Workers[i])
+	}
+	// Seed: the source enters worker 0's current bucket at level 0.
+	ws[0].pushCurrent(uint32(source))
+
+	parallel.Run(p, func(i int) { ws[i].run() })
+	return &Result{Dist: d.Snapshot()}
+}
+
+// worker is one Wasp thread's state: its shared current bucket (deque +
+// published priority level), its private bucket vector, and its steal
+// machinery. Shared fields live at the top, separated from owner-only
+// state by padding so thieves' reads do not false-share with the
+// owner's hot fields.
+type worker struct {
+	// Shared with thieves.
+	curr     atomic.Uint64 // current priority level; infPrio when idle
+	stealing atomic.Bool   // raised across steal attempts (termination fence)
+	_        [48]byte
+	dq       *deque.Deque // the current bucket's stealable chunks
+
+	// Owner-only.
+	id       int
+	g        *graph.Graph
+	d        *dist.Array
+	leaves   *graph.Bitmap
+	opt      Options
+	delta    uint32
+	workers  []*worker
+	ops      *atomic.Int64 // global successful-steal counter (see term.go)
+	tiers    [][]int       // steal victim ids by NUMA tier
+	r        *rng.Xoshiro256
+	buf      *chunk.Chunk // current bucket's buffer chunk (push and pop)
+	buckets  []chunk.List // thread-local buckets by priority level
+	minLocal int          // scan hint: no non-empty bucket below this index
+	pool     chunk.Pool
+	m        *metrics.Worker
+	currLoc  uint64 // owner's cached copy of curr
+}
+
+func newWorker(id int, g *graph.Graph, d *dist.Array, leaves *graph.Bitmap,
+	opt Options, all []*worker, ops *atomic.Int64, m *metrics.Worker) *worker {
+	w := &worker{
+		id:      id,
+		g:       g,
+		d:       d,
+		leaves:  leaves,
+		opt:     opt,
+		delta:   opt.Delta,
+		workers: all,
+		ops:     ops,
+		tiers:   opt.Topology.Tiers(id, opt.Workers),
+		r:       rng.NewXoshiro256(uint64(id)*0x9e3779b97f4a7c15 + 0xdead),
+		dq:      deque.New(16),
+		m:       m,
+	}
+	w.buf = w.pool.Get()
+	w.curr.Store(0)
+	w.currLoc = 0
+	return w
+}
+
+// setCurr publishes a new current priority level.
+func (w *worker) setCurr(prio uint64) {
+	w.currLoc = prio
+	w.curr.Store(prio)
+}
+
+// run is the top-level loop of Algorithm 1, lines 16–32.
+func (w *worker) run() {
+	for {
+		w.drainCurrent()
+
+		// Current bucket empty: steal higher-priority work before
+		// touching lower-priority local buckets (line 22).
+		next := w.minNonEmptyLocal()
+		if stolen := w.timedStealRound(next); stolen != nil {
+			w.processStolen(stolen)
+			continue
+		}
+
+		// No steal: advance to the next local bucket (lines 29–32).
+		if next != infPrio {
+			w.m.BucketAdvances++
+			w.opt.Trace.Add(w.id, trace.BucketAdvance, next, 0)
+			w.setCurr(next)
+			w.pour(next)
+			continue
+		}
+
+		// Nothing anywhere: idle at priority ∞, stealing at any level
+		// until work appears or every worker is idle (§4.3 termination).
+		w.setCurr(infPrio)
+		w.opt.Trace.Add(w.id, trace.IdleEnter, 0, 0)
+		if w.idleUntilWorkOrTermination() {
+			w.opt.Trace.Add(w.id, trace.Terminate, 0, 0)
+			return
+		}
+	}
+}
+
+// drainCurrent processes the current bucket until it is empty
+// (Algorithm 1 lines 18–21). Thieves may drain it concurrently.
+func (w *worker) drainCurrent() {
+	for {
+		u, prio, begin, end, ok := w.popCurrent()
+		if !ok {
+			return
+		}
+		w.processEntry(u, prio, begin, end)
+	}
+}
+
+// processEntry applies the staleness check and relaxes u's neighborhood
+// range. A zero (begin,end) means the full neighborhood.
+func (w *worker) processEntry(u uint32, prio uint64, begin, end uint32) {
+	// Staleness check (line 20): if a better path to u was found
+	// concurrently, a fresher entry for u exists in a lower bucket.
+	if uint64(w.d.Get(u)) < prio*uint64(w.delta) {
+		w.m.StaleSkips++
+		return
+	}
+	if end == 0 { // full neighborhood: maybe decompose (§4.4)
+		deg := w.g.OutDegree(u)
+		if !w.opt.NoDecomposition && deg > w.opt.Theta {
+			w.decompose(u, prio, deg)
+			return
+		}
+		begin, end = 0, uint32(deg)
+		if w.bidirectionalPull(u, int(deg)) {
+			// u's distance improved via its in-neighbors; its bucket
+			// level may have dropped, but relaxations below use the
+			// fresh distance either way.
+			prio = prioOf(w.d.Get(u), w.delta)
+		}
+	}
+	w.processNeighborhood(u, begin, end)
+}
+
+// processNeighborhood relaxes the out-edges of u in [begin, end)
+// (Algorithm 1 lines 12–15).
+func (w *worker) processNeighborhood(u uint32, begin, end uint32) {
+	dst, wts := w.g.OutNeighborsRange(graph.Vertex(u), int(begin), int(end))
+	for i, v := range dst {
+		w.m.Relaxations++
+		nd, improved := w.d.Relax(graph.Vertex(u), v, wts[i])
+		if !improved {
+			continue
+		}
+		w.m.Improvements++
+		if w.leaves != nil && w.leaves.Get(int(v)) {
+			continue // leaf pruning: v can never improve anyone (§4.4)
+		}
+		w.pushVertex(uint32(v), prioOf(nd, w.delta))
+	}
+}
+
+// pushVertex routes an updated vertex to the current bucket or a
+// thread-local bucket (Algorithm 1 lines 9–11).
+func (w *worker) pushVertex(v uint32, prio uint64) {
+	if prio == w.currLoc {
+		w.pushCurrent(v)
+		return
+	}
+	w.pushLocal(v, prio)
+}
+
+// pushCurrent adds v to the current bucket via the buffer chunk; full
+// buffers are published to the deque, where thieves can take them.
+func (w *worker) pushCurrent(v uint32) {
+	if w.buf.Full() {
+		w.dq.PushBottom(w.buf)
+		w.buf = w.pool.Get()
+		w.buf.Prio = w.currLoc
+	}
+	w.buf.Push(v)
+}
+
+// popCurrent removes the next entry from the current bucket: buffer
+// first, then chunks popped from the deque's bottom.
+func (w *worker) popCurrent() (u uint32, prio uint64, begin, end uint32, ok bool) {
+	for {
+		if v, has := w.buf.Pop(); has {
+			return v, w.buf.Prio, 0, 0, true
+		}
+		c := w.dq.PopBottom()
+		if c == nil {
+			return 0, 0, 0, 0, false
+		}
+		if c.IsRange() {
+			v, _ := c.Pop()
+			prio, begin, end = c.Prio, c.Begin, c.End
+			w.pool.Put(c)
+			return v, prio, begin, end, true
+		}
+		w.m.ChunksDrained++
+		w.pool.Put(w.buf)
+		w.buf = c // popped chunks become the new buffer (§4.3)
+	}
+}
+
+// pushLocal adds v to thread-local bucket prio.
+func (w *worker) pushLocal(v uint32, prio uint64) {
+	w.ensureBucket(prio)
+	lst := &w.buckets[prio]
+	head := lst.Head()
+	if head == nil || head.Full() || head.IsRange() {
+		head = w.pool.Get()
+		head.Prio = prio
+		lst.Push(head)
+	}
+	head.Push(v)
+	if int(prio) < w.minLocal {
+		w.minLocal = int(prio)
+	}
+}
+
+// pushLocalChunk adds a prepared chunk (e.g. a neighborhood range) to
+// bucket prio.
+func (w *worker) pushLocalChunk(c *chunk.Chunk) {
+	prio := c.Prio
+	w.ensureBucket(prio)
+	w.buckets[prio].Push(c)
+	if int(prio) < w.minLocal {
+		w.minLocal = int(prio)
+	}
+}
+
+// ensureBucket grows the bucket vector to cover prio, rounding the new
+// size to a power of two as the paper does to amortize resizes.
+func (w *worker) ensureBucket(prio uint64) {
+	if prio < uint64(len(w.buckets)) {
+		return
+	}
+	size := uint64(16)
+	for size <= prio {
+		size *= 2
+	}
+	next := make([]chunk.List, size)
+	copy(next, w.buckets)
+	w.buckets = next
+}
+
+// minNonEmptyLocal scans the bucket vector from the hint for the lowest
+// non-empty bucket (Algorithm 2 line 2), returning infPrio if none.
+func (w *worker) minNonEmptyLocal() uint64 {
+	for i := w.minLocal; i < len(w.buckets); i++ {
+		if !w.buckets[i].Empty() {
+			w.minLocal = i
+			return uint64(i)
+		}
+	}
+	w.minLocal = len(w.buckets)
+	return infPrio
+}
+
+// pour moves bucket prio's chunks into the (empty) current bucket
+// (Algorithm 1 line 32) — a linear scan copying chunk pointers.
+func (w *worker) pour(prio uint64) {
+	lst := &w.buckets[prio]
+	for {
+		c := lst.Pop()
+		if c == nil {
+			return
+		}
+		w.dq.PushBottom(c)
+	}
+}
+
+// processStolen drains stolen chunks immediately (lines 23–28); once
+// stolen, chunks are never re-exposed for stealing.
+func (w *worker) processStolen(stolen []*chunk.Chunk) {
+	minPrio := infPrio
+	for _, c := range stolen {
+		if c.Prio < minPrio {
+			minPrio = c.Prio
+		}
+	}
+	w.setCurr(minPrio)
+	w.buf.Prio = minPrio
+	for _, c := range stolen {
+		if c.IsRange() {
+			v, _ := c.Pop()
+			w.processEntry(v, c.Prio, c.Begin, c.End)
+			w.pool.Put(c)
+			continue
+		}
+		for {
+			v, ok := c.Pop()
+			if !ok {
+				break
+			}
+			w.processEntry(v, c.Prio, 0, 0)
+		}
+		w.m.ChunksDrained++
+		w.pool.Put(c)
+	}
+}
+
+// idleUntilWorkOrTermination spins stealing at any priority level; it
+// returns true when every worker is simultaneously idle with no steal
+// in flight — the stable global state that makes the scan race-free
+// (see term.go for the argument).
+func (w *worker) idleUntilWorkOrTermination() bool {
+	var spinStart time.Time
+	if w.opt.Timing {
+		spinStart = time.Now()
+	}
+	idleDone := func() {
+		if w.opt.Timing {
+			w.m.IdleNS += int64(time.Since(spinStart))
+		}
+	}
+	for {
+		if stolen := w.stealRound(infPrio); stolen != nil {
+			idleDone() // processing resumes: stop the idle clock first
+			w.processStolen(stolen)
+			return false
+		}
+		if w.allIdle() {
+			idleDone()
+			return true
+		}
+		runtime.Gosched()
+	}
+}
+
+// timedStealRound wraps stealRound with the optional breakdown timer.
+func (w *worker) timedStealRound(next uint64) []*chunk.Chunk {
+	if !w.opt.Timing {
+		return w.stealRound(next)
+	}
+	t0 := time.Now()
+	stolen := w.stealRound(next)
+	w.m.StealNS += int64(time.Since(t0))
+	return stolen
+}

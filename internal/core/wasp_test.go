@@ -1,0 +1,248 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"wasp/internal/baseline/bellmanford"
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+	"wasp/internal/verify"
+)
+
+// checkAgainstOracle runs Wasp with opt and validates the result against
+// Dijkstra and the SSSP certificate.
+func checkAgainstOracle(t *testing.T, g *graph.Graph, src graph.Vertex, opt Options) {
+	t.Helper()
+	res := Run(g, src, opt)
+	want := dijkstra.Distances(g, src)
+	if err := verify.Equal(res.Dist, want); err != nil {
+		t.Fatalf("wasp vs dijkstra: %v", err)
+	}
+	if err := verify.Certificate(g, src, res.Dist); err != nil {
+		t.Fatalf("certificate: %v", err)
+	}
+}
+
+func TestTinyGraph(t *testing.T) {
+	g := graph.FromEdges(4, true, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+		{From: 0, To: 3, W: 5}, {From: 2, To: 3, W: 1},
+	})
+	res := Run(g, 0, Options{Workers: 1})
+	want := []uint32{0, 1, 2, 3}
+	if err := verify.Equal(res.Dist, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSingleVertex(t *testing.T) {
+	g := graph.FromEdges(1, true, nil)
+	res := Run(g, 0, Options{Workers: 2})
+	if res.Dist[0] != 0 {
+		t.Fatalf("d(0) = %d", res.Dist[0])
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := graph.FromEdges(4, false, []graph.Edge{{From: 0, To: 1, W: 3}})
+	res := Run(g, 0, Options{Workers: 2})
+	if res.Dist[0] != 0 || res.Dist[1] != 3 {
+		t.Fatalf("reached wrong: %v", res.Dist)
+	}
+	if res.Dist[2] != graph.Infinity || res.Dist[3] != graph.Infinity {
+		t.Fatalf("unreachable got finite: %v", res.Dist)
+	}
+}
+
+// TestAllWorkloadsAllWorkerCounts is the main correctness matrix: every
+// generator class × several worker counts, fixed Δ.
+func TestAllWorkloadsAllWorkerCounts(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, name := range gen.Names(true) {
+		g, err := gen.Generate(name, gen.Config{N: 3000, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := graph.SourceInLargestComponent(g, 1)
+		for _, workers := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/p%d", name, workers), func(t *testing.T) {
+				checkAgainstOracle(t, g, src, Options{Workers: workers, Delta: 8})
+			})
+		}
+	}
+}
+
+func TestDeltaSweep(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	g, _ := gen.Generate("kron", gen.Config{N: 4000, Seed: 3})
+	src := graph.SourceInLargestComponent(g, 1)
+	for _, delta := range []uint32{1, 2, 4, 16, 64, 256, 1024, 1 << 20} {
+		t.Run(fmt.Sprintf("delta%d", delta), func(t *testing.T) {
+			checkAgainstOracle(t, g, src, Options{Workers: 3, Delta: delta})
+		})
+	}
+}
+
+func TestStealPolicies(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	g, _ := gen.Generate("road-usa", gen.Config{N: 4000, Seed: 5})
+	src := graph.SourceInLargestComponent(g, 1)
+	for _, pol := range []StealPolicy{PolicyWasp, PolicyRandom, PolicyTwoChoice} {
+		for _, retries := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%v/r%d", pol, retries), func(t *testing.T) {
+				checkAgainstOracle(t, g, src, Options{
+					Workers: 4, Delta: 16, Policy: pol, Retries: retries,
+				})
+			})
+		}
+	}
+}
+
+func TestOptimizationAblations(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	// The mawi model exercises decomposition + leaf pruning; road
+	// exercises bidirectional relaxation.
+	for _, name := range []string{"mawi", "road-usa", "kron"} {
+		g, _ := gen.Generate(name, gen.Config{N: 3000, Seed: 9})
+		src := graph.SourceInLargestComponent(g, 2)
+		cases := []struct {
+			label string
+			opt   Options
+		}{
+			{"BASE", Options{NoLeafPruning: true, NoDecomposition: true, NoBidirectional: true}},
+			{"BR", Options{NoLeafPruning: true, NoDecomposition: true}},
+			{"LP", Options{NoDecomposition: true, NoBidirectional: true}},
+			{"ND", Options{NoLeafPruning: true, NoBidirectional: true}},
+			{"OPT", Options{}},
+		}
+		for _, c := range cases {
+			c.opt.Workers = 4
+			c.opt.Delta = 8
+			c.opt.Theta = 256 // force decomposition at this scale
+			t.Run(name+"/"+c.label, func(t *testing.T) {
+				checkAgainstOracle(t, g, src, c.opt)
+			})
+		}
+	}
+}
+
+func TestAgainstBellmanFord(t *testing.T) {
+	g, _ := gen.Generate("urand", gen.Config{N: 2000, Seed: 4})
+	src := graph.SourceInLargestComponent(g, 3)
+	res := Run(g, src, Options{Workers: 2, Delta: 32})
+	if err := verify.Equal(res.Dist, bellmanford.Run(g, src)); err != nil {
+		t.Fatalf("wasp vs bellman-ford: %v", err)
+	}
+}
+
+// TestTerminationStress runs many small parallel instances; lost work
+// or premature termination shows up as a wrong distance or a hang.
+func TestTerminationStress(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for seed := uint64(0); seed < 25; seed++ {
+		g, _ := gen.Generate("urand", gen.Config{N: 500, Seed: seed, Degree: 4})
+		src := graph.SourceInLargestComponent(g, seed)
+		want := dijkstra.Distances(g, src)
+		for _, p := range []int{2, 4, 8} {
+			res := Run(g, src, Options{Workers: p, Delta: 4})
+			if err := verify.Equal(res.Dist, want); err != nil {
+				t.Fatalf("seed %d p=%d: %v", seed, p, err)
+			}
+		}
+	}
+}
+
+func TestSourceVariants(t *testing.T) {
+	g, _ := gen.Generate("kron", gen.Config{N: 2000, Seed: 6})
+	for src := graph.Vertex(0); src < 10; src++ {
+		res := Run(g, src, Options{Workers: 2, Delta: 16})
+		if err := verify.Equal(res.Dist, dijkstra.Distances(g, src)); err != nil {
+			t.Fatalf("source %d: %v", src, err)
+		}
+	}
+}
+
+func TestMetricsPopulated(t *testing.T) {
+	g, _ := gen.Generate("kron", gen.Config{N: 4000, Seed: 8})
+	src := graph.SourceInLargestComponent(g, 1)
+	m := metrics.NewSet(4)
+	Run(g, src, Options{Workers: 4, Delta: 8, Metrics: m})
+	tot := m.Totals()
+	if tot.Relaxations == 0 {
+		t.Fatal("no relaxations recorded")
+	}
+	if tot.Improvements == 0 {
+		t.Fatal("no improvements recorded")
+	}
+	if tot.StealRounds == 0 {
+		t.Fatal("no steal rounds recorded")
+	}
+	// Relaxations must be at least the number of reached vertices - 1.
+	d := dijkstra.Run(g, src)
+	if tot.Relaxations < d.Relaxations/2 {
+		t.Fatalf("implausibly few relaxations: %d vs dijkstra %d",
+			tot.Relaxations, d.Relaxations)
+	}
+}
+
+func TestWorkEfficiencyNearDijkstraSingleWorker(t *testing.T) {
+	// With one worker and Δ=1, Wasp is nearly priority-ordered; its
+	// relaxation count must stay within a small factor of Dijkstra's.
+	g, _ := gen.Generate("kron", gen.Config{N: 4000, Seed: 12})
+	src := graph.SourceInLargestComponent(g, 1)
+	m := metrics.NewSet(1)
+	Run(g, src, Options{Workers: 1, Delta: 1, Metrics: m, NoBidirectional: true})
+	d := dijkstra.Run(g, src)
+	ratio := float64(m.Totals().Relaxations) / float64(d.Relaxations)
+	if ratio > 1.5 {
+		t.Fatalf("1-worker Δ=1 relaxation ratio %.2f vs Dijkstra, expected ≤ 1.5", ratio)
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.Delta != 1 || o.Workers != 1 || o.Theta != 1<<12 || o.Retries != 1 {
+		t.Fatalf("defaults = %+v", o)
+	}
+	if o.Topology.TotalCores() < 1 {
+		t.Fatal("empty topology")
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyWasp.String() != "wasp" || PolicyRandom.String() != "random" ||
+		PolicyTwoChoice.String() != "two-choice" || StealPolicy(99).String() != "unknown" {
+		t.Fatal("policy names wrong")
+	}
+}
+
+func TestLargeWeights(t *testing.T) {
+	// Weights near the top of the 32-bit range stress prioOf and the
+	// bucket vector sizing; use a tiny path graph.
+	g := graph.FromEdges(4, true, []graph.Edge{
+		{From: 0, To: 1, W: 1 << 20}, {From: 1, To: 2, W: 1 << 20}, {From: 2, To: 3, W: 5},
+	})
+	res := Run(g, 0, Options{Workers: 2, Delta: 1 << 16})
+	want := []uint32{0, 1 << 20, 1 << 21, 1<<21 + 5}
+	if err := verify.Equal(res.Dist, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkWaspKron(b *testing.B) {
+	g, _ := gen.Generate("kron", gen.Config{N: 1 << 14, Seed: 1})
+	src := graph.SourceInLargestComponent(g, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(g, src, Options{Workers: runtime.GOMAXPROCS(0), Delta: 1})
+	}
+}

@@ -1,0 +1,167 @@
+package core
+
+// White-box tests for the worker's bucketing machinery: the buffer
+// chunk protocol, the bucket vector, pour, and the current-bucket pop
+// path, exercised without running the full algorithm.
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"wasp/internal/dist"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+)
+
+func testWorker(t *testing.T) *worker {
+	t.Helper()
+	g := graph.FromEdges(4, true, []graph.Edge{{From: 0, To: 1, W: 1}})
+	d := dist.New(4, 0)
+	opt := Options{Workers: 1}.withDefaults()
+	m := metrics.NewSet(1)
+	ws := make([]*worker, 1)
+	ws[0] = newWorker(0, g, d, nil, opt, ws, new(atomic.Int64), &m.Workers[0])
+	return ws[0]
+}
+
+func TestPushPopCurrentThroughBuffer(t *testing.T) {
+	w := testWorker(t)
+	// Fewer than a chunk's worth stays in the buffer, never touching
+	// the deque.
+	for i := uint32(0); i < 10; i++ {
+		w.pushCurrent(i)
+	}
+	if !w.dq.Empty() {
+		t.Fatal("buffered pushes leaked into the deque")
+	}
+	for i := 9; i >= 0; i-- {
+		u, prio, begin, end, ok := w.popCurrent()
+		if !ok || u != uint32(i) || prio != 0 || begin != 0 || end != 0 {
+			t.Fatalf("pop = (%d,%d,%d,%d,%v), want vertex %d", u, prio, begin, end, ok, i)
+		}
+	}
+	if _, _, _, _, ok := w.popCurrent(); ok {
+		t.Fatal("empty current bucket popped something")
+	}
+}
+
+func TestFullBufferPublishesToDeque(t *testing.T) {
+	w := testWorker(t)
+	// chunk.Size pushes fill the buffer; one more must publish it.
+	for i := 0; i < 64+1; i++ {
+		w.pushCurrent(uint32(i))
+	}
+	if w.dq.Len() != 1 {
+		t.Fatalf("deque has %d chunks, want 1", w.dq.Len())
+	}
+	// All 65 vertices still come back out.
+	seen := 0
+	for {
+		_, _, _, _, ok := w.popCurrent()
+		if !ok {
+			break
+		}
+		seen++
+	}
+	if seen != 65 {
+		t.Fatalf("recovered %d of 65 vertices", seen)
+	}
+}
+
+func TestPushLocalAndMinNonEmpty(t *testing.T) {
+	w := testWorker(t)
+	if got := w.minNonEmptyLocal(); got != infPrio {
+		t.Fatalf("fresh worker has local work at %d", got)
+	}
+	w.pushLocal(1, 7)
+	w.pushLocal(2, 3)
+	w.pushLocal(3, 12)
+	if got := w.minNonEmptyLocal(); got != 3 {
+		t.Fatalf("min bucket = %d, want 3", got)
+	}
+}
+
+func TestEnsureBucketPowersOfTwo(t *testing.T) {
+	w := testWorker(t)
+	w.ensureBucket(5)
+	if len(w.buckets) != 16 {
+		t.Fatalf("vector sized %d, want minimum 16", len(w.buckets))
+	}
+	w.ensureBucket(100)
+	if len(w.buckets) != 128 {
+		t.Fatalf("vector sized %d, want next power of two 128", len(w.buckets))
+	}
+	// No shrink on smaller requests.
+	w.ensureBucket(2)
+	if len(w.buckets) != 128 {
+		t.Fatal("vector shrank")
+	}
+}
+
+func TestPourMovesChunksToDeque(t *testing.T) {
+	w := testWorker(t)
+	for i := uint32(0); i < 200; i++ {
+		w.pushLocal(i, 4)
+	}
+	chunksInBucket := w.buckets[4].Len()
+	if chunksInBucket < 3 {
+		t.Fatalf("expected multiple chunks, got %d", chunksInBucket)
+	}
+	w.setCurr(4)
+	w.pour(4)
+	if !w.buckets[4].Empty() {
+		t.Fatal("bucket not drained by pour")
+	}
+	if w.dq.Len() != chunksInBucket {
+		t.Fatalf("deque has %d chunks, want %d", w.dq.Len(), chunksInBucket)
+	}
+	// Everything pops back out with the right priority.
+	seen := 0
+	for {
+		_, prio, _, _, ok := w.popCurrent()
+		if !ok {
+			break
+		}
+		if prio != 4 {
+			t.Fatalf("popped priority %d, want 4", prio)
+		}
+		seen++
+	}
+	if seen != 200 {
+		t.Fatalf("recovered %d of 200", seen)
+	}
+}
+
+func TestRangeChunkRoundTrip(t *testing.T) {
+	w := testWorker(t)
+	c := w.pool.Get()
+	c.SetRange(9, 128, 256, 5)
+	w.dq.PushBottom(c)
+	u, prio, begin, end, ok := w.popCurrent()
+	if !ok || u != 9 || prio != 5 || begin != 128 || end != 256 {
+		t.Fatalf("range pop = (%d,%d,%d,%d,%v)", u, prio, begin, end, ok)
+	}
+}
+
+func TestStaleEntrySkipped(t *testing.T) {
+	w := testWorker(t)
+	// Entry claims priority level 3 (Δ=1 ⇒ distances ≥ 3), but the
+	// vertex's distance is 1: the staleness check must skip it without
+	// relaxing anything.
+	w.d.RelaxTo(1, 1)
+	w.processEntry(1, 3, 0, 0)
+	if w.m.StaleSkips != 1 {
+		t.Fatalf("stale skips = %d, want 1", w.m.StaleSkips)
+	}
+	if w.m.Relaxations != 0 {
+		t.Fatalf("stale entry relaxed %d edges", w.m.Relaxations)
+	}
+}
+
+func TestSetCurrPublishes(t *testing.T) {
+	w := testWorker(t)
+	w.setCurr(42)
+	if w.curr.Load() != 42 || w.currLoc != 42 {
+		t.Fatal("setCurr did not publish both copies")
+	}
+}

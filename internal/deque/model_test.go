@@ -1,0 +1,65 @@
+package deque
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wasp/internal/chunk"
+	"wasp/internal/rng"
+)
+
+// TestModelEquivalence: single-threaded, the deque must behave exactly
+// like a double-ended queue model — PushBottom/PopBottom as a stack at
+// one end, Steal as a queue at the other.
+func TestModelEquivalence(t *testing.T) {
+	f := func(seed uint64, opsRaw uint16) bool {
+		d := New(8)
+		var model []*chunk.Chunk
+		r := rng.NewXoshiro256(seed)
+		ops := int(opsRaw % 2000)
+		for i := 0; i < ops; i++ {
+			switch r.IntN(3) {
+			case 0: // push
+				c := &chunk.Chunk{Prio: uint64(i)}
+				d.PushBottom(c)
+				model = append(model, c)
+			case 1: // pop bottom
+				got := d.PopBottom()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+					continue
+				}
+				want := model[len(model)-1]
+				model = model[:len(model)-1]
+				if got != want {
+					return false
+				}
+			case 2: // steal from top
+				got := d.Steal()
+				if len(model) == 0 {
+					if got != nil {
+						return false
+					}
+					continue
+				}
+				want := model[0]
+				model = model[1:]
+				if got != want {
+					return false
+				}
+			}
+			if d.Len() != len(model) {
+				return false
+			}
+			if d.Empty() != (len(model) == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,78 @@
+// Package dist provides the shared tentative-distance array and the
+// atomic edge-relaxation primitive (paper Algorithm 1, lines 1–8) used
+// by every parallel SSSP implementation in this repository. Distances
+// are 32-bit unsigned integers, as in the GAP-based codebase the paper
+// builds on; Infinity (all ones) marks unreached vertices.
+package dist
+
+import (
+	"sync/atomic"
+
+	"wasp/internal/graph"
+)
+
+// Array is a shared array of tentative distances supporting atomic
+// relaxation. All methods are safe for concurrent use.
+type Array struct {
+	d []uint32
+}
+
+// New returns an Array of n distances, all Infinity except source = 0.
+func New(n int, source graph.Vertex) *Array {
+	a := &Array{d: make([]uint32, n)}
+	for i := range a.d {
+		a.d[i] = graph.Infinity
+	}
+	a.d[source] = 0
+	return a
+}
+
+// Len returns the number of vertices.
+func (a *Array) Len() int { return len(a.d) }
+
+// Get atomically loads the tentative distance of v.
+func (a *Array) Get(v graph.Vertex) uint32 {
+	return atomic.LoadUint32(&a.d[v])
+}
+
+// Snapshot returns the distances as a plain slice. Callers must ensure
+// no concurrent writers (i.e. after the algorithm terminated).
+func (a *Array) Snapshot() []uint32 { return a.d }
+
+// Relax attempts to lower v's distance to du + w where du is u's
+// current distance, re-reading du if v's distance changes concurrently
+// (paper Alg. 1 lines 1–8). It returns the successfully written
+// distance and true, or 0 and false if no improvement was possible.
+func (a *Array) Relax(u, v graph.Vertex, w graph.Weight) (uint32, bool) {
+	du := atomic.LoadUint32(&a.d[u])
+	if du == graph.Infinity {
+		return 0, false // u unreached: adding w would wrap
+	}
+	newDist := du + w
+	for {
+		oldDist := atomic.LoadUint32(&a.d[v])
+		if newDist >= oldDist {
+			return 0, false
+		}
+		if atomic.CompareAndSwapUint32(&a.d[v], oldDist, newDist) {
+			return newDist, true
+		}
+		// Either v improved concurrently (retry the comparison) or u
+		// improved; refresh the candidate as the paper does.
+		newDist = atomic.LoadUint32(&a.d[u]) + w
+	}
+}
+
+// RelaxTo attempts to lower v's distance to the explicit candidate nd.
+// Used by pull-style steps where the candidate is precomputed.
+func (a *Array) RelaxTo(v graph.Vertex, nd uint32) bool {
+	for {
+		oldDist := atomic.LoadUint32(&a.d[v])
+		if nd >= oldDist {
+			return false
+		}
+		if atomic.CompareAndSwapUint32(&a.d[v], oldDist, nd) {
+			return true
+		}
+	}
+}

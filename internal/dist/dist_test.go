@@ -1,0 +1,99 @@
+package dist
+
+import (
+	"runtime"
+	"testing"
+
+	"wasp/internal/graph"
+	"wasp/internal/parallel"
+)
+
+func TestNewInitialization(t *testing.T) {
+	a := New(5, 2)
+	for v := 0; v < 5; v++ {
+		want := uint32(graph.Infinity)
+		if v == 2 {
+			want = 0
+		}
+		if got := a.Get(graph.Vertex(v)); got != want {
+			t.Fatalf("d[%d] = %d, want %d", v, got, want)
+		}
+	}
+	if a.Len() != 5 {
+		t.Fatalf("len = %d", a.Len())
+	}
+}
+
+func TestRelaxImproves(t *testing.T) {
+	a := New(3, 0)
+	nd, ok := a.Relax(0, 1, 7)
+	if !ok || nd != 7 {
+		t.Fatalf("relax = (%d,%v)", nd, ok)
+	}
+	if a.Get(1) != 7 {
+		t.Fatalf("d[1] = %d", a.Get(1))
+	}
+	// A worse candidate must not apply.
+	if _, ok := a.Relax(0, 1, 9); ok {
+		t.Fatal("worse relaxation applied")
+	}
+	// A better one must.
+	nd, ok = a.Relax(0, 1, 3)
+	if !ok || nd != 3 {
+		t.Fatalf("better relax = (%d,%v)", nd, ok)
+	}
+}
+
+func TestRelaxFromUnreached(t *testing.T) {
+	a := New(3, 0)
+	if _, ok := a.Relax(1, 2, 5); ok {
+		t.Fatal("relaxation from unreached vertex must fail")
+	}
+	if a.Get(2) != graph.Infinity {
+		t.Fatal("distance corrupted by unreached relaxation")
+	}
+}
+
+func TestRelaxTo(t *testing.T) {
+	a := New(2, 0)
+	if !a.RelaxTo(1, 10) {
+		t.Fatal("RelaxTo failed")
+	}
+	if a.RelaxTo(1, 10) || a.RelaxTo(1, 11) {
+		t.Fatal("non-improving RelaxTo succeeded")
+	}
+	if !a.RelaxTo(1, 9) {
+		t.Fatal("improving RelaxTo failed")
+	}
+}
+
+// TestConcurrentRelaxConverges: many workers racing to relax the same
+// vertex always leave the minimum candidate.
+func TestConcurrentRelaxConverges(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const workers = 8
+	const rounds = 200
+	for round := 0; round < rounds; round++ {
+		a := New(workers+2, 0)
+		target := graph.Vertex(workers + 1)
+		parallel.Run(workers, func(w int) {
+			// Each worker first reaches its own staging vertex, then
+			// relaxes the shared target through it.
+			a.RelaxTo(graph.Vertex(w+1), uint32(w+1))
+			a.Relax(graph.Vertex(w+1), target, 10)
+		})
+		// Minimum over workers of (w+1) + 10 = 11.
+		if got := a.Get(target); got != 11 {
+			t.Fatalf("round %d: converged to %d, want 11", round, got)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	a := New(3, 1)
+	s := a.Snapshot()
+	if len(s) != 3 || s[1] != 0 || s[0] != graph.Infinity {
+		t.Fatalf("snapshot = %v", s)
+	}
+}

@@ -1,0 +1,31 @@
+package experiments
+
+import "fmt"
+
+// RunFig4 regenerates Figure 4: the optimal Δ for each graph ×
+// implementation, found by sweeping powers of two (the paper's tuning
+// methodology). The paper's headline observation: Wasp prefers Δ=1 on
+// 9 of the 13 graphs (all but the low-degree graphs and Moliere),
+// whereas the baselines need large, graph-specific Δ.
+func RunFig4(r *Runner) error {
+	fmt.Fprintf(r.Cfg.Out, "== Figure 4: optimal Δ per graph and implementation (%d workers) ==\n", r.Cfg.Workers)
+	ws, err := r.MainWorkloads()
+	if err != nil {
+		return err
+	}
+	algos := []AlgoSpec{AlgoDeltaStar, AlgoGalois, AlgoGAP, AlgoGBBS, AlgoWasp}
+	header := []string{"graph"}
+	for _, a := range algos {
+		header = append(header, a.Name)
+	}
+	t := &Table{Header: header}
+	for _, w := range ws {
+		row := []string{w.Abbr}
+		for _, a := range algos {
+			tuned := r.Tune(w, a, r.Cfg.Workers)
+			row = append(row, fmt.Sprint(tuned.Delta))
+		}
+		t.Add(row...)
+	}
+	return r.Emit("fig4", t)
+}

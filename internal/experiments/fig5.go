@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+)
+
+// RunFig5 regenerates Figure 5: the performance heatmap of all seven
+// implementations across the 13 main graphs, each with its tuned Δ.
+// Every cell shows the implementation's slowdown relative to the best
+// implementation on that graph (1.0 = fastest, the paper's color
+// scale) with the absolute best time in the final row.
+func RunFig5(r *Runner) error {
+	fmt.Fprintf(r.Cfg.Out, "== Figure 5: performance heatmap (%d workers, tuned Δ) ==\n", r.Cfg.Workers)
+	ws, err := r.MainWorkloads()
+	if err != nil {
+		return err
+	}
+	times, err := heatmap(r, ws, AllAlgos, r.Cfg.Workers)
+	if err != nil {
+		return err
+	}
+	return renderHeatmap(r, "fig5", ws, AllAlgos, times)
+}
+
+// heatmap collects tuned best times: times[algo][workload].
+func heatmap(r *Runner, ws []*Workload, algos []AlgoSpec, workers int) (map[string]map[string]time.Duration, error) {
+	times := map[string]map[string]time.Duration{}
+	for _, a := range algos {
+		times[a.Name] = map[string]time.Duration{}
+		for _, w := range ws {
+			times[a.Name][w.Name] = r.Tune(w, a, workers).Time
+		}
+	}
+	return times, nil
+}
+
+func renderHeatmap(r *Runner, name string, ws []*Workload, algos []AlgoSpec, times map[string]map[string]time.Duration) error {
+	header := []string{"impl"}
+	for _, w := range ws {
+		header = append(header, w.Abbr)
+	}
+	t := &Table{Header: header}
+	best := map[string]time.Duration{}
+	for _, w := range ws {
+		for _, a := range algos {
+			d := times[a.Name][w.Name]
+			if cur, ok := best[w.Name]; !ok || d < cur {
+				best[w.Name] = d
+			}
+		}
+	}
+	for _, a := range algos {
+		row := []string{a.Name}
+		for _, w := range ws {
+			slow := float64(times[a.Name][w.Name]) / float64(best[w.Name])
+			row = append(row, fmt.Sprintf("%.2f", slow))
+		}
+		t.Add(row...)
+	}
+	row := []string{"best(ms)"}
+	for _, w := range ws {
+		row = append(row, fmt.Sprintf("%.2f", float64(best[w.Name])/1e6))
+	}
+	t.Add(row...)
+	return r.Emit(name, t)
+}

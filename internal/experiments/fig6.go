@@ -1,0 +1,62 @@
+package experiments
+
+import "fmt"
+
+// Fig6Graphs are the four representative graphs of the paper's strong
+// scaling analysis: a road network, the Mawi star, and two
+// skewed-degree social graphs.
+var Fig6Graphs = []string{"road-usa", "mawi", "twitter", "friendster"}
+
+// RunFig6 regenerates Figure 6: execution time of every implementation
+// while doubling workers from 1 to Config.Workers, plus the speedup
+// relative to the MultiQueue's 1-worker time (the paper's common
+// baseline for cross-implementation scaling curves).
+func RunFig6(r *Runner) error {
+	fmt.Fprintf(r.Cfg.Out, "== Figure 6: strong scaling (1..%d workers) ==\n", r.Cfg.Workers)
+	counts := workerCounts(r.Cfg.Workers)
+	for _, name := range Fig6Graphs {
+		w, err := r.Workload(name)
+		if err != nil {
+			return err
+		}
+		// MultiQueue 1-worker reference.
+		ref := r.Tune(w, AlgoMQ, 1).Time
+
+		fmt.Fprintf(r.Cfg.Out, "\n-- %s (speedup vs MultiQueue@1 = %.2fms) --\n",
+			w.Abbr, float64(ref)/1e6)
+		header := []string{"impl"}
+		for _, p := range counts {
+			header = append(header, fmt.Sprintf("p=%d", p))
+		}
+		t := &Table{Header: header}
+		for _, a := range AllAlgos {
+			row := []string{a.Name}
+			for _, p := range counts {
+				d := r.Tune(w, a, p).Time
+				row = append(row, fmt.Sprintf("%.2fx", float64(ref)/float64(d)))
+			}
+			t.Add(row...)
+		}
+		if err := r.Emit("fig6-"+w.Abbr, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// workerCounts doubles from 1 up to max, always including max.
+func workerCounts(max int) []int {
+	var out []int
+	for p := 1; p < max; p *= 2 {
+		out = append(out, p)
+	}
+	return append(out, max)
+}
+
+// SelfSpeedup computes time(1 worker) / time(p workers) for one
+// implementation on one workload — Table 3's metric.
+func (r *Runner) SelfSpeedup(w *Workload, a AlgoSpec, p int) float64 {
+	t1 := r.Tune(w, a, 1).Time
+	tp := r.Tune(w, a, p).Time
+	return float64(t1) / float64(tp)
+}

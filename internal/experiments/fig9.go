@@ -1,0 +1,41 @@
+package experiments
+
+import "fmt"
+
+// RunFig9 regenerates the appendix's evaluation: the Table 4 datasets
+// (truncated-normal weights, per the review committee's scheme) run
+// through the Figure 9 heatmap, plus the gmean speedup of Wasp over
+// each baseline on this second suite. The paper reports Wasp best
+// overall (gmean 1.66×) though no longer best on every graph.
+func RunFig9(r *Runner) error {
+	fmt.Fprintf(r.Cfg.Out, "== Appendix Figure 9: additional datasets heatmap (%d workers, tuned Δ) ==\n", r.Cfg.Workers)
+	ws, err := r.AppendixWorkloads()
+	if err != nil {
+		return err
+	}
+	times, err := heatmap(r, ws, AllAlgos, r.Cfg.Workers)
+	if err != nil {
+		return err
+	}
+	if err := renderHeatmap(r, "fig9", ws, AllAlgos, times); err != nil {
+		return err
+	}
+
+	// Gmean speedups of Wasp over each baseline on this suite.
+	t := &Table{Header: []string{"baseline", "gmean speedup of wasp"}}
+	var all []float64
+	for _, a := range AllAlgos {
+		if a.Name == AlgoWasp.Name {
+			continue
+		}
+		var per []float64
+		for _, w := range ws {
+			per = append(per, float64(times[a.Name][w.Name])/float64(times[AlgoWasp.Name][w.Name]))
+		}
+		all = append(all, per...)
+		t.Add(a.Name, fmt.Sprintf("%.2fx", GeoMean(per)))
+	}
+	t.Add("overall", fmt.Sprintf("%.2fx", GeoMean(all)))
+	fmt.Fprintln(r.Cfg.Out)
+	return r.Emit("fig9-speedups", t)
+}

@@ -1,0 +1,35 @@
+package experiments
+
+import (
+	"fmt"
+
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+)
+
+// RunTable1 regenerates the dataset inventory of the paper's Tables 1
+// and 4: per workload, the abbreviation, vertex/edge counts, class and
+// the structural markers that drive the evaluation (max degree, SP-tree
+// leaf count).
+func RunTable1(r *Runner) error {
+	fmt.Fprintf(r.Cfg.Out, "== Table 1 + Table 4: datasets (scale models at |V|≈%d) ==\n", r.Cfg.Scale)
+	t := &Table{Header: []string{
+		"abbr", "workload", "models", "|V|", "|E|", "dir", "type", "avg-deg", "max-deg", "leaves",
+	}}
+	for _, spec := range gen.Registry {
+		w, err := r.Workload(spec.Name)
+		if err != nil {
+			return err
+		}
+		s := graph.ComputeStats(w.G)
+		dir := "U"
+		if spec.Directed {
+			dir = "D"
+		}
+		t.Add(spec.Abbr, spec.Name, spec.Models,
+			fmt.Sprint(s.Vertices), fmt.Sprint(s.Edges), dir, spec.Class,
+			fmt.Sprintf("%.1f", s.AvgOutDegree), fmt.Sprint(s.MaxOutDegree),
+			fmt.Sprint(s.SPTreeLeaves))
+	}
+	return r.Emit("tab1", t)
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import "fmt"
+
+// RunTable3 regenerates Table 3: each implementation's self-speedup —
+// its tuned best time at 1 worker divided by its tuned best time at
+// Config.Workers — for every main graph. Δ is re-tuned per worker
+// count, as the paper does ("the availability of fewer parallel
+// resources usually calls for smaller values of Δ").
+func RunTable3(r *Runner) error {
+	fmt.Fprintf(r.Cfg.Out, "== Table 3: self-speedup (%d workers vs 1) ==\n", r.Cfg.Workers)
+	ws, err := r.MainWorkloads()
+	if err != nil {
+		return err
+	}
+	header := []string{"graph"}
+	for _, a := range AllAlgos {
+		header = append(header, a.Name)
+	}
+	t := &Table{Header: header}
+	for _, w := range ws {
+		row := []string{w.Abbr}
+		bestVal, bestIdx := 0.0, -1
+		vals := make([]float64, len(AllAlgos))
+		for i, a := range AllAlgos {
+			v := r.SelfSpeedup(w, a, r.Cfg.Workers)
+			vals[i] = v
+			if v > bestVal {
+				bestVal, bestIdx = v, i
+			}
+		}
+		for i, v := range vals {
+			cell := fmt.Sprintf("%.2f", v)
+			if i == bestIdx {
+				cell += "*" // the underlined maximum of the paper's table
+			}
+			row = append(row, cell)
+		}
+		t.Add(row...)
+	}
+	if err := r.Emit("tab3", t); err != nil {
+		return err
+	}
+	fmt.Fprintln(r.Cfg.Out, "(* = best self-speedup on the graph)")
+	return nil
+}

@@ -1,0 +1,91 @@
+package gen
+
+import (
+	"fmt"
+
+	"wasp/internal/graph"
+)
+
+// Config parameterizes a generator invocation.
+type Config struct {
+	N      int          // target vertex count (generators may round, e.g. to a grid)
+	Degree int          // target average degree (meaning varies slightly per class)
+	Seed   uint64       // RNG seed; equal seeds give identical graphs
+	Weight WeightScheme // edge weight scheme
+}
+
+// Generator produces a graph from a Config.
+type Generator func(Config) *graph.Graph
+
+// Spec describes one named workload in the registry: the paper graph it
+// models, the generator, and that graph's class.
+type Spec struct {
+	Name     string // short name used by the harness and CLIs (e.g. "road-usa")
+	Abbr     string // the paper's abbreviation (e.g. "USA")
+	Models   string // the real dataset being modelled
+	Class    string // paper's "Graph Type" column
+	Directed bool
+	Appendix bool // Table 4 (appendix) rather than Table 1
+	Gen      Generator
+}
+
+// Registry lists every workload in the order of the paper's Table 1
+// followed by Table 4. Harness code iterates this slice; tests index it
+// by name via Lookup.
+var Registry = []Spec{
+	{Name: "friendster", Abbr: "FT", Models: "Friendster", Class: "Social Network", Directed: true, Gen: powerLawDirected},
+	{Name: "kmer", Abbr: "KV", Models: "Kmer-v1r", Class: "Biological Network", Gen: kmerChain},
+	{Name: "kron", Abbr: "KR", Models: "Kron", Class: "Synthetic Graph", Gen: kronUndirected},
+	{Name: "mawi", Abbr: "MW", Models: "Mawi", Class: "Network Traffic", Gen: mawiStar},
+	{Name: "moliere", Abbr: "ML", Models: "Moliere", Class: "Semantic Network", Gen: denseUniform},
+	{Name: "orkut", Abbr: "OK", Models: "Orkut", Class: "Social Network", Gen: powerLawUndirected},
+	{Name: "road-eu", Abbr: "EU", Models: "Road-EU", Class: "Road Network", Gen: roadGrid},
+	{Name: "road-usa", Abbr: "USA", Models: "Road-USA", Class: "Road Network", Gen: roadGrid},
+	{Name: "sk2005", Abbr: "SK", Models: "sk-2005", Class: "Web Crawl", Directed: true, Gen: webCrawl},
+	{Name: "twitter", Abbr: "TW", Models: "Twitter", Class: "Social Network", Directed: true, Gen: kronDirected},
+	{Name: "uk2007", Abbr: "UK7", Models: "uk-2007", Class: "Web Crawl", Gen: kronUndirected},
+	{Name: "ukunion", Abbr: "UK6", Models: "uk-union-06", Class: "Web Crawl", Directed: true, Gen: webCrawl},
+	{Name: "urand", Abbr: "UR", Models: "Urand", Class: "Synthetic Graph", Gen: uniformRandom},
+
+	// Appendix (Table 4) additions.
+	{Name: "circuit", Abbr: "CR", Models: "Circuit5M", Class: "Circuit Sim.", Directed: true, Appendix: true, Gen: lowDegreeDirected},
+	{Name: "delaunay", Abbr: "DL", Models: "Delaunay-n24", Class: "Delaunay Triangulation", Appendix: true, Gen: delaunayLike},
+	{Name: "hypercube", Abbr: "HC", Models: "Hypercube", Class: "Synthetic Graph", Directed: true, Appendix: true, Gen: hypercube},
+	{Name: "kkt", Abbr: "KP", Models: "Kkt-power", Class: "KKT Graph", Appendix: true, Gen: delaunayLike},
+	{Name: "nlpkkt", Abbr: "NL", Models: "Nlpkkt240", Class: "KKT Graph", Appendix: true, Gen: denseGrid},
+	{Name: "random-regular", Abbr: "RR", Models: "Random-regular", Class: "Synthetic Graph", Directed: true, Appendix: true, Gen: randomRegular},
+	{Name: "spielman", Abbr: "SM", Models: "Spielman-k600", Class: "Laplacian Matrix", Appendix: true, Gen: roadGrid},
+	{Name: "stokes", Abbr: "ST", Models: "Stokes", Class: "Semiconductor Sim.", Directed: true, Appendix: true, Gen: lowDegreeDirected},
+	{Name: "webbase", Abbr: "WB", Models: "Webbase-2001", Class: "Web Crawl", Directed: true, Appendix: true, Gen: webCrawl},
+}
+
+// Lookup returns the Spec with the given name.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Registry {
+		if s.Name == name || s.Abbr == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("gen: unknown workload %q", name)
+}
+
+// Names returns the registry's workload names in order.
+func Names(includeAppendix bool) []string {
+	var out []string
+	for _, s := range Registry {
+		if s.Appendix && !includeAppendix {
+			continue
+		}
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// Generate builds the named workload at the given scale.
+func Generate(name string, cfg Config) (*graph.Graph, error) {
+	spec, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Gen(cfg), nil
+}

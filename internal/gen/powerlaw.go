@@ -1,0 +1,67 @@
+package gen
+
+import (
+	"math"
+
+	"wasp/internal/graph"
+	"wasp/internal/rng"
+)
+
+// Chung–Lu power-law generator: vertex u gets expected degree
+// proportional to (u+1)^(-1/(beta-1)) for exponent beta. This models the
+// Friendster/Orkut-class social networks: skewed degrees without the
+// self-similar structure of RMAT.
+
+func chungLuEdges(n, m int, beta float64, seed uint64) []graph.Edge {
+	// Build the weight prefix sums for inverse-CDF sampling.
+	exp := -1.0 / (beta - 1)
+	prefix := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		prefix[i+1] = prefix[i] + math.Pow(float64(i+1), exp)
+	}
+	total := prefix[n]
+	r := rng.NewXoshiro256(seed)
+	sample := func() graph.Vertex {
+		x := r.Float64() * total
+		lo, hi := 0, n
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if prefix[mid+1] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return graph.Vertex(lo)
+	}
+	edges := make([]graph.Edge, 0, m)
+	for i := 0; i < m; i++ {
+		u, v := sample(), sample()
+		if u == v {
+			continue
+		}
+		edges = append(edges, graph.Edge{From: u, To: v})
+	}
+	return edges
+}
+
+func powerLaw(cfg Config, directed bool) *graph.Graph {
+	cfg = normalize(cfg, 1<<15, 24)
+	n := cfg.N
+	m := n * cfg.Degree
+	if !directed {
+		m /= 2
+	}
+	edges := chungLuEdges(n, m, 2.2, cfg.Seed)
+	w := newWeighter(cfg.Weight, cfg.Seed, n, len(edges))
+	for i := range edges {
+		edges[i].W = w.next()
+	}
+	return graph.FromEdges(n, directed, edges)
+}
+
+// powerLawDirected models Friendster-class directed social networks.
+func powerLawDirected(cfg Config) *graph.Graph { return powerLaw(cfg, true) }
+
+// powerLawUndirected models Orkut-class undirected social networks.
+func powerLawUndirected(cfg Config) *graph.Graph { return powerLaw(cfg, false) }

@@ -1,0 +1,123 @@
+package gen
+
+import (
+	"wasp/internal/graph"
+	"wasp/internal/rng"
+)
+
+// Defaults applied when a Config field is zero.
+func normalize(cfg Config, defaultN, defaultDeg int) Config {
+	if cfg.N <= 0 {
+		cfg.N = defaultN
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = defaultDeg
+	}
+	return cfg
+}
+
+// uniformRandom models Urand: an Erdős–Rényi G(n, m) graph with uniform
+// degree distribution and small diameter.
+func uniformRandom(cfg Config) *graph.Graph {
+	cfg = normalize(cfg, 1<<15, 16)
+	n := cfg.N
+	m := n * cfg.Degree / 2
+	r := rng.NewXoshiro256(cfg.Seed)
+	w := newWeighter(cfg.Weight, cfg.Seed, n, 2*m)
+	b := graph.NewBuilder(n, false)
+	b.Grow(m)
+	for i := 0; i < m; i++ {
+		u := graph.Vertex(r.IntN(n))
+		v := graph.Vertex(r.IntN(n))
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v, w.next())
+	}
+	return b.Build()
+}
+
+// denseUniform models Moliere: an undirected graph with a very high
+// average degree (the paper's densest dataset at ~220 edges/vertex).
+func denseUniform(cfg Config) *graph.Graph {
+	cfg = normalize(cfg, 1<<12, 64)
+	return uniformRandom(cfg)
+}
+
+// lowDegreeDirected models circuit/semiconductor matrices: directed,
+// low average degree, mostly local connectivity with a few long-range
+// couplings.
+func lowDegreeDirected(cfg Config) *graph.Graph {
+	cfg = normalize(cfg, 1<<14, 8)
+	n := cfg.N
+	r := rng.NewXoshiro256(cfg.Seed)
+	w := newWeighter(cfg.Weight, cfg.Seed, n, n*cfg.Degree)
+	b := graph.NewBuilder(n, true)
+	b.Grow(n * cfg.Degree)
+	window := 64
+	for u := 0; u < n; u++ {
+		for k := 0; k < cfg.Degree; k++ {
+			var v int
+			if r.IntN(8) == 0 { // occasional long-range coupling
+				v = r.IntN(n)
+			} else {
+				v = u - window/2 + r.IntN(window)
+				if v < 0 {
+					v += n
+				}
+				if v >= n {
+					v -= n
+				}
+			}
+			if v == u {
+				continue
+			}
+			b.AddEdge(graph.Vertex(u), graph.Vertex(v), w.next())
+		}
+	}
+	return b.Build()
+}
+
+// randomRegular models the appendix's random-regular graph: every vertex
+// has exactly Degree out-edges to uniformly random targets.
+func randomRegular(cfg Config) *graph.Graph {
+	cfg = normalize(cfg, 1<<14, 16)
+	n := cfg.N
+	r := rng.NewXoshiro256(cfg.Seed)
+	w := newWeighter(cfg.Weight, cfg.Seed, n, n*cfg.Degree)
+	b := graph.NewBuilder(n, true)
+	b.Grow(n * cfg.Degree)
+	for u := 0; u < n; u++ {
+		for k := 0; k < cfg.Degree; k++ {
+			v := r.IntN(n)
+			if v == u {
+				v = (v + 1) % n
+			}
+			b.AddEdge(graph.Vertex(u), graph.Vertex(v), w.next())
+		}
+	}
+	return b.Build()
+}
+
+// hypercube models the appendix's hypercube graph: vertex u connects to
+// u^bit for every bit, giving a uniform log-degree structure with
+// moderate diameter. Extra random chords bring the average degree up to
+// cfg.Degree if requested.
+func hypercube(cfg Config) *graph.Graph {
+	cfg = normalize(cfg, 1<<14, 0)
+	// Round n down to a power of two.
+	dims := 0
+	for 1<<(dims+1) <= cfg.N {
+		dims++
+	}
+	n := 1 << dims
+	w := newWeighter(cfg.Weight, cfg.Seed, n, n*dims)
+	b := graph.NewBuilder(n, true)
+	b.Grow(n * dims)
+	for u := 0; u < n; u++ {
+		for d := 0; d < dims; d++ {
+			b.AddEdge(graph.Vertex(u), graph.Vertex(u^(1<<d)), w.next())
+		}
+	}
+	return b.Build()
+}

@@ -1,0 +1,188 @@
+package gen
+
+import (
+	"math"
+
+	"wasp/internal/graph"
+	"wasp/internal/rng"
+)
+
+// Road-network and mesh generators. Road graphs (Road-USA, Road-EU) are
+// the paper's large-diameter, low-degree workloads where synchronous
+// Δ-stepping pays the highest barrier overhead; the structural property
+// that matters is Θ(sqrt(n)) diameter with average degree ≈ 2.4, which
+// a 2-D grid with random missing edges and a few diagonal shortcuts
+// reproduces.
+
+// roadGrid models Road-USA / Road-EU / Spielman: an s×s grid where each
+// lattice edge exists with high probability, plus sparse diagonals.
+func roadGrid(cfg Config) *graph.Graph {
+	cfg = normalize(cfg, 1<<15, 0)
+	s := int(math.Sqrt(float64(cfg.N)))
+	if s < 2 {
+		s = 2
+	}
+	n := s * s
+	r := rng.NewXoshiro256(cfg.Seed)
+	w := newWeighter(cfg.Weight, cfg.Seed, n, 2*n)
+	b := graph.NewBuilder(n, false)
+	b.Grow(2 * n)
+	id := func(x, y int) graph.Vertex { return graph.Vertex(y*s + x) }
+	for y := 0; y < s; y++ {
+		for x := 0; x < s; x++ {
+			// Drop ~4% of lattice edges to make routes non-trivial.
+			if x+1 < s && r.IntN(25) != 0 {
+				b.AddEdge(id(x, y), id(x+1, y), w.next())
+			}
+			if y+1 < s && r.IntN(25) != 0 {
+				b.AddEdge(id(x, y), id(x, y+1), w.next())
+			}
+			// Sparse diagonals model highways/ramps.
+			if x+1 < s && y+1 < s && r.IntN(20) == 0 {
+				b.AddEdge(id(x, y), id(x+1, y+1), w.next())
+			}
+		}
+	}
+	return b.Build()
+}
+
+// denseGrid models Nlpkkt-class meshes: a 3-D grid (7-point stencil),
+// moderate diameter, uniform degree ≈ 6.
+func denseGrid(cfg Config) *graph.Graph {
+	cfg = normalize(cfg, 1<<15, 0)
+	s := int(math.Cbrt(float64(cfg.N)))
+	if s < 2 {
+		s = 2
+	}
+	n := s * s * s
+	w := newWeighter(cfg.Weight, cfg.Seed, n, 3*n)
+	b := graph.NewBuilder(n, false)
+	b.Grow(3 * n)
+	id := func(x, y, z int) graph.Vertex { return graph.Vertex((z*s+y)*s + x) }
+	for z := 0; z < s; z++ {
+		for y := 0; y < s; y++ {
+			for x := 0; x < s; x++ {
+				if x+1 < s {
+					b.AddEdge(id(x, y, z), id(x+1, y, z), w.next())
+				}
+				if y+1 < s {
+					b.AddEdge(id(x, y, z), id(x, y+1, z), w.next())
+				}
+				if z+1 < s {
+					b.AddEdge(id(x, y, z), id(x, y, z+1), w.next())
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// delaunayLike models Delaunay-n24 / Kkt-power: a jittered grid where
+// each vertex connects to nearby vertices, giving planar-like structure
+// with degree ~6 and large diameter.
+func delaunayLike(cfg Config) *graph.Graph {
+	cfg = normalize(cfg, 1<<15, 0)
+	s := int(math.Sqrt(float64(cfg.N)))
+	if s < 3 {
+		s = 3
+	}
+	n := s * s
+	r := rng.NewXoshiro256(cfg.Seed)
+	w := newWeighter(cfg.Weight, cfg.Seed, n, 3*n)
+	b := graph.NewBuilder(n, false)
+	b.Grow(3 * n)
+	id := func(x, y int) graph.Vertex { return graph.Vertex(y*s + x) }
+	for y := 0; y < s; y++ {
+		for x := 0; x < s; x++ {
+			if x+1 < s {
+				b.AddEdge(id(x, y), id(x+1, y), w.next())
+			}
+			if y+1 < s {
+				b.AddEdge(id(x, y), id(x, y+1), w.next())
+			}
+			// Triangulating diagonal, orientation jittered.
+			if x+1 < s && y+1 < s {
+				if r.IntN(2) == 0 {
+					b.AddEdge(id(x, y), id(x+1, y+1), w.next())
+				} else {
+					b.AddEdge(id(x+1, y), id(x, y+1), w.next())
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// kmerChain models Kmer-v1r: a biological de Bruijn-like network with
+// average degree ≈ 2.2 — mostly long paths with occasional branching,
+// producing a very large diameter with minimal parallelism.
+func kmerChain(cfg Config) *graph.Graph {
+	cfg = normalize(cfg, 1<<15, 0)
+	n := cfg.N
+	r := rng.NewXoshiro256(cfg.Seed)
+	w := newWeighter(cfg.Weight, cfg.Seed, n, n+n/8)
+	b := graph.NewBuilder(n, false)
+	b.Grow(n + n/8)
+	// A permutation of vertices linked into segments of geometric
+	// length, plus sparse branch edges between segments.
+	perm := make([]graph.Vertex, n)
+	for i := range perm {
+		perm[i] = graph.Vertex(i)
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.IntN(i + 1)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	for i := 0; i+1 < n; i++ {
+		// Break the chain into segments occasionally to create
+		// multiple components joined by branch edges.
+		if r.IntN(512) == 0 {
+			continue
+		}
+		b.AddEdge(perm[i], perm[i+1], w.next())
+	}
+	branches := n / 10
+	for i := 0; i < branches; i++ {
+		u := perm[r.IntN(n)]
+		v := perm[r.IntN(n)]
+		if u != v {
+			b.AddEdge(u, v, w.next())
+		}
+	}
+	return b.Build()
+}
+
+// mawiStar models the Mawi network-traffic graph's pathological
+// structure (paper §5.1): one hub connected to ~93% of all vertices,
+// 99% of which are degree-1 leaves, plus a small residual graph. This
+// is the workload where neighborhood decomposition and leaf pruning are
+// decisive.
+func mawiStar(cfg Config) *graph.Graph {
+	cfg = normalize(cfg, 1<<15, 0)
+	n := cfg.N
+	r := rng.NewXoshiro256(cfg.Seed)
+	w := newWeighter(cfg.Weight, cfg.Seed, n, n+n/8)
+	b := graph.NewBuilder(n, false)
+	b.Grow(n + n/8)
+	hub := graph.Vertex(0)
+	hubSpan := n * 93 / 100
+	for v := 1; v <= hubSpan; v++ {
+		b.AddEdge(hub, graph.Vertex(v), w.next())
+	}
+	// The non-leaf 1% of hub neighbors and the remaining vertices form
+	// a sparse random residual network.
+	residual := n / 16
+	for i := 0; i < residual; i++ {
+		u := graph.Vertex(1 + r.IntN(hubSpan/100+1)) // non-leaf hub neighbors
+		v := graph.Vertex(r.IntN(n))
+		if u != v {
+			b.AddEdge(u, v, w.next())
+		}
+	}
+	// Attach the tail vertices (beyond the hub span) to the residual.
+	for v := hubSpan + 1; v < n; v++ {
+		u := graph.Vertex(1 + r.IntN(hubSpan/100+1))
+		b.AddEdge(graph.Vertex(v), u, w.next())
+	}
+	return b.Build()
+}

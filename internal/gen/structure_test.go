@@ -1,0 +1,144 @@
+package gen
+
+import (
+	"testing"
+
+	"wasp/internal/graph"
+)
+
+// Structural property tests: each generator class must exhibit the
+// feature that makes its paper counterpart interesting (DESIGN.md §1's
+// substitution argument rests on these).
+
+func TestWebCrawlSkewAndChains(t *testing.T) {
+	g := webCrawl(Config{N: 1 << 13, Seed: 4})
+	s := graph.ComputeStats(g)
+	if s.MaxOutDegree < 8*int(s.AvgOutDegree) {
+		t.Fatalf("web crawl not skewed: max %d avg %.1f", s.MaxOutDegree, s.AvgOutDegree)
+	}
+	// Site-locality chains: consecutive ids linked.
+	chained := 0
+	for u := 0; u+1 < 100; u++ {
+		dst, _ := g.OutNeighbors(graph.Vertex(u))
+		for _, v := range dst {
+			if v == graph.Vertex(u+1) {
+				chained++
+				break
+			}
+		}
+	}
+	if chained < 95 {
+		t.Fatalf("only %d/99 site-chain links present", chained)
+	}
+}
+
+func TestPowerLawTail(t *testing.T) {
+	g := powerLawUndirected(Config{N: 1 << 13, Seed: 6})
+	s := graph.ComputeStats(g)
+	// A power-law tail: p99 degree well above the median.
+	if s.DegreeP99 < 4*s.DegreeP50 {
+		t.Fatalf("degree tail too thin: p50=%d p99=%d", s.DegreeP50, s.DegreeP99)
+	}
+}
+
+func TestRandomRegularUniformDegree(t *testing.T) {
+	g := randomRegular(Config{N: 4000, Seed: 2, Degree: 12})
+	for v := 0; v < g.NumVertices(); v++ {
+		// Self-loop retargeting and deduplication can shave a couple
+		// of edges; degrees must stay within a whisker of 12.
+		if d := g.OutDegree(graph.Vertex(v)); d < 9 || d > 12 {
+			t.Fatalf("vertex %d degree %d, want ≈12", v, d)
+		}
+	}
+}
+
+func TestLowDegreeDirectedLocality(t *testing.T) {
+	g := lowDegreeDirected(Config{N: 4000, Seed: 8})
+	s := graph.ComputeStats(g)
+	if s.MaxOutDegree > 4*int(s.AvgOutDegree)+8 {
+		t.Fatalf("circuit model has a hub: max %d avg %.1f", s.MaxOutDegree, s.AvgOutDegree)
+	}
+	// Mostly local targets: count edges landing within the window.
+	local, total := 0, 0
+	for u := 0; u < 1000; u++ {
+		dst, _ := g.OutNeighbors(graph.Vertex(u))
+		for _, v := range dst {
+			total++
+			diff := int(v) - u
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff <= 64 || diff >= g.NumVertices()-64 {
+				local++
+			}
+		}
+	}
+	if total == 0 || local*10 < total*7 {
+		t.Fatalf("only %d/%d edges local", local, total)
+	}
+}
+
+func TestDenseGridDegreeCap(t *testing.T) {
+	g := denseGrid(Config{N: 8000, Seed: 3})
+	_, maxDeg := g.MaxOutDegree()
+	if maxDeg > 6 {
+		t.Fatalf("7-point stencil degree %d > 6", maxDeg)
+	}
+}
+
+func TestDelaunayPlanarishDegrees(t *testing.T) {
+	g := delaunayLike(Config{N: 8000, Seed: 3})
+	s := graph.ComputeStats(g)
+	if s.MaxOutDegree > 8 {
+		t.Fatalf("triangulation degree %d > 8", s.MaxOutDegree)
+	}
+	if s.AvgOutDegree < 4 {
+		t.Fatalf("triangulation too sparse: %.2f", s.AvgOutDegree)
+	}
+}
+
+func TestDenseUniformIsDense(t *testing.T) {
+	g := denseUniform(Config{N: 2000, Seed: 1})
+	s := graph.ComputeStats(g)
+	if s.AvgOutDegree < 32 {
+		t.Fatalf("moliere model avg degree %.1f, want ≥ 32", s.AvgOutDegree)
+	}
+}
+
+func TestDiameterOrdering(t *testing.T) {
+	// Road graphs must have a much larger unweighted eccentricity from
+	// the source than skewed graphs of the same size — the structural
+	// divide the paper's road-vs-skewed results rest on.
+	road := roadGrid(Config{N: 4096, Seed: 1})
+	kron := kronUndirected(Config{N: 4096, Seed: 1})
+	if re, ke := bfsEcc(road), bfsEcc(kron); re < 4*ke {
+		t.Fatalf("road ecc %d not ≫ kron ecc %d", re, ke)
+	}
+}
+
+// bfsEcc returns the BFS eccentricity from the largest component's
+// source pick.
+func bfsEcc(g *graph.Graph) int {
+	src := graph.SourceInLargestComponent(g, 1)
+	depth := make([]int, g.NumVertices())
+	for i := range depth {
+		depth[i] = -1
+	}
+	depth[src] = 0
+	queue := []graph.Vertex{src}
+	max := 0
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
+		dst, _ := g.OutNeighbors(u)
+		for _, v := range dst {
+			if depth[v] == -1 {
+				depth[v] = depth[u] + 1
+				if depth[v] > max {
+					max = depth[v]
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return max
+}

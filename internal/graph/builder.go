@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Builder accumulates edges and produces an immutable CSR Graph.
+// It is not safe for concurrent use; generators build edge lists in
+// parallel and feed them to a single Builder.
+type Builder struct {
+	n        int
+	directed bool
+	edges    []Edge
+}
+
+// NewBuilder returns a Builder for a graph with n vertices.
+// If directed is false, each added edge is stored in both directions.
+func NewBuilder(n int, directed bool) *Builder {
+	if n <= 0 {
+		panic("graph: builder needs at least one vertex")
+	}
+	if n > 1<<31 {
+		panic("graph: vertex count exceeds 32-bit id space")
+	}
+	return &Builder{n: n, directed: directed}
+}
+
+// AddEdge adds a weighted edge. Self-loops are silently dropped (they can
+// never participate in a shortest path with non-negative weights).
+func (b *Builder) AddEdge(u, v Vertex, w Weight) {
+	if int(u) >= b.n || int(v) >= b.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range for %d vertices", u, v, b.n))
+	}
+	if u == v {
+		return
+	}
+	b.edges = append(b.edges, Edge{From: u, To: v, W: w})
+}
+
+// AddEdges adds a batch of edges.
+func (b *Builder) AddEdges(edges []Edge) {
+	for _, e := range edges {
+		b.AddEdge(e.From, e.To, e.W)
+	}
+}
+
+// Grow reserves capacity for m additional edges.
+func (b *Builder) Grow(m int) {
+	if cap(b.edges)-len(b.edges) < m {
+		next := make([]Edge, len(b.edges), len(b.edges)+m)
+		copy(next, b.edges)
+		b.edges = next
+	}
+}
+
+// NumEdgesAdded returns the number of edges added so far (before
+// symmetrization and deduplication).
+func (b *Builder) NumEdgesAdded() int { return len(b.edges) }
+
+// Build finalizes the graph. Parallel edges are deduplicated keeping the
+// minimum weight, which is the only weight that can matter for SSSP.
+func (b *Builder) Build() *Graph {
+	edges := b.edges
+	if !b.directed {
+		sym := make([]Edge, 0, 2*len(edges))
+		for _, e := range edges {
+			sym = append(sym, e, Edge{From: e.To, To: e.From, W: e.W})
+		}
+		edges = sym
+	}
+	edges = dedupe(edges)
+
+	g := &Graph{n: b.n, directed: b.directed}
+	g.outOff, g.outDst, g.outW = toCSR(b.n, edges, false)
+	if b.directed {
+		g.inOff, g.inSrc, g.inW = toCSR(b.n, edges, true)
+	} else {
+		g.inOff, g.inSrc, g.inW = g.outOff, g.outDst, g.outW
+	}
+	return g
+}
+
+// dedupe sorts edges by (From, To) and keeps the minimum weight among
+// parallel edges.
+func dedupe(edges []Edge) []Edge {
+	if len(edges) == 0 {
+		return edges
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		if edges[i].To != edges[j].To {
+			return edges[i].To < edges[j].To
+		}
+		return edges[i].W < edges[j].W
+	})
+	out := edges[:1]
+	for _, e := range edges[1:] {
+		last := &out[len(out)-1]
+		if e.From == last.From && e.To == last.To {
+			continue // sorted by weight: the kept one is minimal
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// toCSR converts a deduplicated edge list into offset/target/weight
+// arrays. If transpose is true, the in-adjacency is built instead.
+func toCSR(n int, edges []Edge, transpose bool) ([]int64, []Vertex, []Weight) {
+	off := make([]int64, n+1)
+	for _, e := range edges {
+		k := e.From
+		if transpose {
+			k = e.To
+		}
+		off[k+1]++
+	}
+	for i := 0; i < n; i++ {
+		off[i+1] += off[i]
+	}
+	dst := make([]Vertex, len(edges))
+	w := make([]Weight, len(edges))
+	cursor := make([]int64, n)
+	copy(cursor, off[:n])
+	for _, e := range edges {
+		k, other := e.From, e.To
+		if transpose {
+			k, other = e.To, e.From
+		}
+		p := cursor[k]
+		cursor[k]++
+		dst[p] = other
+		w[p] = e.W
+	}
+	// Neighbor lists within a vertex are already ordered because edges
+	// were sorted by (From, To); the transpose needs a per-vertex sort.
+	if transpose {
+		for u := 0; u < n; u++ {
+			lo, hi := off[u], off[u+1]
+			sortAdj(dst[lo:hi], w[lo:hi])
+		}
+	}
+	return off, dst, w
+}
+
+func sortAdj(dst []Vertex, w []Weight) {
+	sort.Sort(&adjSorter{dst, w})
+}
+
+type adjSorter struct {
+	dst []Vertex
+	w   []Weight
+}
+
+func (a *adjSorter) Len() int           { return len(a.dst) }
+func (a *adjSorter) Less(i, j int) bool { return a.dst[i] < a.dst[j] }
+func (a *adjSorter) Swap(i, j int) {
+	a.dst[i], a.dst[j] = a.dst[j], a.dst[i]
+	a.w[i], a.w[j] = a.w[j], a.w[i]
+}
+
+// FromEdges is a convenience constructor building a graph directly from
+// an edge list.
+func FromEdges(n int, directed bool, edges []Edge) *Graph {
+	b := NewBuilder(n, directed)
+	b.AddEdges(edges)
+	return b.Build()
+}

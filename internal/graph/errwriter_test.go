@@ -1,0 +1,66 @@
+package graph
+
+import (
+	"errors"
+	"testing"
+)
+
+// failWriter fails after n bytes, exercising the writers' error paths.
+type failWriter struct {
+	remaining int
+}
+
+var errDiskFull = errors.New("disk full")
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, errDiskFull
+	}
+	n := len(p)
+	if n > f.remaining {
+		n = f.remaining
+	}
+	f.remaining -= n
+	if n < len(p) {
+		return n, errDiskFull
+	}
+	return n, nil
+}
+
+func TestWriteTextPropagatesErrors(t *testing.T) {
+	g := diamond(true)
+	for _, budget := range []int{0, 3, 10} {
+		if err := WriteText(&failWriter{remaining: budget}, g); err == nil {
+			t.Fatalf("budget %d: expected write error", budget)
+		}
+	}
+}
+
+func TestWriteBinaryPropagatesErrors(t *testing.T) {
+	g := diamond(true)
+	for _, budget := range []int{0, 2, 8, 40} {
+		if err := WriteBinary(&failWriter{remaining: budget}, g); err == nil {
+			t.Fatalf("budget %d: expected write error", budget)
+		}
+	}
+}
+
+func TestWritersSucceedWithExactBudget(t *testing.T) {
+	g := diamond(false)
+	// Find the exact sizes by writing into counters first.
+	var count struct{ n int }
+	counter := writerFunc(func(p []byte) (int, error) {
+		count.n += len(p)
+		return len(p), nil
+	})
+	if err := WriteBinary(counter, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBinary(&failWriter{remaining: count.n}, g); err != nil {
+		t.Fatalf("exact-budget write failed: %v", err)
+	}
+}
+
+type writerFunc func(p []byte) (int, error)
+
+func (f writerFunc) Write(p []byte) (int, error) { return f(p) }

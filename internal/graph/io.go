@@ -1,0 +1,199 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Graph serialization. Two formats are supported, mirroring the paper
+// artifact's "textual format" (weighted edge lists) and "binary format"
+// (a direct CSR dump, the analogue of GAP's .wsg files):
+//
+//   - Text: one edge per line, "u v w", '#'-prefixed comments, and an
+//     optional header line "n <vertices> <directed|undirected>".
+//   - Binary: magic "WSPG", version, flags, then the CSR arrays in
+//     little-endian order. Loading a binary graph is O(m) with no
+//     re-sorting, which is what makes the cmd/graphgen → cmd/sssp
+//     pipeline fast.
+
+const (
+	binaryMagic   = "WSPG"
+	binaryVersion = uint32(1)
+)
+
+// WriteText writes the graph as a weighted edge list with a header.
+// Undirected edges are written once (u < v).
+func WriteText(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	kind := "undirected"
+	if g.directed {
+		kind = "directed"
+	}
+	if _, err := fmt.Fprintf(bw, "n %d %s\n", g.n, kind); err != nil {
+		return err
+	}
+	for u := 0; u < g.n; u++ {
+		dst, wt := g.OutNeighbors(Vertex(u))
+		for i, v := range dst {
+			if !g.directed && Vertex(u) > v {
+				continue
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d %d\n", u, v, wt[i]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadText parses a weighted edge list. Without a header the graph is
+// assumed directed with n = max vertex id + 1.
+func ReadText(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	n := -1
+	directed := true
+	line := 0
+	maxID := Vertex(0)
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if fields[0] == "n" {
+			if len(fields) < 2 {
+				return nil, fmt.Errorf("graph: line %d: bad header", line)
+			}
+			v, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: bad vertex count: %v", line, err)
+			}
+			if v < 1 || v > 1<<31 {
+				return nil, fmt.Errorf("graph: line %d: vertex count %d out of range [1, 2^31]", line, v)
+			}
+			n = v
+			if len(fields) >= 3 {
+				directed = fields[2] == "directed"
+			}
+			continue
+		}
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: expected 'u v [w]'", line)
+		}
+		u, err := strconv.ParseUint(fields[0], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		v, err := strconv.ParseUint(fields[1], 10, 32)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %v", line, err)
+		}
+		w := uint64(1)
+		if len(fields) >= 3 {
+			w, err = strconv.ParseUint(fields[2], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("graph: line %d: %v", line, err)
+			}
+		}
+		if Vertex(u) > maxID {
+			maxID = Vertex(u)
+		}
+		if Vertex(v) > maxID {
+			maxID = Vertex(v)
+		}
+		edges = append(edges, Edge{From: Vertex(u), To: Vertex(v), W: Weight(w)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		if uint64(maxID)+1 > 1<<31 {
+			return nil, fmt.Errorf("graph: vertex id %d exceeds the 32-bit id space", maxID)
+		}
+		n = int(maxID) + 1
+	} else if len(edges) > 0 && int(maxID) >= n {
+		return nil, fmt.Errorf("graph: edge endpoint %d exceeds declared vertex count %d", maxID, n)
+	}
+	return FromEdges(n, directed, edges), nil
+}
+
+// WriteBinary dumps the CSR arrays in the WSPG binary format.
+func WriteBinary(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(binaryMagic); err != nil {
+		return err
+	}
+	flags := uint32(0)
+	if g.directed {
+		flags = 1
+	}
+	header := []uint64{
+		uint64(binaryVersion), uint64(flags),
+		uint64(g.n), uint64(len(g.outDst)),
+	}
+	for _, h := range header {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	sections := []any{g.outOff, g.outDst, g.outW}
+	if g.directed {
+		sections = append(sections, g.inOff, g.inSrc, g.inW)
+	}
+	for _, sec := range sections {
+		if err := binary.Write(bw, binary.LittleEndian, sec); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary loads a WSPG binary graph.
+func ReadBinary(r io.Reader) (*Graph, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, err
+	}
+	if string(magic) != binaryMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic)
+	}
+	var version, flags, n, m uint64
+	for _, p := range []*uint64{&version, &flags, &n, &m} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if uint32(version) != binaryVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	g := &Graph{n: int(n), directed: flags&1 != 0}
+	g.outOff = make([]int64, n+1)
+	g.outDst = make([]Vertex, m)
+	g.outW = make([]Weight, m)
+	for _, target := range []any{g.outOff, g.outDst, g.outW} {
+		if err := binary.Read(br, binary.LittleEndian, target); err != nil {
+			return nil, err
+		}
+	}
+	if g.directed {
+		g.inOff = make([]int64, n+1)
+		g.inSrc = make([]Vertex, m)
+		g.inW = make([]Weight, m)
+		for _, target := range []any{g.inOff, g.inSrc, g.inW} {
+			if err := binary.Read(br, binary.LittleEndian, target); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		g.inOff, g.inSrc, g.inW = g.outOff, g.outDst, g.outW
+	}
+	return g, nil
+}

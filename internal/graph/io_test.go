@@ -1,0 +1,151 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTextRoundTripDirected(t *testing.T) {
+	g := diamond(true)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestTextRoundTripUndirected(t *testing.T) {
+	g := diamond(false)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestReadTextNoHeader(t *testing.T) {
+	in := "# comment\n0 1 5\n1 2 7\n\n"
+	g, err := ReadText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices() != 3 || g.NumEdges() != 2 || !g.Directed() {
+		t.Fatalf("got %v", g)
+	}
+}
+
+func TestReadTextDefaultWeight(t *testing.T) {
+	g, err := ReadText(strings.NewReader("0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, w := g.OutNeighbors(0)
+	if w[0] != 1 {
+		t.Fatalf("default weight = %d, want 1", w[0])
+	}
+}
+
+func TestReadTextErrors(t *testing.T) {
+	cases := []string{
+		"n\n",          // bad header
+		"0\n",          // too few fields
+		"x 1 2\n",      // bad vertex
+		"0 y 2\n",      // bad vertex
+		"0 1 zz\n",     // bad weight
+		"n notanint\n", // bad count
+	}
+	for _, in := range cases {
+		if _, err := ReadText(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q: expected error", in)
+		}
+	}
+}
+
+func TestBinaryRoundTripDirected(t *testing.T) {
+	g := diamond(true)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestBinaryRoundTripUndirected(t *testing.T) {
+	g := diamond(false)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphsEqual(t, g, g2)
+}
+
+func TestBinaryBadMagic(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("NOPE1234"))); err == nil {
+		t.Fatal("expected error for bad magic")
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	g := diamond(true)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := ReadBinary(bytes.NewReader(data[:len(data)/2])); err == nil {
+		t.Fatal("expected error for truncated input")
+	}
+}
+
+func assertGraphsEqual(t *testing.T, a, b *Graph) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() {
+		t.Fatalf("vertex counts differ: %d vs %d", a.NumVertices(), b.NumVertices())
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatalf("edge counts differ: %d vs %d", a.NumEdges(), b.NumEdges())
+	}
+	if a.Directed() != b.Directed() {
+		t.Fatalf("directedness differs")
+	}
+	for u := 0; u < a.NumVertices(); u++ {
+		ad, aw := a.OutNeighbors(Vertex(u))
+		bd, bw := b.OutNeighbors(Vertex(u))
+		if len(ad) != len(bd) {
+			t.Fatalf("vertex %d degree differs: %d vs %d", u, len(ad), len(bd))
+		}
+		for i := range ad {
+			if ad[i] != bd[i] || aw[i] != bw[i] {
+				t.Fatalf("vertex %d edge %d differs: (%d,%d) vs (%d,%d)",
+					u, i, ad[i], aw[i], bd[i], bw[i])
+			}
+		}
+		as, axw := a.InNeighbors(Vertex(u))
+		bs, bxw := b.InNeighbors(Vertex(u))
+		if len(as) != len(bs) {
+			t.Fatalf("vertex %d in-degree differs", u)
+		}
+		for i := range as {
+			if as[i] != bs[i] || axw[i] != bxw[i] {
+				t.Fatalf("vertex %d in-edge %d differs", u, i)
+			}
+		}
+	}
+}

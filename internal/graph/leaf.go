@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// Leaf pruning (paper §4.4): a vertex is a trivial leaf of the shortest
+// path tree when its in-degree is one and it has no out-edges other than
+// the one returning to its unique in-neighbor. Such a vertex can never
+// improve any other vertex's distance, so it is relaxed exactly once and
+// never scheduled. The paper precomputes this property into a bitmap
+// because checking on the fly caused cache misses.
+
+// Bitmap is a simple fixed-size bit set.
+type Bitmap struct {
+	words []uint64
+	n     int
+}
+
+// NewBitmap returns a Bitmap capable of holding n bits, all zero.
+func NewBitmap(n int) *Bitmap {
+	return &Bitmap{words: make([]uint64, (n+63)/64), n: n}
+}
+
+// Len returns the capacity in bits.
+func (b *Bitmap) Len() int { return b.n }
+
+// Set sets bit i. Not safe for concurrent use; see SetAtomic.
+func (b *Bitmap) Set(i int) { b.words[i>>6] |= 1 << (uint(i) & 63) }
+
+// SetAtomic sets bit i with an atomic OR, safe against concurrent
+// SetAtomic/Get on other bits of the same word.
+func (b *Bitmap) SetAtomic(i int) {
+	atomic.OrUint64(&b.words[i>>6], 1<<(uint(i)&63))
+}
+
+// Unset clears bit i. Not safe for concurrent use.
+func (b *Bitmap) Unset(i int) { b.words[i>>6] &^= 1 << (uint(i) & 63) }
+
+// Clear zeroes every bit. Not safe for concurrent use.
+func (b *Bitmap) Clear() {
+	for i := range b.words {
+		b.words[i] = 0
+	}
+}
+
+// Get reports whether bit i is set.
+func (b *Bitmap) Get(i int) bool { return b.words[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// Count returns the number of set bits.
+func (b *Bitmap) Count() int {
+	total := 0
+	for _, w := range b.words {
+		total += bits.OnesCount64(w)
+	}
+	return total
+}
+
+// LeafBitmap precomputes the shortest-path-tree leaf property for every
+// vertex, as in the paper's leaves-pruning optimization.
+func LeafBitmap(g *Graph) *Bitmap {
+	n := g.NumVertices()
+	bm := NewBitmap(n)
+	for u := 0; u < n; u++ {
+		v := Vertex(u)
+		if g.InDegree(v) != 1 {
+			continue
+		}
+		src, _ := g.InNeighbors(v)
+		parent := src[0]
+		dst, _ := g.OutNeighbors(v)
+		leaf := true
+		for _, t := range dst {
+			if t != parent {
+				leaf = false
+				break
+			}
+		}
+		if leaf {
+			bm.Set(u)
+		}
+	}
+	return bm
+}

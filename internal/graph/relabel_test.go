@@ -1,0 +1,68 @@
+package graph
+
+import "testing"
+
+func TestRelabelByDegreeOrdering(t *testing.T) {
+	// Vertex 2 has the highest degree and must become vertex 0.
+	g := FromEdges(4, true, []Edge{
+		{From: 2, To: 0, W: 1}, {From: 2, To: 1, W: 2}, {From: 2, To: 3, W: 3},
+		{From: 0, To: 1, W: 4},
+	})
+	rg, oldToNew := RelabelByDegree(g)
+	if oldToNew[2] != 0 {
+		t.Fatalf("hub mapped to %d, want 0", oldToNew[2])
+	}
+	if rg.OutDegree(0) != 3 {
+		t.Fatalf("new vertex 0 degree = %d, want 3", rg.OutDegree(0))
+	}
+	if rg.NumEdges() != g.NumEdges() || rg.NumVertices() != g.NumVertices() {
+		t.Fatalf("shape changed: %v vs %v", rg, g)
+	}
+	// The permutation must be a bijection.
+	seen := make([]bool, 4)
+	for _, nv := range oldToNew {
+		if seen[nv] {
+			t.Fatal("permutation not injective")
+		}
+		seen[nv] = true
+	}
+}
+
+func TestRelabelPreservesEdges(t *testing.T) {
+	g := FromEdges(5, false, []Edge{
+		{From: 0, To: 1, W: 7}, {From: 1, To: 2, W: 3},
+		{From: 2, To: 3, W: 5}, {From: 3, To: 4, W: 9}, {From: 4, To: 0, W: 2},
+	})
+	rg, oldToNew := RelabelByDegree(g)
+	if rg.NumEdges() != g.NumEdges() {
+		t.Fatalf("edge count changed: %d vs %d", rg.NumEdges(), g.NumEdges())
+	}
+	// Every original edge must exist with the same weight under the map.
+	for u := 0; u < g.NumVertices(); u++ {
+		dst, wts := g.OutNeighbors(Vertex(u))
+		for i, v := range dst {
+			nu, nv := oldToNew[u], oldToNew[v]
+			rdst, rwts := rg.OutNeighbors(nu)
+			found := false
+			for j, rv := range rdst {
+				if rv == nv && rwts[j] == wts[i] {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d,w=%d) lost after relabeling", u, v, wts[i])
+			}
+		}
+	}
+}
+
+func TestApplyPermutation(t *testing.T) {
+	oldToNew := []Vertex{2, 0, 1}
+	in := []uint32{10, 20, 30} // indexed by new id
+	out := ApplyPermutation(in, oldToNew)
+	// out[old] = in[oldToNew[old]]
+	if out[0] != 30 || out[1] != 10 || out[2] != 20 {
+		t.Fatalf("out = %v", out)
+	}
+}

@@ -1,0 +1,64 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Stats summarizes a graph's structure. It backs the dataset tables
+// (paper Tables 1 and 4) and the workload descriptions in EXPERIMENTS.md.
+type Stats struct {
+	Vertices     int
+	Edges        int64 // directed edge count (undirected edges counted twice)
+	Directed     bool
+	AvgOutDegree float64
+	MaxOutDegree int
+	MaxDegreeV   Vertex
+	Isolated     int // vertices with no out- and no in-edges
+	SPTreeLeaves int // trivial shortest-path-tree leaves (paper §4.4)
+	DegreeP50    int
+	DegreeP90    int
+	DegreeP99    int
+}
+
+// ComputeStats scans the graph once and returns its Stats.
+func ComputeStats(g *Graph) Stats {
+	n := g.NumVertices()
+	s := Stats{
+		Vertices: n,
+		Edges:    g.NumEdges(),
+		Directed: g.Directed(),
+	}
+	degs := make([]int, n)
+	for u := 0; u < n; u++ {
+		d := g.OutDegree(Vertex(u))
+		degs[u] = d
+		if d > s.MaxOutDegree {
+			s.MaxOutDegree = d
+			s.MaxDegreeV = Vertex(u)
+		}
+		if d == 0 && g.InDegree(Vertex(u)) == 0 {
+			s.Isolated++
+		}
+	}
+	if n > 0 {
+		s.AvgOutDegree = float64(s.Edges) / float64(n)
+		sort.Ints(degs)
+		s.DegreeP50 = degs[n/2]
+		s.DegreeP90 = degs[min(n-1, n*9/10)]
+		s.DegreeP99 = degs[min(n-1, n*99/100)]
+	}
+	s.SPTreeLeaves = LeafBitmap(g).Count()
+	return s
+}
+
+// String renders the stats as a single table row.
+func (s Stats) String() string {
+	kind := "undirected"
+	if s.Directed {
+		kind = "directed"
+	}
+	return fmt.Sprintf("|V|=%d |E|=%d %s avg-deg=%.2f max-deg=%d p50/p90/p99=%d/%d/%d leaves=%d",
+		s.Vertices, s.Edges, kind, s.AvgOutDegree, s.MaxOutDegree,
+		s.DegreeP50, s.DegreeP90, s.DegreeP99, s.SPTreeLeaves)
+}

@@ -1,0 +1,113 @@
+// Package heap implements a d-ary min-heap over (priority, vertex)
+// pairs. The MultiQueue baseline uses 8-ary heaps, matching the
+// optimized configuration in the Wasp paper's evaluation (§5 "Baselines
+// Configuration"): wider nodes trade deeper compares for fewer cache
+// misses, which is what made d=8 the paper's choice.
+package heap
+
+// Item is a prioritized vertex.
+type Item struct {
+	Prio   uint64 // smaller is better (distance from the source)
+	Vertex uint32
+}
+
+// DAry is a d-ary min-heap. The zero value with Arity 0 defaults to 8.
+type DAry struct {
+	Arity int
+	items []Item
+}
+
+// New returns an empty heap with the given arity (0 → 8) and capacity.
+func New(arity, capacity int) *DAry {
+	if arity <= 0 {
+		arity = 8
+	}
+	return &DAry{Arity: arity, items: make([]Item, 0, capacity)}
+}
+
+// Len returns the number of items.
+func (h *DAry) Len() int { return len(h.items) }
+
+// Reset empties the heap, retaining its storage.
+func (h *DAry) Reset() { h.items = h.items[:0] }
+
+// Empty reports whether the heap has no items.
+func (h *DAry) Empty() bool { return len(h.items) == 0 }
+
+// Top returns the minimum item without removing it.
+func (h *DAry) Top() (Item, bool) {
+	if len(h.items) == 0 {
+		return Item{}, false
+	}
+	return h.items[0], true
+}
+
+// Push inserts an item.
+func (h *DAry) Push(it Item) {
+	h.items = append(h.items, it)
+	h.siftUp(len(h.items) - 1)
+}
+
+// Pop removes and returns the minimum item.
+func (h *DAry) Pop() (Item, bool) {
+	n := len(h.items)
+	if n == 0 {
+		return Item{}, false
+	}
+	top := h.items[0]
+	h.items[0] = h.items[n-1]
+	h.items = h.items[:n-1]
+	if len(h.items) > 0 {
+		h.siftDown(0)
+	}
+	return top, true
+}
+
+func (h *DAry) arity() int {
+	if h.Arity <= 0 {
+		return 8
+	}
+	return h.Arity
+}
+
+func (h *DAry) siftUp(i int) {
+	d := h.arity()
+	it := h.items[i]
+	for i > 0 {
+		parent := (i - 1) / d
+		if h.items[parent].Prio <= it.Prio {
+			break
+		}
+		h.items[i] = h.items[parent]
+		i = parent
+	}
+	h.items[i] = it
+}
+
+func (h *DAry) siftDown(i int) {
+	d := h.arity()
+	n := len(h.items)
+	it := h.items[i]
+	for {
+		first := i*d + 1
+		if first >= n {
+			break
+		}
+		last := first + d
+		if last > n {
+			last = n
+		}
+		best := first
+		for j := first + 1; j < last; j++ {
+			if h.items[j].Prio < h.items[best].Prio {
+				best = j
+			}
+		}
+		if h.items[best].Prio >= it.Prio {
+			break
+		}
+		h.items[i] = h.items[best]
+		i = best
+	}
+	h.items[i] = it
+}

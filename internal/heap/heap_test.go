@@ -1,0 +1,126 @@
+package heap
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wasp/internal/rng"
+)
+
+func TestPushPopOrdered(t *testing.T) {
+	h := New(8, 0)
+	prios := []uint64{5, 3, 9, 1, 7, 3, 0, 8}
+	for i, p := range prios {
+		h.Push(Item{Prio: p, Vertex: uint32(i)})
+	}
+	if h.Len() != len(prios) {
+		t.Fatalf("len = %d", h.Len())
+	}
+	sorted := append([]uint64(nil), prios...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i, want := range sorted {
+		it, ok := h.Pop()
+		if !ok || it.Prio != want {
+			t.Fatalf("pop %d = (%v,%v), want prio %d", i, it, ok, want)
+		}
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("pop from empty")
+	}
+}
+
+func TestTopDoesNotRemove(t *testing.T) {
+	h := New(4, 0)
+	if _, ok := h.Top(); ok {
+		t.Fatal("top of empty")
+	}
+	h.Push(Item{Prio: 2, Vertex: 7})
+	h.Push(Item{Prio: 1, Vertex: 8})
+	it, ok := h.Top()
+	if !ok || it.Prio != 1 || it.Vertex != 8 {
+		t.Fatalf("top = %v", it)
+	}
+	if h.Len() != 2 {
+		t.Fatal("top removed an element")
+	}
+}
+
+func TestArityVariants(t *testing.T) {
+	for _, d := range []int{2, 3, 4, 8, 16} {
+		h := New(d, 0)
+		r := rng.NewXoshiro256(uint64(d))
+		const n = 2000
+		for i := 0; i < n; i++ {
+			h.Push(Item{Prio: uint64(r.IntN(1000)), Vertex: uint32(i)})
+		}
+		prev := uint64(0)
+		for i := 0; i < n; i++ {
+			it, ok := h.Pop()
+			if !ok {
+				t.Fatalf("d=%d: early empty at %d", d, i)
+			}
+			if it.Prio < prev {
+				t.Fatalf("d=%d: order violated: %d after %d", d, it.Prio, prev)
+			}
+			prev = it.Prio
+		}
+	}
+}
+
+func TestZeroArityDefaults(t *testing.T) {
+	h := New(0, 10)
+	h.Push(Item{Prio: 1})
+	if h.arity() != 8 {
+		t.Fatalf("default arity = %d", h.arity())
+	}
+}
+
+// Property: popping everything always yields a sorted sequence equal to
+// the multiset pushed.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(prios []uint16) bool {
+		h := New(8, len(prios))
+		for i, p := range prios {
+			h.Push(Item{Prio: uint64(p), Vertex: uint32(i)})
+		}
+		var got []uint64
+		for {
+			it, ok := h.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, it.Prio)
+		}
+		if len(got) != len(prios) {
+			return false
+		}
+		want := make([]uint64, len(prios))
+		for i, p := range prios {
+			want[i] = uint64(p)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPushPop8ary(b *testing.B) {
+	h := New(8, 1024)
+	r := rng.NewXoshiro256(1)
+	for i := 0; i < 1024; i++ {
+		h.Push(Item{Prio: r.Next() % 100000})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(Item{Prio: r.Next() % 100000})
+		h.Pop()
+	}
+}

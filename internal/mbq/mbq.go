@@ -1,0 +1,201 @@
+// Package mbq implements the Multi Bucket Queue of Zhang, Posluns and
+// Jeffrey (SPAA 2024), discussed in the Wasp paper's related work (§6):
+// a MultiQueue-style relaxed scheduler whose c·p lock-protected queues
+// are bucket structures rather than heaps — a bounded window of
+// buckets over coarsened priorities, with an overflow bucket for tasks
+// beyond the window. Bucketing removes the heaps' logarithmic
+// per-element cost but, as the paper notes, "the implementation still
+// uses locking", in contrast to Wasp's lock-free deques.
+package mbq
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"wasp/internal/heap"
+	"wasp/internal/rng"
+)
+
+// Config parameterizes a Multi Bucket Queue.
+type Config struct {
+	Threads int    // number of worker threads
+	C       int    // queues per thread (0 → 2)
+	Buckets int    // window width in buckets (0 → 64)
+	Delta   uint64 // priority-to-bucket coarsening (0 → 1)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.C <= 0 {
+		c.C = 2
+	}
+	if c.Buckets <= 0 {
+		c.Buckets = 64
+	}
+	if c.Delta == 0 {
+		c.Delta = 1
+	}
+	return c
+}
+
+// bucketQueue is one lock-protected windowed bucket structure.
+type bucketQueue struct {
+	mu       sync.Mutex
+	base     uint64 // bucket index of window slot 0
+	window   [][]heap.Item
+	overflow []heap.Item
+	count    int
+	minPrio  atomic.Uint64 // cached best priority, ^0 when empty
+	_        [24]byte
+}
+
+func (q *bucketQueue) refreshMin(delta uint64) {
+	for i, b := range q.window {
+		if len(b) > 0 {
+			q.minPrio.Store((q.base + uint64(i)) * delta)
+			return
+		}
+	}
+	if len(q.overflow) > 0 {
+		// Scan the overflow for its minimum (rare path).
+		min := ^uint64(0)
+		for _, it := range q.overflow {
+			if it.Prio < min {
+				min = it.Prio
+			}
+		}
+		q.minPrio.Store(min)
+		return
+	}
+	q.minPrio.Store(^uint64(0))
+}
+
+// push places it under the lock.
+func (q *bucketQueue) push(it heap.Item, delta uint64) {
+	idx := it.Prio / delta
+	switch {
+	case idx < q.base:
+		// Window already advanced past this priority: most urgent slot.
+		q.window[0] = append(q.window[0], it)
+	case idx-q.base < uint64(len(q.window)):
+		q.window[idx-q.base] = append(q.window[idx-q.base], it)
+	default:
+		q.overflow = append(q.overflow, it)
+	}
+	q.count++
+	if p := it.Prio; p < q.minPrio.Load() {
+		q.minPrio.Store(p)
+	}
+}
+
+// pop removes an item from the lowest non-empty bucket.
+func (q *bucketQueue) pop(delta uint64) (heap.Item, bool) {
+	if q.count == 0 {
+		return heap.Item{}, false
+	}
+	for {
+		for i := range q.window {
+			b := q.window[i]
+			if len(b) == 0 {
+				continue
+			}
+			it := b[len(b)-1]
+			q.window[i] = b[:len(b)-1]
+			q.count--
+			q.refreshMin(delta)
+			return it, true
+		}
+		if len(q.overflow) == 0 {
+			q.minPrio.Store(^uint64(0))
+			return heap.Item{}, false
+		}
+		// Rebase the window onto the overflow's minimum bucket.
+		min := ^uint64(0)
+		for _, it := range q.overflow {
+			if idx := it.Prio / delta; idx < min {
+				min = idx
+			}
+		}
+		q.base = min
+		keep := q.overflow[:0]
+		for _, it := range q.overflow {
+			idx := it.Prio / delta
+			if idx-q.base < uint64(len(q.window)) {
+				q.window[idx-q.base] = append(q.window[idx-q.base], it)
+			} else {
+				keep = append(keep, it)
+			}
+		}
+		q.overflow = keep
+	}
+}
+
+// MBQ is a Multi Bucket Queue. Use one Handle per worker.
+type MBQ struct {
+	cfg    Config
+	queues []*bucketQueue
+	size   atomic.Int64
+}
+
+// New returns an MBQ for cfg.Threads workers.
+func New(cfg Config) *MBQ {
+	cfg = cfg.withDefaults()
+	m := &MBQ{cfg: cfg, queues: make([]*bucketQueue, cfg.Threads*cfg.C)}
+	for i := range m.queues {
+		q := &bucketQueue{window: make([][]heap.Item, cfg.Buckets)}
+		q.minPrio.Store(^uint64(0))
+		m.queues[i] = q
+	}
+	return m
+}
+
+// Empty reports whether the queue appears globally empty (exact at
+// quiescence).
+func (m *MBQ) Empty() bool { return m.size.Load() == 0 }
+
+// Len returns the approximate global element count.
+func (m *MBQ) Len() int { return int(m.size.Load()) }
+
+// Handle is a per-worker accessor. Not safe for concurrent use.
+type Handle struct {
+	m *MBQ
+	r *rng.Xoshiro256
+}
+
+// NewHandle returns a handle for one worker.
+func (m *MBQ) NewHandle(id int) *Handle {
+	return &Handle{m: m, r: rng.NewXoshiro256(uint64(id)*0x9e3779b97f4a7c15 + 13)}
+}
+
+// Push inserts an item into a random queue.
+func (h *Handle) Push(it heap.Item) {
+	q := h.m.queues[h.r.IntN(len(h.m.queues))]
+	q.mu.Lock()
+	q.push(it, h.m.cfg.Delta)
+	q.mu.Unlock()
+	h.m.size.Add(1)
+}
+
+// Pop removes an item using two-choice selection over the queues'
+// cached minimum priorities. ok is false when every probed queue was
+// empty this attempt.
+func (h *Handle) Pop() (heap.Item, bool) {
+	n := len(h.m.queues)
+	for attempt := 0; attempt < 2*n; attempt++ {
+		a := h.m.queues[h.r.IntN(n)]
+		b := h.m.queues[h.r.IntN(n)]
+		if b.minPrio.Load() < a.minPrio.Load() {
+			a = b
+		}
+		a.mu.Lock()
+		it, ok := a.pop(h.m.cfg.Delta)
+		a.mu.Unlock()
+		if ok {
+			h.m.size.Add(-1)
+			return it, true
+		}
+	}
+	return heap.Item{}, false
+}

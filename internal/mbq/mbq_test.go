@@ -1,0 +1,144 @@
+package mbq
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	"wasp/internal/heap"
+	"wasp/internal/parallel"
+	"wasp/internal/rng"
+)
+
+func TestSingleThreadDrain(t *testing.T) {
+	m := New(Config{Threads: 1, Delta: 4})
+	h := m.NewHandle(0)
+	const n = 1000
+	for i := 0; i < n; i++ {
+		h.Push(heap.Item{Prio: uint64(i * 7 % 509), Vertex: uint32(i)})
+	}
+	seen := 0
+	for {
+		if _, ok := h.Pop(); !ok {
+			break
+		}
+		seen++
+	}
+	if seen != n || !m.Empty() {
+		t.Fatalf("drained %d of %d", seen, n)
+	}
+}
+
+func TestOverflowRebasesCorrectly(t *testing.T) {
+	// Window of 4 buckets, Δ=1: priority 1000 lands in overflow and
+	// must come back out after the window drains.
+	m := New(Config{Threads: 1, Buckets: 4, Delta: 1})
+	h := m.NewHandle(0)
+	h.Push(heap.Item{Prio: 2, Vertex: 1})
+	h.Push(heap.Item{Prio: 1000, Vertex: 2})
+	it, ok := h.Pop()
+	if !ok || it.Vertex != 1 {
+		t.Fatalf("first pop = %v %v", it, ok)
+	}
+	it, ok = h.Pop()
+	if !ok || it.Vertex != 2 {
+		t.Fatalf("overflow pop = %v %v", it, ok)
+	}
+	if _, ok := h.Pop(); ok {
+		t.Fatal("expected empty")
+	}
+}
+
+func TestPopsPreferLowBuckets(t *testing.T) {
+	m := New(Config{Threads: 1, Delta: 16})
+	h := m.NewHandle(0)
+	const n = 4000
+	for i := 0; i < n; i++ {
+		h.Push(heap.Item{Prio: uint64(i)})
+	}
+	var sum uint64
+	const k = n / 4
+	for i := 0; i < k; i++ {
+		it, ok := h.Pop()
+		if !ok {
+			t.Fatal("early empty")
+		}
+		sum += it.Prio
+	}
+	if mean := float64(sum) / k; mean > n/2 {
+		t.Fatalf("popped mean %.0f no better than random", mean)
+	}
+}
+
+func TestDeltaCoarseningBounds(t *testing.T) {
+	// With Δ=64 and a 64-bucket window, priorities up to 4095 stay in
+	// the window; pops within a bucket are unordered but bucket order
+	// must be non-decreasing when draining single-threaded from a
+	// freshly filled queue with one underlying queue.
+	m := New(Config{Threads: 1, C: 1, Buckets: 64, Delta: 64})
+	h := m.NewHandle(0)
+	r := rng.NewXoshiro256(9)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		h.Push(heap.Item{Prio: r.Next() % 4096})
+	}
+	prevBucket := uint64(0)
+	for i := 0; i < n; i++ {
+		it, ok := h.Pop()
+		if !ok {
+			t.Fatalf("early empty at %d", i)
+		}
+		b := it.Prio / 64
+		if b < prevBucket {
+			t.Fatalf("bucket order violated: %d after %d", b, prevBucket)
+		}
+		prevBucket = b
+	}
+}
+
+func TestConcurrentConservation(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const workers = 4
+	const each = 5000
+	m := New(Config{Threads: workers, Delta: 8})
+	var popped atomic.Int64
+	parallel.Run(workers, func(w int) {
+		h := m.NewHandle(w)
+		r := rng.NewXoshiro256(uint64(w) + 77)
+		for i := 0; i < each; i++ {
+			h.Push(heap.Item{Prio: r.Next() % 2048})
+			if i%2 == 1 {
+				if _, ok := h.Pop(); ok {
+					popped.Add(1)
+				}
+			}
+		}
+		for {
+			if _, ok := h.Pop(); !ok {
+				break
+			}
+			popped.Add(1)
+		}
+	})
+	h := m.NewHandle(99)
+	for !m.Empty() {
+		if _, ok := h.Pop(); ok {
+			popped.Add(1)
+		}
+	}
+	if got := popped.Load(); got != workers*each {
+		t.Fatalf("popped %d of %d", got, workers*each)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.Threads != 1 || cfg.C != 2 || cfg.Buckets != 64 || cfg.Delta != 1 {
+		t.Fatalf("defaults = %+v", cfg)
+	}
+	m := New(Config{Threads: 3})
+	if len(m.queues) != 6 {
+		t.Fatalf("queues = %d", len(m.queues))
+	}
+}

@@ -1,0 +1,70 @@
+// Package metrics collects the per-worker execution counters behind the
+// paper's analysis figures: edge-relaxation counts (Figure 8's priority
+// drift analysis), steal-protocol statistics (§4.2), barrier wait time
+// (Figure 1), and queue-operation time (Figure 2). Counters are plain
+// per-worker fields — no atomics on the hot path — padded to cache
+// lines and summed once after a run.
+package metrics
+
+import "time"
+
+// Worker holds one worker's counters. Workers update their own struct
+// without synchronization; aggregation happens after all workers join.
+type Worker struct {
+	Relaxations    int64 // edge relaxations attempted (paper Fig 8 counts these)
+	Improvements   int64 // relaxations that lowered a distance
+	StaleSkips     int64 // vertices skipped by the staleness check (Alg 1 line 20)
+	StealAttempts  int64 // victims inspected
+	StealHits      int64 // chunks successfully stolen
+	StealRounds    int64 // work_stealing() invocations
+	ChunksDrained  int64 // chunks fully processed
+	BucketAdvances int64 // moves to a new local priority level
+	QueueOpNS      int64 // time inside shared-queue operations (Fig 2)
+	BarrierNS      int64 // time blocked at barriers (Fig 1)
+	StealNS        int64 // time inside steal rounds (Wasp breakdown)
+	IdleNS         int64 // time idling at priority ∞ (Wasp breakdown)
+
+	_ [32]byte // pad to reduce false sharing between adjacent workers
+}
+
+// AddQueueOp accrues shared-queue time.
+func (w *Worker) AddQueueOp(d time.Duration) { w.QueueOpNS += int64(d) }
+
+// Set is a fixed collection of per-worker metrics.
+type Set struct {
+	Workers []Worker
+}
+
+// NewSet returns metrics storage for p workers.
+func NewSet(p int) *Set { return &Set{Workers: make([]Worker, p)} }
+
+// Totals sums all workers' counters into a single Worker value.
+func (s *Set) Totals() Worker {
+	var t Worker
+	for i := range s.Workers {
+		w := &s.Workers[i]
+		t.Relaxations += w.Relaxations
+		t.Improvements += w.Improvements
+		t.StaleSkips += w.StaleSkips
+		t.StealAttempts += w.StealAttempts
+		t.StealHits += w.StealHits
+		t.StealRounds += w.StealRounds
+		t.ChunksDrained += w.ChunksDrained
+		t.BucketAdvances += w.BucketAdvances
+		t.QueueOpNS += w.QueueOpNS
+		t.BarrierNS += w.BarrierNS
+		t.StealNS += w.StealNS
+		t.IdleNS += w.IdleNS
+	}
+	return t
+}
+
+// QueueOpTime returns the summed shared-queue time.
+func (s *Set) QueueOpTime() time.Duration {
+	return time.Duration(s.Totals().QueueOpNS)
+}
+
+// BarrierTime returns the summed barrier wait time.
+func (s *Set) BarrierTime() time.Duration {
+	return time.Duration(s.Totals().BarrierNS)
+}

@@ -1,0 +1,52 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTotals(t *testing.T) {
+	s := NewSet(3)
+	s.Workers[0].Relaxations = 10
+	s.Workers[1].Relaxations = 20
+	s.Workers[2].Relaxations = 30
+	s.Workers[0].StealHits = 1
+	s.Workers[2].BarrierNS = int64(2 * time.Millisecond)
+	s.Workers[1].AddQueueOp(3 * time.Millisecond)
+
+	tot := s.Totals()
+	if tot.Relaxations != 60 {
+		t.Fatalf("relaxations = %d", tot.Relaxations)
+	}
+	if tot.StealHits != 1 {
+		t.Fatalf("steal hits = %d", tot.StealHits)
+	}
+	if s.BarrierTime() != 2*time.Millisecond {
+		t.Fatalf("barrier time = %v", s.BarrierTime())
+	}
+	if s.QueueOpTime() != 3*time.Millisecond {
+		t.Fatalf("queue time = %v", s.QueueOpTime())
+	}
+}
+
+func TestAllFieldsAggregated(t *testing.T) {
+	s := NewSet(2)
+	w := &s.Workers[0]
+	w.Relaxations = 1
+	w.Improvements = 2
+	w.StaleSkips = 3
+	w.StealAttempts = 4
+	w.StealHits = 5
+	w.StealRounds = 6
+	w.ChunksDrained = 7
+	w.BucketAdvances = 8
+	w.QueueOpNS = 9
+	w.BarrierNS = 10
+	tot := s.Totals()
+	if tot.Relaxations != 1 || tot.Improvements != 2 || tot.StaleSkips != 3 ||
+		tot.StealAttempts != 4 || tot.StealHits != 5 || tot.StealRounds != 6 ||
+		tot.ChunksDrained != 7 || tot.BucketAdvances != 8 ||
+		tot.QueueOpNS != 9 || tot.BarrierNS != 10 {
+		t.Fatalf("totals dropped a field: %+v", tot)
+	}
+}

@@ -1,0 +1,40 @@
+package mq
+
+import (
+	"testing"
+
+	"wasp/internal/heap"
+	"wasp/internal/parallel"
+	"wasp/internal/rng"
+)
+
+// Single-handle throughput: alternating push/pop, the queue's
+// steady-state SSSP pattern.
+func BenchmarkPushPopSingle(b *testing.B) {
+	m := New(Config{Threads: 1})
+	h := m.NewHandle(0)
+	r := rng.NewXoshiro256(1)
+	for i := 0; i < 256; i++ {
+		h.Push(heap.Item{Prio: r.Next() % 4096})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(heap.Item{Prio: r.Next() % 4096})
+		h.Pop()
+	}
+}
+
+// Contended throughput: 4 handles hammering the shared queues.
+func BenchmarkPushPopContended(b *testing.B) {
+	const workers = 4
+	m := New(Config{Threads: workers})
+	b.ResetTimer()
+	parallel.Run(workers, func(w int) {
+		h := m.NewHandle(w)
+		r := rng.NewXoshiro256(uint64(w))
+		for i := 0; i < b.N/workers; i++ {
+			h.Push(heap.Item{Prio: r.Next() % 4096})
+			h.Pop()
+		}
+	})
+}

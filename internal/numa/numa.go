@@ -1,0 +1,108 @@
+// Package numa models the NUMA hierarchy that Wasp's work-stealing
+// protocol is aware of (paper §4.2). The paper's machines expose the
+// hierarchy through libnuma; the Go standard library has no NUMA
+// introspection, so the hierarchy here is a declared topology: workers
+// are assigned to cores, cores to nodes, nodes to sockets, and the
+// steal protocol walks victim tiers ordered by that declared distance.
+//
+// The policy — scan topologically-close victims before remote ones — is
+// implemented exactly as in the paper; only the physical latency
+// asymmetry that motivates it is simulated rather than measured. See
+// DESIGN.md §1 for the substitution rationale.
+package numa
+
+import "fmt"
+
+// Topology describes a machine as sockets × nodes-per-socket ×
+// cores-per-node. Worker w occupies core w % TotalCores().
+type Topology struct {
+	Sockets        int
+	NodesPerSocket int
+	CoresPerNode   int
+}
+
+// EPYC7713 mirrors the paper's EPYC machine: 2 sockets, 4 NUMA nodes
+// per socket, 16 cores per node (128 cores).
+var EPYC7713 = Topology{Sockets: 2, NodesPerSocket: 4, CoresPerNode: 16}
+
+// XEON6438Y mirrors the paper's XEON machine: 2 sockets, 2 sub-NUMA
+// nodes per socket, 16 cores per node (64 cores, 128 hardware threads).
+var XEON6438Y = Topology{Sockets: 2, NodesPerSocket: 2, CoresPerNode: 16}
+
+// Flat is a topology with no locality structure: every worker is in the
+// same tier. Useful as a control in the steal-policy experiments.
+var Flat = Topology{Sockets: 1, NodesPerSocket: 1, CoresPerNode: 1 << 20}
+
+// ForWorkers returns a small topology sized for p workers: up to 8
+// workers per node, up to 4 nodes per socket. It keeps the tier
+// structure meaningful at laptop scale.
+func ForWorkers(p int) Topology {
+	if p <= 8 {
+		return Topology{Sockets: 1, NodesPerSocket: 1, CoresPerNode: p}
+	}
+	nodes := (p + 7) / 8
+	sockets := 1
+	if nodes > 4 {
+		sockets = (nodes + 3) / 4
+		nodes = 4
+	}
+	return Topology{Sockets: sockets, NodesPerSocket: nodes, CoresPerNode: 8}
+}
+
+// TotalCores returns the number of cores in the topology.
+func (t Topology) TotalCores() int {
+	return t.Sockets * t.NodesPerSocket * t.CoresPerNode
+}
+
+// Node returns the global node index of worker w.
+func (t Topology) Node(w int) int {
+	return (w % t.TotalCores()) / t.CoresPerNode
+}
+
+// Socket returns the socket index of worker w.
+func (t Topology) Socket(w int) int {
+	return t.Node(w) / t.NodesPerSocket
+}
+
+// Distance returns the tier distance between two workers: 0 for the
+// same node, 1 for the same socket, 2 across sockets.
+func (t Topology) Distance(a, b int) int {
+	switch {
+	case t.Node(a) == t.Node(b):
+		return 0
+	case t.Socket(a) == t.Socket(b):
+		return 1
+	default:
+		return 2
+	}
+}
+
+// String describes the topology.
+func (t Topology) String() string {
+	return fmt.Sprintf("numa{%d sockets × %d nodes × %d cores}",
+		t.Sockets, t.NodesPerSocket, t.CoresPerNode)
+}
+
+// Tiers returns, for a thief among p workers, the victim worker ids
+// grouped by tier distance: Tiers[0] holds same-node victims, Tiers[1]
+// same-socket, Tiers[2] remote. The thief itself is excluded. Empty
+// tiers are trimmed. The result is deterministic so workers can
+// precompute it once at startup (the protocol's scans are then
+// allocation-free).
+func (t Topology) Tiers(thief, p int) [][]int {
+	tiers := make([][]int, 3)
+	for v := 0; v < p; v++ {
+		if v == thief {
+			continue
+		}
+		d := t.Distance(thief, v)
+		tiers[d] = append(tiers[d], v)
+	}
+	out := tiers[:0]
+	for _, tier := range tiers {
+		if len(tier) > 0 {
+			out = append(out, tier)
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+package numa
+
+import "testing"
+
+func TestPresetShapes(t *testing.T) {
+	if EPYC7713.TotalCores() != 128 {
+		t.Fatalf("EPYC cores = %d", EPYC7713.TotalCores())
+	}
+	if XEON6438Y.TotalCores() != 64 {
+		t.Fatalf("XEON cores = %d", XEON6438Y.TotalCores())
+	}
+}
+
+func TestNodeSocketAssignment(t *testing.T) {
+	top := Topology{Sockets: 2, NodesPerSocket: 2, CoresPerNode: 4}
+	cases := []struct{ w, node, socket int }{
+		{0, 0, 0}, {3, 0, 0}, {4, 1, 0}, {7, 1, 0},
+		{8, 2, 1}, {15, 3, 1},
+		{16, 0, 0}, // wraps modulo total cores
+	}
+	for _, c := range cases {
+		if got := top.Node(c.w); got != c.node {
+			t.Errorf("Node(%d) = %d, want %d", c.w, got, c.node)
+		}
+		if got := top.Socket(c.w); got != c.socket {
+			t.Errorf("Socket(%d) = %d, want %d", c.w, got, c.socket)
+		}
+	}
+}
+
+func TestDistance(t *testing.T) {
+	top := Topology{Sockets: 2, NodesPerSocket: 2, CoresPerNode: 4}
+	if d := top.Distance(0, 1); d != 0 {
+		t.Errorf("same node distance = %d", d)
+	}
+	if d := top.Distance(0, 4); d != 1 {
+		t.Errorf("same socket distance = %d", d)
+	}
+	if d := top.Distance(0, 8); d != 2 {
+		t.Errorf("cross socket distance = %d", d)
+	}
+}
+
+func TestTiersPartition(t *testing.T) {
+	top := Topology{Sockets: 2, NodesPerSocket: 2, CoresPerNode: 4}
+	const p = 16
+	for thief := 0; thief < p; thief++ {
+		tiers := top.Tiers(thief, p)
+		seen := map[int]bool{thief: true}
+		total := 0
+		prevDist := -1
+		for _, tier := range tiers {
+			if len(tier) == 0 {
+				t.Fatalf("empty tier not trimmed")
+			}
+			d := top.Distance(thief, tier[0])
+			if d <= prevDist {
+				t.Fatalf("tiers not ordered by distance")
+			}
+			prevDist = d
+			for _, v := range tier {
+				if seen[v] {
+					t.Fatalf("victim %d repeated for thief %d", v, thief)
+				}
+				if top.Distance(thief, v) != d {
+					t.Fatalf("tier mixes distances")
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		if total != p-1 {
+			t.Fatalf("thief %d: %d victims, want %d", thief, total, p-1)
+		}
+	}
+}
+
+func TestForWorkers(t *testing.T) {
+	for _, p := range []int{1, 2, 8, 9, 16, 64, 128} {
+		top := ForWorkers(p)
+		if top.TotalCores() < p {
+			t.Errorf("ForWorkers(%d) = %v holds only %d cores", p, top, top.TotalCores())
+		}
+		// Every worker must have all others reachable through tiers.
+		tiers := top.Tiers(0, p)
+		total := 0
+		for _, tier := range tiers {
+			total += len(tier)
+		}
+		if total != p-1 {
+			t.Errorf("ForWorkers(%d): tier coverage %d, want %d", p, total, p-1)
+		}
+	}
+}
+
+func TestFlatTopologySingleTier(t *testing.T) {
+	tiers := Flat.Tiers(0, 32)
+	if len(tiers) != 1 || len(tiers[0]) != 31 {
+		t.Fatalf("flat tiers = %v", tiers)
+	}
+}
+
+func TestString(t *testing.T) {
+	if EPYC7713.String() == "" {
+		t.Fatal("empty description")
+	}
+}

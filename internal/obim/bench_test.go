@@ -1,0 +1,36 @@
+package obim
+
+import (
+	"testing"
+
+	"wasp/internal/parallel"
+	"wasp/internal/rng"
+)
+
+func BenchmarkPushPopSingle(b *testing.B) {
+	s := New()
+	h := s.NewHandle()
+	r := rng.NewXoshiro256(1)
+	for i := 0; i < 256; i++ {
+		h.Push(uint32(i), r.Next()%64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(uint32(i), r.Next()%64)
+		h.Pop()
+	}
+}
+
+func BenchmarkPushPopContended(b *testing.B) {
+	const workers = 4
+	s := New()
+	b.ResetTimer()
+	parallel.Run(workers, func(w int) {
+		h := s.NewHandle()
+		r := rng.NewXoshiro256(uint64(w))
+		for i := 0; i < b.N/workers; i++ {
+			h.Push(uint32(i), r.Next()%64)
+			h.Pop()
+		}
+	})
+}

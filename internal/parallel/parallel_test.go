@@ -1,0 +1,66 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	const n = 100000
+	var hits [n]atomic.Int32
+	For(4, n, 128, func(i int) { hits[i].Add(1) })
+	for i := 0; i < n; i++ {
+		if hits[i].Load() != 1 {
+			t.Fatalf("index %d executed %d times", i, hits[i].Load())
+		}
+	}
+}
+
+func TestForSequentialFallback(t *testing.T) {
+	var sum int
+	For(1, 100, 0, func(i int) { sum += i }) // p=1: runs inline, no races
+	if sum != 4950 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestForSmallNInline(t *testing.T) {
+	var sum int
+	For(8, 10, 64, func(i int) { sum += i }) // n <= grain: inline
+	if sum != 45 {
+		t.Fatalf("sum = %d", sum)
+	}
+}
+
+func TestForZeroN(t *testing.T) {
+	called := false
+	For(4, 0, 64, func(int) { called = true })
+	if called {
+		t.Fatal("body called for n=0")
+	}
+}
+
+func TestForWorkersIDsInRange(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	var bad atomic.Int32
+	ForWorkers(4, 10000, 16, func(w, i int) {
+		if w < 0 || w >= 4 {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Fatal("worker id out of range")
+	}
+}
+
+func TestRunAllWorkersExecute(t *testing.T) {
+	var mask atomic.Int64
+	Run(8, func(w int) { mask.Add(1 << w) })
+	if mask.Load() != (1<<8)-1 {
+		t.Fatalf("mask = %b", mask.Load())
+	}
+}

@@ -1,0 +1,138 @@
+// Package prune implements graph-aware tree pruning for SSSP, the
+// preprocessing the Wasp paper's §4.4 points to as future work (its
+// reference [21], D'Antonio et al., "Relax and Don't Stop: Graph-aware
+// Asynchronous SSSP", FCPC 2025): pendant trees — maximal subtrees
+// hanging off the graph by a single vertex — can never carry a shortest
+// path between core vertices, so they are stripped before the solve and
+// their distances reconstructed afterwards by a single downward sweep.
+//
+// This generalizes the paper's leaf-pruning optimization (which handles
+// only depth-1 leaves, at scheduling time) to arbitrary-depth pendant
+// trees, at preprocessing time, and works with every SSSP
+// implementation because it wraps the solve instead of hooking its
+// scheduler.
+//
+// Only undirected graphs are pruned: on directed graphs a pendant
+// structure must be pendant in both directions, which the simple degree
+// rule does not capture, so Prepare returns the identity mapping.
+package prune
+
+import (
+	"wasp/internal/graph"
+)
+
+// strippedEdge records how a pruned vertex hangs off the remainder.
+type strippedEdge struct {
+	v      graph.Vertex // the pruned vertex
+	parent graph.Vertex // its unique remaining neighbor at prune time
+	w      graph.Weight
+}
+
+// Pruned is the preprocessing result: the core graph plus the recipe
+// for reconstructing pruned distances.
+type Pruned struct {
+	// Core is the graph with pendant trees removed. Vertex ids are
+	// preserved (pruned vertices become isolated), so sources and
+	// distance arrays keep their meaning.
+	Core *graph.Graph
+	// order holds the strip sequence; reconstruction replays it
+	// backwards so parents are final before their children.
+	order []strippedEdge
+	// IsPruned marks vertices that were stripped.
+	IsPruned *graph.Bitmap
+}
+
+// Stripped returns the number of pruned vertices.
+func (p *Pruned) Stripped() int { return len(p.order) }
+
+// Prepare strips pendant trees from g. For directed graphs it returns
+// a no-op Pruned (Core == g).
+func Prepare(g *graph.Graph) *Pruned {
+	n := g.NumVertices()
+	p := &Pruned{Core: g, IsPruned: graph.NewBitmap(n)}
+	if g.Directed() {
+		return p
+	}
+
+	// Iteratively strip degree-1 vertices. deg tracks remaining
+	// degrees; a worklist carries vertices whose degree fell to 1.
+	deg := make([]int32, n)
+	var queue []graph.Vertex
+	for v := 0; v < n; v++ {
+		deg[v] = int32(g.OutDegree(graph.Vertex(v)))
+		if deg[v] == 1 {
+			queue = append(queue, graph.Vertex(v))
+		}
+	}
+	pruned := make([]bool, n)
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		if pruned[v] || deg[v] != 1 {
+			continue
+		}
+		// Find the unique unpruned neighbor.
+		dst, wts := g.OutNeighbors(v)
+		var parent graph.Vertex
+		var w graph.Weight
+		found := false
+		for i, t := range dst {
+			if !pruned[t] {
+				parent, w, found = t, wts[i], true
+				break
+			}
+		}
+		if !found {
+			continue // isolated pair already handled from the other side
+		}
+		pruned[v] = true
+		p.IsPruned.Set(int(v))
+		p.order = append(p.order, strippedEdge{v: v, parent: parent, w: w})
+		deg[parent]--
+		if deg[parent] == 1 {
+			queue = append(queue, parent)
+		}
+	}
+	if len(p.order) == 0 {
+		return p
+	}
+
+	// Build the core graph without edges incident to pruned vertices.
+	b := graph.NewBuilder(n, false)
+	for v := 0; v < n; v++ {
+		if pruned[v] {
+			continue
+		}
+		dst, wts := g.OutNeighbors(graph.Vertex(v))
+		for i, t := range dst {
+			if !pruned[t] && graph.Vertex(v) < t {
+				b.AddEdge(graph.Vertex(v), t, wts[i])
+			}
+		}
+	}
+	p.Core = b.Build()
+	return p
+}
+
+// Restore fills the distances of pruned vertices into dist (computed on
+// Core from a source that must itself be unpruned) by replaying the
+// strip order backwards: each vertex's distance is its parent's final
+// distance plus the pendant edge weight.
+func (p *Pruned) Restore(dist []uint32) {
+	for i := len(p.order) - 1; i >= 0; i-- {
+		e := p.order[i]
+		if dp := dist[e.parent]; dp != graph.Infinity {
+			nd := dp + e.w
+			if nd < dist[e.v] {
+				dist[e.v] = nd
+			}
+		}
+	}
+}
+
+// SourceUsable reports whether src survives pruning (a pruned source
+// would see an empty core component; callers should pick a core source
+// or skip pruning).
+func (p *Pruned) SourceUsable(src graph.Vertex) bool {
+	return !p.IsPruned.Get(int(src))
+}

@@ -1,0 +1,131 @@
+package prune
+
+import (
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/verify"
+)
+
+func TestPendantChainStripped(t *testing.T) {
+	// Core triangle {0,1,2} with a pendant chain 2-3-4-5.
+	g := graph.FromEdges(6, false, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1}, {From: 2, To: 0, W: 1},
+		{From: 2, To: 3, W: 2}, {From: 3, To: 4, W: 3}, {From: 4, To: 5, W: 4},
+	})
+	p := Prepare(g)
+	if p.Stripped() != 3 {
+		t.Fatalf("stripped %d vertices, want 3 (the chain)", p.Stripped())
+	}
+	for _, v := range []int{3, 4, 5} {
+		if !p.IsPruned.Get(v) {
+			t.Fatalf("vertex %d not pruned", v)
+		}
+	}
+	if p.IsPruned.Get(0) || p.IsPruned.Get(2) {
+		t.Fatal("core vertex pruned")
+	}
+	// Solve on the core, restore, compare with a full solve.
+	dist := dijkstra.Distances(p.Core, 0)
+	p.Restore(dist)
+	want := dijkstra.Distances(g, 0)
+	if err := verify.Equal(dist, want); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWholeTreeGraph(t *testing.T) {
+	// A pure tree: everything except (at most) the last core remnant
+	// is pendant. Distances must still restore exactly.
+	g := graph.FromEdges(7, false, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 0, To: 2, W: 2},
+		{From: 1, To: 3, W: 3}, {From: 1, To: 4, W: 4},
+		{From: 2, To: 5, W: 5}, {From: 2, To: 6, W: 6},
+	})
+	p := Prepare(g)
+	if p.Stripped() < 5 {
+		t.Fatalf("stripped only %d of a 7-vertex tree", p.Stripped())
+	}
+	src := graph.Vertex(0)
+	if !p.SourceUsable(src) {
+		// The strip order may have consumed vertex 0 too; fall back.
+		t.Skip("root pruned in this strip order")
+	}
+	dist := dijkstra.Distances(p.Core, src)
+	p.Restore(dist)
+	if err := verify.Equal(dist, dijkstra.Distances(g, src)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectedGraphUntouched(t *testing.T) {
+	g := graph.FromEdges(3, true, []graph.Edge{{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1}})
+	p := Prepare(g)
+	if p.Stripped() != 0 || p.Core != g {
+		t.Fatal("directed graph should not be pruned")
+	}
+}
+
+func TestNoPendantsNoCopy(t *testing.T) {
+	// A cycle has no degree-1 vertices: Prepare must return g itself.
+	g := graph.FromEdges(4, false, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+		{From: 2, To: 3, W: 1}, {From: 3, To: 0, W: 1},
+	})
+	p := Prepare(g)
+	if p.Stripped() != 0 || p.Core != g {
+		t.Fatal("cycle should be returned unchanged")
+	}
+}
+
+func TestMawiMassivePruning(t *testing.T) {
+	// The star graph's whole point: the hub's degree-1 spokes are
+	// pendant, so pruning must remove the overwhelming majority.
+	g, _ := gen.Generate("mawi", gen.Config{N: 10000, Seed: 3})
+	p := Prepare(g)
+	if p.Stripped() < g.NumVertices()/2 {
+		t.Fatalf("stripped only %d of %d star vertices", p.Stripped(), g.NumVertices())
+	}
+	src := graph.SourceInLargestComponent(g, 1)
+	if !p.SourceUsable(src) {
+		t.Skip("picked a pruned source")
+	}
+	dist := dijkstra.Distances(p.Core, src)
+	p.Restore(dist)
+	if err := verify.Equal(dist, dijkstra.Distances(g, src)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllWorkloadsRoundTrip(t *testing.T) {
+	for _, name := range []string{"road-usa", "kmer", "kron", "urand", "delaunay"} {
+		g, _ := gen.Generate(name, gen.Config{N: 3000, Seed: 17})
+		p := Prepare(g)
+		src := graph.SourceInLargestComponent(g, 1)
+		if !p.SourceUsable(src) {
+			continue
+		}
+		dist := dijkstra.Distances(p.Core, src)
+		p.Restore(dist)
+		if err := verify.Equal(dist, dijkstra.Distances(g, src)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestDisconnectedPendants(t *testing.T) {
+	// Pendant pair component {3,4} far from the source: must stay
+	// unreachable after restore.
+	g := graph.FromEdges(5, false, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1}, {From: 2, To: 0, W: 1},
+		{From: 3, To: 4, W: 9},
+	})
+	p := Prepare(g)
+	dist := dijkstra.Distances(p.Core, 0)
+	p.Restore(dist)
+	if dist[3] != graph.Infinity || dist[4] != graph.Infinity {
+		t.Fatalf("unreachable pendants got distances: %v", dist)
+	}
+}

@@ -1,0 +1,125 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators used by the graph generators and the randomized schedulers
+// (MultiQueue victim selection, random work stealing).
+//
+// The generators are deliberately not crypto-grade: workloads must be
+// reproducible across runs and machines, and the schedulers need a
+// per-worker source with no shared state, which math/rand's global
+// source does not provide cheaply.
+package rng
+
+import "math"
+
+// SplitMix64 is the splitmix64 generator of Steele, Lea and Flood. It is
+// used both directly (graph generation) and to seed Xoshiro256 states.
+// The zero value is a valid generator seeded with 0.
+type SplitMix64 struct {
+	state uint64
+}
+
+// NewSplitMix64 returns a SplitMix64 seeded with seed.
+func NewSplitMix64(seed uint64) *SplitMix64 {
+	return &SplitMix64{state: seed}
+}
+
+// Next returns the next pseudo-random 64-bit value.
+func (s *SplitMix64) Next() uint64 {
+	s.state += 0x9e3779b97f4a7c15
+	z := s.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Xoshiro256 is the xoshiro256++ generator of Blackman and Vigna.
+// It has a 256-bit state, passes BigCrush, and a Next call is a handful
+// of ALU operations — cheap enough for per-pop scheduler decisions.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a Xoshiro256 whose state is derived from seed
+// via SplitMix64, as recommended by the xoshiro authors.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Next()
+	}
+	// A theoretically possible all-zero state would be a fixed point.
+	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
+		x.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &x
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Next returns the next pseudo-random 64-bit value.
+func (x *Xoshiro256) Next() uint64 {
+	result := rotl(x.s[0]+x.s[3], 23) + x.s[0]
+	t := x.s[1] << 17
+	x.s[2] ^= x.s[0]
+	x.s[3] ^= x.s[1]
+	x.s[1] ^= x.s[2]
+	x.s[0] ^= x.s[3]
+	x.s[2] ^= t
+	x.s[3] = rotl(x.s[3], 45)
+	return result
+}
+
+// Uint32 returns a uniform 32-bit value.
+func (x *Xoshiro256) Uint32() uint32 { return uint32(x.Next() >> 32) }
+
+// IntN returns a uniform value in [0, n). n must be positive.
+// It uses Lemire's multiply-shift rejection-free approximation, which is
+// unbiased enough for scheduling and generation purposes and branch-free.
+func (x *Xoshiro256) IntN(n int) int {
+	if n <= 0 {
+		panic("rng: IntN with non-positive n")
+	}
+	return int((uint64(x.Uint32()) * uint64(n)) >> 32)
+}
+
+// Uint64N returns a uniform value in [0, n). n must be positive.
+func (x *Xoshiro256) Uint64N(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64N with zero n")
+	}
+	// 128-bit multiply-high via two 64x64->64 halves.
+	hi, _ := mul64(x.Next(), n)
+	return hi
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (x *Xoshiro256) Float64() float64 {
+	return float64(x.Next()>>11) * (1.0 / (1 << 53))
+}
+
+// NormFloat64 returns a normally distributed value with mean 0 and
+// standard deviation 1, using the Marsaglia polar method.
+func (x *Xoshiro256) NormFloat64() float64 {
+	for {
+		u := 2*x.Float64() - 1
+		v := 2*x.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	aLo, aHi := a&mask32, a>>32
+	bLo, bHi := b&mask32, b>>32
+	t := aLo*bHi + (aLo*bLo)>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += aHi * bLo
+	hi = aHi*bHi + w2 + (w1 >> 32)
+	lo = a * b
+	return hi, lo
+}

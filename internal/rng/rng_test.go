@@ -1,0 +1,129 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	a := NewSplitMix64(42)
+	b := NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("sequence diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Reference values from the public-domain splitmix64.c by
+	// Sebastiano Vigna, seed 0: the first three outputs.
+	s := NewSplitMix64(0)
+	want := []uint64{0xe220a8397b1dcdaf, 0x6e789e6aa1b965f4, 0x06c45d188009454f}
+	for i, w := range want {
+		if got := s.Next(); got != w {
+			t.Fatalf("output %d = %#x, want %#x", i, got, w)
+		}
+	}
+}
+
+func TestXoshiroSeedsDiffer(t *testing.T) {
+	a := NewXoshiro256(1)
+	b := NewXoshiro256(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Next() == b.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams with different seeds collided %d/100 times", same)
+	}
+}
+
+func TestIntNRange(t *testing.T) {
+	r := NewXoshiro256(7)
+	f := func(n uint16) bool {
+		m := int(n%1000) + 1
+		v := r.IntN(m)
+		return v >= 0 && v < m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64NRange(t *testing.T) {
+	r := NewXoshiro256(9)
+	for _, n := range []uint64{1, 2, 3, 10, 255, 1 << 20, 1 << 40} {
+		for i := 0; i < 100; i++ {
+			if v := r.Uint64N(n); v >= n {
+				t.Fatalf("Uint64N(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntNUniformity(t *testing.T) {
+	r := NewXoshiro256(11)
+	const buckets = 16
+	const samples = 160000
+	counts := make([]int, buckets)
+	for i := 0; i < samples; i++ {
+		counts[r.IntN(buckets)]++
+	}
+	expect := samples / buckets
+	for i, c := range counts {
+		if c < expect*9/10 || c > expect*11/10 {
+			t.Fatalf("bucket %d count %d deviates >10%% from %d", i, c, expect)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewXoshiro256(13)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := NewXoshiro256(17)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("mean %.4f too far from 0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Fatalf("variance %.4f too far from 1", variance)
+	}
+}
+
+func TestIntNPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for IntN(0)")
+		}
+	}()
+	NewXoshiro256(1).IntN(0)
+}
+
+func BenchmarkXoshiroNext(b *testing.B) {
+	r := NewXoshiro256(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Next()
+	}
+	_ = sink
+}

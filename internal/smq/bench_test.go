@@ -1,0 +1,37 @@
+package smq
+
+import (
+	"testing"
+
+	"wasp/internal/heap"
+	"wasp/internal/parallel"
+	"wasp/internal/rng"
+)
+
+func BenchmarkPushPopSingle(b *testing.B) {
+	s := New(Config{Threads: 1})
+	h := s.NewHandle(0)
+	r := rng.NewXoshiro256(1)
+	for i := 0; i < 256; i++ {
+		h.Push(heap.Item{Prio: r.Next() % 4096})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Push(heap.Item{Prio: r.Next() % 4096})
+		h.Pop()
+	}
+}
+
+func BenchmarkPushPopContended(b *testing.B) {
+	const workers = 4
+	s := New(Config{Threads: workers})
+	b.ResetTimer()
+	parallel.Run(workers, func(w int) {
+		h := s.NewHandle(w)
+		r := rng.NewXoshiro256(uint64(w))
+		for i := 0; i < b.N/workers; i++ {
+			h.Push(heap.Item{Prio: r.Next() % 4096})
+			h.Pop()
+		}
+	})
+}

@@ -1,0 +1,182 @@
+// Package smq implements the Stealing MultiQueue of Postnikova, Koval,
+// Nadiradze and Alistarh (PPoPP 2022), discussed in the Wasp paper's
+// related work (§6): a relaxed priority queue built from thread-local
+// d-ary heaps plus per-thread stealing buffers. Filling a buffer of
+// size b costs b pop operations on the owner's heap (the O(d·log_d n)
+// per-element cost the paper contrasts with Wasp's constant-time chunk
+// transfers); thieves take elements from victims' buffers.
+//
+// This implementation keeps the algorithmic structure — local heap,
+// top-b mirror buffer, steal-on-empty plus probabilistic stealing —
+// with a per-buffer mutex where the original uses a lock-free buffer.
+package smq
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"wasp/internal/heap"
+	"wasp/internal/rng"
+)
+
+// Config parameterizes a Stealing MultiQueue.
+type Config struct {
+	Threads    int // number of owner threads
+	Arity      int // local heap arity (0 → 4, the authors' default)
+	BufferSize int // stealing buffer capacity b (0 → 8)
+	// StealDenom is the reciprocal steal probability: on average one
+	// in StealDenom pops steals even when local work exists, which is
+	// the queue's priority-mixing mechanism (0 → 64).
+	StealDenom int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Threads <= 0 {
+		c.Threads = 1
+	}
+	if c.Arity <= 0 {
+		c.Arity = 4
+	}
+	if c.BufferSize <= 0 {
+		c.BufferSize = 8
+	}
+	if c.StealDenom <= 0 {
+		c.StealDenom = 64
+	}
+	return c
+}
+
+// stealBuffer is one thread's shared top-b mirror.
+type stealBuffer struct {
+	mu    sync.Mutex
+	items []heap.Item
+	_     [32]byte
+}
+
+// SMQ is a Stealing MultiQueue. Use one Handle per worker.
+type SMQ struct {
+	cfg     Config
+	buffers []*stealBuffer
+	size    atomic.Int64
+}
+
+// New returns an SMQ for cfg.Threads workers.
+func New(cfg Config) *SMQ {
+	cfg = cfg.withDefaults()
+	s := &SMQ{cfg: cfg, buffers: make([]*stealBuffer, cfg.Threads)}
+	for i := range s.buffers {
+		s.buffers[i] = &stealBuffer{items: make([]heap.Item, 0, cfg.BufferSize)}
+	}
+	return s
+}
+
+// Empty reports whether the queue appears globally empty (exact at
+// quiescence: the size counter covers heaps and buffers).
+func (s *SMQ) Empty() bool { return s.size.Load() == 0 }
+
+// Len returns the approximate global element count.
+func (s *SMQ) Len() int { return int(s.size.Load()) }
+
+// Handle is worker id's accessor. Not safe for concurrent use.
+type Handle struct {
+	s    *SMQ
+	id   int
+	heap *heap.DAry
+	r    *rng.Xoshiro256
+}
+
+// NewHandle returns the handle for worker id (0 ≤ id < Threads).
+func (s *SMQ) NewHandle(id int) *Handle {
+	return &Handle{
+		s:    s,
+		id:   id % s.cfg.Threads,
+		heap: heap.New(s.cfg.Arity, 64),
+		r:    rng.NewXoshiro256(uint64(id)*0x9e3779b97f4a7c15 + 7),
+	}
+}
+
+// Push inserts an item into the owner's local heap.
+func (h *Handle) Push(it heap.Item) {
+	h.heap.Push(it)
+	h.s.size.Add(1)
+}
+
+// Pop removes a (relaxed) minimal item: normally the best of the local
+// heap and the local buffer; with probability 1/StealDenom, or when the
+// local structures are empty, it steals from a random victim's buffer.
+// ok is false when nothing was found anywhere this attempt.
+func (h *Handle) Pop() (heap.Item, bool) {
+	forceSteal := h.r.IntN(h.s.cfg.StealDenom) == 0
+	if !forceSteal {
+		if it, ok := h.popLocal(); ok {
+			return it, true
+		}
+	}
+	if it, ok := h.steal(); ok {
+		return it, true
+	}
+	// The forced steal found nothing: fall back to local work.
+	if forceSteal {
+		return h.popLocal()
+	}
+	return heap.Item{}, false
+}
+
+// popLocal serves the owner's buffer and heap, refilling the buffer
+// (b heap pops) when it runs dry — the cost profile the Wasp paper
+// calls out.
+func (h *Handle) popLocal() (heap.Item, bool) {
+	buf := h.s.buffers[h.id]
+	buf.mu.Lock()
+	if len(buf.items) == 0 {
+		for i := 0; i < h.s.cfg.BufferSize; i++ {
+			it, ok := h.heap.Pop()
+			if !ok {
+				break
+			}
+			buf.items = append(buf.items, it)
+		}
+	}
+	if len(buf.items) == 0 {
+		buf.mu.Unlock()
+		return heap.Item{}, false
+	}
+	// Buffer holds ascending-priority items; serve the head, but
+	// prefer the heap top when a fresher push beats it.
+	it := buf.items[0]
+	if top, ok := h.heap.Top(); ok && top.Prio < it.Prio {
+		h.heap.Pop()
+		buf.mu.Unlock()
+		h.s.size.Add(-1)
+		return top, true
+	}
+	buf.items = buf.items[1:]
+	buf.mu.Unlock()
+	h.s.size.Add(-1)
+	return it, true
+}
+
+// steal takes the head of a random victim's buffer.
+func (h *Handle) steal() (heap.Item, bool) {
+	n := len(h.s.buffers)
+	if n <= 1 {
+		return heap.Item{}, false
+	}
+	for attempt := 0; attempt < 2; attempt++ {
+		v := h.r.IntN(n)
+		if v == h.id {
+			continue
+		}
+		buf := h.s.buffers[v]
+		buf.mu.Lock()
+		if len(buf.items) > 0 {
+			it := buf.items[0]
+			buf.items = buf.items[1:]
+			buf.mu.Unlock()
+			h.s.size.Add(-1)
+			return it, true
+		}
+		buf.mu.Unlock()
+	}
+	return heap.Item{}, false
+}

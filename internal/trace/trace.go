@@ -1,0 +1,128 @@
+// Package trace provides a low-overhead event log for the Wasp
+// scheduler: per-worker append-only buffers of timestamped events
+// (bucket advances, steal outcomes, idle transitions), merged on
+// demand. It exists for debugging scheduling pathologies — a sequential
+// tail on a graph that should parallelize shows up immediately as one
+// worker advancing buckets while the rest log idle events.
+//
+// Workers write to their own buffer with no synchronization; Merge is
+// called after the run. A nil *Log disables collection at the cost of
+// one predictable branch per event site.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Kind classifies an event.
+type Kind uint8
+
+// Event kinds emitted by the Wasp scheduler.
+const (
+	// BucketAdvance: the worker moved to local priority level A.
+	BucketAdvance Kind = iota
+	// StealHit: a steal round got B chunks, best priority A.
+	StealHit
+	// StealMiss: a steal round found nothing (A = the next local
+	// priority the thief was trying to beat).
+	StealMiss
+	// IdleEnter: the worker published priority ∞.
+	IdleEnter
+	// Terminate: the worker concluded global termination.
+	Terminate
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case BucketAdvance:
+		return "advance"
+	case StealHit:
+		return "steal-hit"
+	case StealMiss:
+		return "steal-miss"
+	case IdleEnter:
+		return "idle"
+	case Terminate:
+		return "terminate"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one scheduler occurrence.
+type Event struct {
+	When   time.Duration // since Log creation
+	Worker int
+	Kind   Kind
+	A, B   uint64 // kind-specific payload
+}
+
+// Log collects events for a fixed number of workers.
+type Log struct {
+	start time.Time
+	buf   [][]Event
+}
+
+// New returns a Log for p workers.
+func New(p int) *Log {
+	return &Log{start: time.Now(), buf: make([][]Event, p)}
+}
+
+// Add records an event for worker w. Nil-safe: a nil Log drops it.
+func (l *Log) Add(w int, kind Kind, a, b uint64) {
+	if l == nil {
+		return
+	}
+	l.buf[w] = append(l.buf[w], Event{
+		When: time.Since(l.start), Worker: w, Kind: kind, A: a, B: b,
+	})
+}
+
+// Len returns the total number of recorded events.
+func (l *Log) Len() int {
+	if l == nil {
+		return 0
+	}
+	total := 0
+	for _, b := range l.buf {
+		total += len(b)
+	}
+	return total
+}
+
+// Merged returns all events in time order. Call after the run.
+func (l *Log) Merged() []Event {
+	if l == nil {
+		return nil
+	}
+	out := make([]Event, 0, l.Len())
+	for _, b := range l.buf {
+		out = append(out, b...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].When < out[j].When })
+	return out
+}
+
+// CountKind returns the number of events of the given kind.
+func (l *Log) CountKind(kind Kind) int {
+	n := 0
+	for _, b := range l.buf {
+		for _, e := range b {
+			if e.Kind == kind {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Dump writes the merged event stream, one line per event.
+func (l *Log) Dump(w io.Writer) {
+	for _, e := range l.Merged() {
+		fmt.Fprintf(w, "%12v w%-3d %-10s a=%d b=%d\n", e.When, e.Worker, e.Kind, e.A, e.B)
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestNilLogSafe(t *testing.T) {
+	var l *Log
+	l.Add(0, StealHit, 1, 2) // must not panic
+	if l.Len() != 0 || l.Merged() != nil {
+		t.Fatal("nil log not inert")
+	}
+}
+
+func TestAddAndMerge(t *testing.T) {
+	l := New(2)
+	l.Add(0, BucketAdvance, 5, 0)
+	l.Add(1, StealHit, 3, 2)
+	l.Add(0, IdleEnter, 0, 0)
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	merged := l.Merged()
+	if len(merged) != 3 {
+		t.Fatalf("merged = %d events", len(merged))
+	}
+	for i := 1; i < len(merged); i++ {
+		if merged[i].When < merged[i-1].When {
+			t.Fatal("merge not time-ordered")
+		}
+	}
+	if l.CountKind(StealHit) != 1 || l.CountKind(StealMiss) != 0 {
+		t.Fatal("CountKind wrong")
+	}
+}
+
+func TestKindNames(t *testing.T) {
+	for k := BucketAdvance; k <= Terminate; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d unnamed", k)
+		}
+	}
+	if Kind(99).String() != "unknown" {
+		t.Fatal("out-of-range kind named")
+	}
+}
+
+func TestDump(t *testing.T) {
+	l := New(1)
+	l.Add(0, Terminate, 0, 0)
+	var buf bytes.Buffer
+	l.Dump(&buf)
+	if !strings.Contains(buf.String(), "terminate") {
+		t.Fatalf("dump = %q", buf.String())
+	}
+}

@@ -1,0 +1,98 @@
+// Package verify checks SSSP outputs. Beyond comparing against the
+// Dijkstra oracle, Certificate validates a distance array directly from
+// first principles, which catches oracle bugs and gives tests an
+// O(V+E) check usable on graphs too large to solve twice:
+//
+//  1. d(source) = 0.
+//  2. No edge is over-relaxed: d(v) ≤ d(u) + w(u,v) for every edge with
+//     d(u) finite.
+//  3. Every finite d(v), v ≠ source, is witnessed by an in-edge (u,v)
+//     with d(u) + w(u,v) = d(v) (so distances are achievable, not just
+//     feasible).
+//  4. d(v) is finite exactly when v is reachable from the source.
+//
+// For non-negative weights these four conditions hold iff d is the true
+// shortest-path distance function.
+package verify
+
+import (
+	"fmt"
+
+	"wasp/internal/graph"
+)
+
+// Certificate validates dist as the SSSP solution for g from source.
+// It returns nil if the certificate holds.
+func Certificate(g *graph.Graph, source graph.Vertex, dist []uint32) error {
+	n := g.NumVertices()
+	if len(dist) != n {
+		return fmt.Errorf("verify: distance array has %d entries for %d vertices", len(dist), n)
+	}
+	if dist[source] != 0 {
+		return fmt.Errorf("verify: d(source=%d) = %d, want 0", source, dist[source])
+	}
+
+	// Reachability via BFS over out-edges.
+	reach := make([]bool, n)
+	reach[source] = true
+	queue := []graph.Vertex{source}
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		dst, _ := g.OutNeighbors(u)
+		for _, v := range dst {
+			if !reach[v] {
+				reach[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+
+	for ui := 0; ui < n; ui++ {
+		u := graph.Vertex(ui)
+		if reach[ui] != (dist[u] != graph.Infinity) {
+			return fmt.Errorf("verify: vertex %d reachable=%v but d=%d", u, reach[ui], dist[u])
+		}
+		if dist[u] == graph.Infinity {
+			continue
+		}
+		// Condition 2: no out-edge can improve on dist.
+		dst, wts := g.OutNeighbors(u)
+		for i, v := range dst {
+			if dist[u]+wts[i] < dist[v] {
+				return fmt.Errorf("verify: edge (%d,%d,w=%d) under-relaxed: d(%d)=%d, d(%d)=%d",
+					u, v, wts[i], u, dist[u], v, dist[v])
+			}
+		}
+		// Condition 3: a witness in-edge achieves equality.
+		if u == source {
+			continue
+		}
+		src, iw := g.InNeighbors(u)
+		witnessed := false
+		for i, p := range src {
+			if dist[p] != graph.Infinity && dist[p]+iw[i] == dist[u] {
+				witnessed = true
+				break
+			}
+		}
+		if !witnessed {
+			return fmt.Errorf("verify: d(%d)=%d has no witnessing in-edge", u, dist[u])
+		}
+	}
+	return nil
+}
+
+// Equal compares two distance arrays, returning a descriptive error for
+// the first mismatch.
+func Equal(got, want []uint32) error {
+	if len(got) != len(want) {
+		return fmt.Errorf("verify: length %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			return fmt.Errorf("verify: d(%d) = %d, want %d", i, got[i], want[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package verify
+
+import (
+	"testing"
+
+	"wasp/internal/graph"
+)
+
+func diamond() *graph.Graph {
+	return graph.FromEdges(4, true, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+		{From: 0, To: 3, W: 5}, {From: 2, To: 3, W: 1},
+	})
+}
+
+func TestCertificateAcceptsCorrect(t *testing.T) {
+	if err := Certificate(diamond(), 0, []uint32{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateRejectsWrongSource(t *testing.T) {
+	if err := Certificate(diamond(), 0, []uint32{1, 1, 2, 3}); err == nil {
+		t.Fatal("accepted d(source) != 0")
+	}
+}
+
+func TestCertificateRejectsUnderRelaxed(t *testing.T) {
+	// d(3)=5 violates edge (2,3): d(2)+1 = 3 < 5.
+	if err := Certificate(diamond(), 0, []uint32{0, 1, 2, 5}); err == nil {
+		t.Fatal("accepted under-relaxed distances")
+	}
+}
+
+func TestCertificateRejectsUnwitnessed(t *testing.T) {
+	// d(3)=2 is feasible (no edge improves it) but unachievable: no
+	// in-edge of 3 attains 2.
+	if err := Certificate(diamond(), 0, []uint32{0, 1, 2, 2}); err == nil {
+		t.Fatal("accepted unwitnessed distance")
+	}
+}
+
+func TestCertificateRejectsWrongReachability(t *testing.T) {
+	g := graph.FromEdges(3, true, []graph.Edge{{From: 0, To: 1, W: 2}})
+	// Vertex 2 unreachable but marked finite.
+	if err := Certificate(g, 0, []uint32{0, 2, 7}); err == nil {
+		t.Fatal("accepted finite distance for unreachable vertex")
+	}
+	// Vertex 1 reachable but marked infinite.
+	if err := Certificate(g, 0, []uint32{0, graph.Infinity, graph.Infinity}); err == nil {
+		t.Fatal("accepted infinite distance for reachable vertex")
+	}
+}
+
+func TestCertificateRejectsWrongLength(t *testing.T) {
+	if err := Certificate(diamond(), 0, []uint32{0, 1}); err == nil {
+		t.Fatal("accepted truncated distance array")
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if err := Equal([]uint32{1, 2}, []uint32{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Equal([]uint32{1, 2}, []uint32{1, 3}); err == nil {
+		t.Fatal("accepted mismatch")
+	}
+	if err := Equal([]uint32{1}, []uint32{1, 2}); err == nil {
+		t.Fatal("accepted length mismatch")
+	}
+}

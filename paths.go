@@ -1,0 +1,92 @@
+package wasp
+
+import "fmt"
+
+// NoParent marks vertices with no shortest-path-tree parent (the source
+// and unreachable vertices) in the array returned by BuildParents.
+const NoParent = Vertex(1<<32 - 1)
+
+// BuildParents derives a shortest-path tree from a distance array: for
+// every reached vertex it selects an in-neighbor whose distance plus
+// edge weight equals the vertex's distance. The SSSP algorithms in this
+// package compute distances only (as the paper's implementations do);
+// this single O(V+E) pass recovers the tree downstream applications
+// need — routing tables, path extraction, Brandes-style centrality.
+//
+// dist must be a valid SSSP solution for g from source (any Run
+// result); otherwise an error is returned naming the defective vertex.
+func BuildParents(g *Graph, source Vertex, dist []uint32) ([]Vertex, error) {
+	if len(dist) != g.NumVertices() {
+		return nil, fmt.Errorf("wasp: distance array has %d entries for %d vertices",
+			len(dist), g.NumVertices())
+	}
+	if dist[source] != 0 {
+		return nil, fmt.Errorf("wasp: d(source) = %d, want 0", dist[source])
+	}
+	parents := make([]Vertex, g.NumVertices())
+	for vi := range parents {
+		v := Vertex(vi)
+		parents[vi] = NoParent
+		if v == source || dist[v] == Infinity {
+			continue
+		}
+		src, w := g.InNeighbors(v)
+		for i, u := range src {
+			if dist[u] != Infinity && dist[u]+w[i] == dist[v] {
+				parents[vi] = u
+				break
+			}
+		}
+		if parents[vi] == NoParent {
+			return nil, fmt.Errorf("wasp: d(%d) = %d has no witnessing in-edge (invalid distances)",
+				v, dist[v])
+		}
+	}
+	return parents, nil
+}
+
+// PathTo reconstructs the shortest path from the tree's source to v as
+// a vertex sequence (source first). It returns nil when v is
+// unreachable. parents must come from BuildParents.
+func PathTo(parents []Vertex, source, v Vertex) []Vertex {
+	if int(v) >= len(parents) {
+		return nil
+	}
+	if v != source && parents[v] == NoParent {
+		return nil
+	}
+	// Walk up, then reverse.
+	path := []Vertex{v}
+	for v != source {
+		v = parents[v]
+		path = append(path, v)
+		if len(path) > len(parents) {
+			return nil // cycle: parents array is corrupt
+		}
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}
+
+// PathLength sums the weights along a path, returning false if some
+// consecutive pair is not an edge of g.
+func PathLength(g *Graph, path []Vertex) (uint32, bool) {
+	var total uint32
+	for i := 0; i+1 < len(path); i++ {
+		dst, w := g.OutNeighbors(path[i])
+		found := false
+		for j, t := range dst {
+			if t == path[i+1] {
+				total += w[j]
+				found = true
+				break
+			}
+		}
+		if !found {
+			return 0, false
+		}
+	}
+	return total, true
+}

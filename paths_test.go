@@ -1,0 +1,116 @@
+package wasp_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wasp"
+)
+
+func TestBuildParentsDiamond(t *testing.T) {
+	g := wasp.FromEdges(4, true, []wasp.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+		{From: 0, To: 3, W: 5}, {From: 2, To: 3, W: 1},
+	})
+	res, err := wasp.Run(g, 0, wasp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parents, err := wasp.BuildParents(g, 0, res.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parents[0] != wasp.NoParent {
+		t.Fatal("source should have no parent")
+	}
+	if parents[1] != 0 || parents[2] != 1 || parents[3] != 2 {
+		t.Fatalf("parents = %v", parents)
+	}
+	path := wasp.PathTo(parents, 0, 3)
+	want := []wasp.Vertex{0, 1, 2, 3}
+	if len(path) != len(want) {
+		t.Fatalf("path = %v", path)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("path = %v", path)
+		}
+	}
+	if l, ok := wasp.PathLength(g, path); !ok || l != res.Dist[3] {
+		t.Fatalf("path length = %d/%v, want %d", l, ok, res.Dist[3])
+	}
+}
+
+func TestPathToUnreachable(t *testing.T) {
+	g := wasp.FromEdges(3, true, []wasp.Edge{{From: 0, To: 1, W: 1}})
+	res, _ := wasp.Run(g, 0, wasp.Options{})
+	parents, err := wasp.BuildParents(g, 0, res.Dist)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := wasp.PathTo(parents, 0, 2); p != nil {
+		t.Fatalf("path to unreachable = %v", p)
+	}
+	if p := wasp.PathTo(parents, 0, 0); len(p) != 1 || p[0] != 0 {
+		t.Fatalf("path to source = %v", p)
+	}
+}
+
+func TestBuildParentsRejectsBadDistances(t *testing.T) {
+	g := wasp.FromEdges(2, true, []wasp.Edge{{From: 0, To: 1, W: 3}})
+	if _, err := wasp.BuildParents(g, 0, []uint32{0, 2}); err == nil {
+		t.Fatal("accepted unwitnessed distance")
+	}
+	if _, err := wasp.BuildParents(g, 0, []uint32{5, 3}); err == nil {
+		t.Fatal("accepted nonzero source distance")
+	}
+	if _, err := wasp.BuildParents(g, 0, []uint32{0}); err == nil {
+		t.Fatal("accepted short array")
+	}
+}
+
+func TestPathLengthRejectsNonEdges(t *testing.T) {
+	g := wasp.FromEdges(3, true, []wasp.Edge{{From: 0, To: 1, W: 1}})
+	if _, ok := wasp.PathLength(g, []wasp.Vertex{0, 2}); ok {
+		t.Fatal("accepted a non-edge")
+	}
+}
+
+// TestPathsPropertyAllWorkloads: on random workloads, every reached
+// vertex's reconstructed path must exist in the graph and sum exactly
+// to its distance.
+func TestPathsPropertyAllWorkloads(t *testing.T) {
+	f := func(seedRaw uint16) bool {
+		seed := uint64(seedRaw)
+		g, err := wasp.GenerateWorkload("urand", wasp.WorkloadConfig{N: 300, Seed: seed, Degree: 4})
+		if err != nil {
+			return false
+		}
+		src := wasp.SourceInLargestComponent(g, seed)
+		res, err := wasp.Run(g, src, wasp.Options{Workers: 2, Delta: 8})
+		if err != nil {
+			return false
+		}
+		parents, err := wasp.BuildParents(g, src, res.Dist)
+		if err != nil {
+			return false
+		}
+		for v := 0; v < g.NumVertices(); v++ {
+			if res.Dist[v] == wasp.Infinity {
+				continue
+			}
+			path := wasp.PathTo(parents, src, wasp.Vertex(v))
+			if path == nil {
+				return false
+			}
+			l, ok := wasp.PathLength(g, path)
+			if !ok || l != res.Dist[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,83 @@
+package wasp_test
+
+// Cross-implementation property tests: on randomized workloads, every
+// algorithm in the package must produce exactly the Dijkstra solution.
+// These run smaller instances than the per-package suites but randomize
+// structure, weights, Δ and worker counts together.
+
+import (
+	"runtime"
+	"testing"
+	"testing/quick"
+
+	"wasp"
+)
+
+func TestQuickAllAlgorithmsAgreeOnRandomWorkloads(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	classes := []string{"urand", "kron", "road-usa", "mawi", "kmer", "friendster"}
+	algos := wasp.Algorithms()
+	f := func(seed uint64, classRaw, deltaRaw, workersRaw uint8) bool {
+		class := classes[int(classRaw)%len(classes)]
+		delta := uint32(1) << (deltaRaw % 12)
+		workers := int(workersRaw)%4 + 1
+		g, err := wasp.GenerateWorkload(class, wasp.WorkloadConfig{N: 400, Seed: seed})
+		if err != nil {
+			return false
+		}
+		src := wasp.SourceInLargestComponent(g, seed)
+		ref, err := wasp.Run(g, src, wasp.Options{Algorithm: wasp.AlgoDijkstra})
+		if err != nil {
+			return false
+		}
+		for _, name := range algos {
+			algo, _ := wasp.ParseAlgorithm(name)
+			res, err := wasp.Run(g, src, wasp.Options{
+				Algorithm: algo, Workers: workers, Delta: delta,
+			})
+			if err != nil {
+				t.Logf("%s: %v", name, err)
+				return false
+			}
+			for v := range res.Dist {
+				if res.Dist[v] != ref.Dist[v] {
+					t.Logf("%s on %s (seed %d, Δ=%d, p=%d): d(%d)=%d want %d",
+						name, class, seed, delta, workers, v, res.Dist[v], ref.Dist[v])
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickWeightSchemesAllAlgorithms(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	for _, scheme := range []wasp.WeightScheme{wasp.WeightUniform, wasp.WeightUnit, wasp.WeightNormal} {
+		g, err := wasp.GenerateWorkload("delaunay", wasp.WorkloadConfig{
+			N: 900, Seed: 3, Weight: scheme,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := wasp.SourceInLargestComponent(g, 1)
+		ref, _ := wasp.Run(g, src, wasp.Options{Algorithm: wasp.AlgoDijkstra})
+		for _, name := range wasp.Algorithms() {
+			algo, _ := wasp.ParseAlgorithm(name)
+			res, err := wasp.Run(g, src, wasp.Options{Algorithm: algo, Workers: 2, Delta: 32})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for v := range res.Dist {
+				if res.Dist[v] != ref.Dist[v] {
+					t.Fatalf("%s/%v: d(%d)=%d want %d", name, scheme, v, res.Dist[v], ref.Dist[v])
+				}
+			}
+		}
+	}
+}

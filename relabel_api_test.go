@@ -1,0 +1,43 @@
+package wasp_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"wasp"
+)
+
+// Distances must be invariant under degree relabeling: solve on the
+// relabeled graph, map back, compare with the direct solve.
+func TestRelabelInvarianceProperty(t *testing.T) {
+	classes := []string{"kron", "mawi", "urand", "road-usa"}
+	f := func(seed uint64, classRaw uint8) bool {
+		class := classes[int(classRaw)%len(classes)]
+		g, err := wasp.GenerateWorkload(class, wasp.WorkloadConfig{N: 600, Seed: seed})
+		if err != nil {
+			return false
+		}
+		src := wasp.SourceInLargestComponent(g, seed)
+		direct, err := wasp.Run(g, src, wasp.Options{Workers: 2, Delta: 8})
+		if err != nil {
+			return false
+		}
+		rg, oldToNew := wasp.RelabelByDegree(g)
+		rres, err := wasp.Run(rg, oldToNew[src], wasp.Options{Workers: 2, Delta: 8})
+		if err != nil {
+			return false
+		}
+		mapped := wasp.ApplyPermutation(rres.Dist, oldToNew)
+		for v := range direct.Dist {
+			if mapped[v] != direct.Dist[v] {
+				t.Logf("%s seed %d: d(%d) = %d relabeled vs %d direct",
+					class, seed, v, mapped[v], direct.Dist[v])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,365 @@
+package wasp
+
+import (
+	"fmt"
+	"time"
+
+	"wasp/internal/algebra"
+	"wasp/internal/baseline/bellmanford"
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/baseline/galois"
+	"wasp/internal/baseline/gapds"
+	"wasp/internal/baseline/gbbs"
+	"wasp/internal/baseline/mqsssp"
+	"wasp/internal/baseline/radius"
+	"wasp/internal/baseline/relaxed"
+	"wasp/internal/baseline/seqdelta"
+	"wasp/internal/baseline/stepping"
+	"wasp/internal/core"
+	"wasp/internal/mbq"
+	"wasp/internal/metrics"
+	"wasp/internal/numa"
+	"wasp/internal/prune"
+	"wasp/internal/smq"
+	"wasp/internal/verify"
+)
+
+// Algorithm selects an SSSP implementation. AlgoWasp is the paper's
+// contribution; the others are the evaluation's baselines plus two
+// sequential references.
+type Algorithm int
+
+const (
+	// AlgoWasp is the work-stealing shortest path algorithm (paper §4).
+	AlgoWasp Algorithm = iota
+	// AlgoDijkstra is sequential Dijkstra with a d-ary heap (the
+	// work-efficiency and correctness reference).
+	AlgoDijkstra
+	// AlgoBellmanFord is sequential queue-based Bellman–Ford.
+	AlgoBellmanFord
+	// AlgoGAP is the GAP Benchmarking Suite's synchronous Δ-stepping
+	// with bucket fusion.
+	AlgoGAP
+	// AlgoGBBS is Δ-stepping over Julienne-style centralized buckets.
+	AlgoGBBS
+	// AlgoDeltaStar is Δ*-stepping (Dong et al., SPAA 2021).
+	AlgoDeltaStar
+	// AlgoRho is ρ-stepping (Dong et al., SPAA 2021).
+	AlgoRho
+	// AlgoMultiQueue is parallel Dijkstra over the MultiQueue relaxed
+	// priority queue.
+	AlgoMultiQueue
+	// AlgoGalois is asynchronous Δ-stepping over an OBIM-style
+	// priority scheduler.
+	AlgoGalois
+	// AlgoSMQ is parallel Dijkstra over the Stealing MultiQueue
+	// (Postnikova et al., PPoPP 2022) — an extension baseline from the
+	// paper's related work (§6).
+	AlgoSMQ
+	// AlgoMBQ is parallel Dijkstra over the Multi Bucket Queue (Zhang
+	// et al., SPAA 2024) — an extension baseline from the paper's
+	// related work (§6).
+	AlgoMBQ
+	// AlgoRadius is radius-stepping (Blelloch et al., SPAA 2016) — an
+	// extension baseline from the paper's related work (§6).
+	AlgoRadius
+	// AlgoSeqDelta is the original sequential Δ-stepping of Meyer and
+	// Sanders (2003), with the light/heavy edge split — the
+	// foundational algorithm of the paper's §2.
+	AlgoSeqDelta
+	// AlgoAlgebraic is Δ-stepping formulated as masked (min,+)
+	// semiring matrix-vector products, in the GraphBLAS style the
+	// paper's §6 cites (Sridhar et al., IPDPSW 2019).
+	AlgoAlgebraic
+
+	numAlgorithms // sentinel
+)
+
+var algoNames = [numAlgorithms]string{
+	"wasp", "dijkstra", "bellman-ford", "gap", "gbbs",
+	"delta-star", "rho", "multiqueue", "galois", "smq", "mbq",
+	"radius", "seq-delta", "algebraic",
+}
+
+// String returns the algorithm's canonical name.
+func (a Algorithm) String() string {
+	if a < 0 || a >= numAlgorithms {
+		return "unknown"
+	}
+	return algoNames[a]
+}
+
+// ParseAlgorithm resolves a canonical algorithm name.
+func ParseAlgorithm(name string) (Algorithm, error) {
+	for i, n := range algoNames {
+		if n == name {
+			return Algorithm(i), nil
+		}
+	}
+	return 0, fmt.Errorf("wasp: unknown algorithm %q (have %v)", name, Algorithms())
+}
+
+// Algorithms returns all algorithm names in declaration order.
+func Algorithms() []string {
+	out := make([]string, numAlgorithms)
+	copy(out, algoNames[:])
+	return out
+}
+
+// Parallel reports whether the algorithm uses multiple workers.
+func (a Algorithm) Parallel() bool {
+	return a != AlgoDijkstra && a != AlgoBellmanFord && a != AlgoSeqDelta
+}
+
+// StealPolicy selects Wasp's victim-selection strategy (paper §4.2).
+type StealPolicy = core.StealPolicy
+
+// Steal policies for Options.Steal.
+const (
+	// StealWasp is the paper's NUMA-tiered priority-aware protocol.
+	StealWasp = core.PolicyWasp
+	// StealRandom is traditional uniform random victim selection.
+	StealRandom = core.PolicyRandom
+	// StealTwoChoice picks the better of two random victims.
+	StealTwoChoice = core.PolicyTwoChoice
+)
+
+// Topology declares a NUMA hierarchy for the steal protocol.
+type Topology = numa.Topology
+
+// Preset topologies mirroring the paper's two machines.
+var (
+	// TopologyEPYC is the paper's 128-core AMD EPYC 7713 layout.
+	TopologyEPYC = numa.EPYC7713
+	// TopologyXEON is the paper's Intel Xeon 6438Y+ layout.
+	TopologyXEON = numa.XEON6438Y
+)
+
+// Options configures a Run. The zero value runs Wasp with Δ=1 and one
+// worker.
+type Options struct {
+	// Algorithm selects the implementation (default AlgoWasp).
+	Algorithm Algorithm
+	// Delta is the Δ-coarsening factor for bucketed algorithms
+	// (default 1 — the paper's recommended safe choice for Wasp on
+	// skewed-degree graphs).
+	Delta uint32
+	// Workers is the number of parallel workers (default 1). Ignored
+	// by the sequential algorithms.
+	Workers int
+	// Rho is the per-step vertex budget for AlgoRho (default 4096)
+	// and the preprocessing ball size for AlgoRadius (default 8).
+	Rho int
+	// Stickiness is the MultiQueue stickiness parameter s, tuned per
+	// graph in the paper (default 4). AlgoMultiQueue only.
+	Stickiness int
+
+	// Steal selects Wasp's steal policy; StealRetries bounds retries
+	// for the random policies. AlgoWasp only.
+	Steal        StealPolicy
+	StealRetries int
+	// Topology declares the NUMA hierarchy for Wasp's tiered stealing.
+	// The zero value sizes a small hierarchy to Workers.
+	Topology Topology
+
+	// Optimization toggles (paper §4.4, Figure 7 ablation); Theta is
+	// the neighborhood-decomposition threshold θ. AlgoWasp only.
+	NoLeafPruning   bool
+	NoDecomposition bool
+	NoBidirectional bool
+	Theta           int
+
+	// PendantPruning strips pendant trees (maximal subtrees hanging
+	// off the graph by one vertex) before the solve and restores their
+	// distances afterwards — the graph-aware preprocessing the paper's
+	// §4.4 cites as future work ([21], FCPC 2025). Works with every
+	// algorithm on undirected graphs; skipped automatically when the
+	// source itself is pendant or the graph is directed.
+	PendantPruning bool
+
+	// CollectMetrics attaches per-worker counters to the Result.
+	CollectMetrics bool
+	// QueueTiming records time spent in shared-queue operations
+	// (AlgoMultiQueue; the paper's Figure 2 breakdown).
+	QueueTiming bool
+	// Verify re-checks the output against the SSSP certificate before
+	// returning (O(V+E); intended for tests and examples).
+	Verify bool
+}
+
+// Result of an SSSP run.
+type Result struct {
+	// Dist maps every vertex to its shortest distance from the source
+	// (Infinity when unreachable).
+	Dist []uint32
+	// Elapsed is the algorithm's wall-clock time, excluding graph
+	// construction and verification.
+	Elapsed time.Duration
+	// Algorithm that produced the result.
+	Algorithm Algorithm
+	// Metrics holds aggregated counters when CollectMetrics was set.
+	Metrics *metrics.Worker
+	// Steps is the number of synchronous steps, for the synchronous
+	// algorithms (0 otherwise).
+	Steps int64
+}
+
+// Reached returns the number of vertices with finite distance.
+func (r *Result) Reached() int {
+	n := 0
+	for _, d := range r.Dist {
+		if d != Infinity {
+			n++
+		}
+	}
+	return n
+}
+
+// timeIt measures one invocation of f.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// verifyResult applies the SSSP certificate check.
+func verifyResult(g *Graph, source Vertex, d []uint32) error {
+	if err := verify.Certificate(g, source, d); err != nil {
+		return fmt.Errorf("wasp: invalid result: %w", err)
+	}
+	return nil
+}
+
+// Run computes single-source shortest paths on g from source.
+func Run(g *Graph, source Vertex, opt Options) (*Result, error) {
+	if g == nil {
+		return nil, fmt.Errorf("wasp: nil graph")
+	}
+	if int(source) >= g.NumVertices() {
+		return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", source, g.NumVertices())
+	}
+	if opt.Workers <= 0 {
+		opt.Workers = 1
+	}
+	if opt.Delta == 0 {
+		opt.Delta = 1
+	}
+	var m *metrics.Set
+	if opt.CollectMetrics || opt.QueueTiming {
+		m = metrics.NewSet(opt.Workers)
+	}
+
+	res := &Result{Algorithm: opt.Algorithm}
+	start := time.Now()
+
+	// Pendant pruning wraps any solver: solve the stripped core, then
+	// reconstruct the pendant distances. The prep time is inside
+	// Elapsed — the preprocessing is part of the algorithm's cost.
+	solveGraph, original := g, g
+	var pruned *prune.Pruned
+	if opt.PendantPruning {
+		p := prune.Prepare(g)
+		if p.Stripped() > 0 && p.SourceUsable(source) {
+			pruned = p
+			solveGraph = p.Core
+		}
+	}
+	g = solveGraph
+
+	switch opt.Algorithm {
+	case AlgoWasp:
+		r := core.Run(g, source, core.Options{
+			Delta:           opt.Delta,
+			Workers:         opt.Workers,
+			Topology:        opt.Topology,
+			Policy:          opt.Steal,
+			Retries:         opt.StealRetries,
+			NoLeafPruning:   opt.NoLeafPruning,
+			NoDecomposition: opt.NoDecomposition,
+			NoBidirectional: opt.NoBidirectional,
+			Theta:           opt.Theta,
+			Metrics:         m,
+		})
+		res.Dist = r.Dist
+	case AlgoDijkstra:
+		r := dijkstra.Run(g, source)
+		res.Dist = r.Dist
+		if m != nil {
+			m.Workers[0].Relaxations = r.Relaxations
+		}
+	case AlgoBellmanFord:
+		res.Dist = bellmanford.Run(g, source)
+	case AlgoGAP:
+		r := gapds.Run(g, source, gapds.Options{
+			Delta: opt.Delta, Workers: opt.Workers, Metrics: m,
+		})
+		res.Dist, res.Steps = r.Dist, r.Steps
+	case AlgoGBBS:
+		r := gbbs.Run(g, source, gbbs.Options{
+			Delta: opt.Delta, Workers: opt.Workers, Metrics: m,
+		})
+		res.Dist, res.Steps = r.Dist, r.Steps
+	case AlgoDeltaStar:
+		r := stepping.Run(g, source, stepping.Options{
+			Algorithm: stepping.DeltaStar, Delta: opt.Delta,
+			Workers: opt.Workers, Metrics: m,
+		})
+		res.Dist, res.Steps = r.Dist, r.Steps
+	case AlgoRho:
+		r := stepping.Run(g, source, stepping.Options{
+			Algorithm: stepping.Rho, Rho: opt.Rho,
+			Workers: opt.Workers, Metrics: m,
+		})
+		res.Dist, res.Steps = r.Dist, r.Steps
+	case AlgoMultiQueue:
+		r := mqsssp.Run(g, source, mqsssp.Options{
+			Workers: opt.Workers, Stickiness: opt.Stickiness,
+			Timing: opt.QueueTiming, Metrics: m,
+		})
+		res.Dist = r.Dist
+	case AlgoGalois:
+		r := galois.Run(g, source, galois.Options{
+			Delta: opt.Delta, Workers: opt.Workers, Metrics: m,
+		})
+		res.Dist = r.Dist
+	case AlgoSMQ:
+		res.Dist = relaxed.RunSMQ(g, source, smq.Config{},
+			relaxed.Options{Workers: opt.Workers, Metrics: m})
+	case AlgoMBQ:
+		res.Dist = relaxed.RunMBQ(g, source, mbq.Config{Delta: uint64(opt.Delta)},
+			relaxed.Options{Workers: opt.Workers, Metrics: m})
+	case AlgoRadius:
+		r := radius.Run(g, source, radius.Options{
+			Rho: opt.Rho, Workers: opt.Workers, Metrics: m,
+		})
+		res.Dist, res.Steps = r.Dist, r.Steps
+	case AlgoSeqDelta:
+		r := seqdelta.Run(g, source, seqdelta.Options{Delta: opt.Delta})
+		res.Dist, res.Steps = r.Dist, r.Buckets
+		if m != nil {
+			m.Workers[0].Relaxations = r.LightRelaxations + r.HeavyRelaxations
+		}
+	case AlgoAlgebraic:
+		r := algebra.Run(g, source, algebra.Options{
+			Delta: opt.Delta, Workers: opt.Workers, Metrics: m,
+		})
+		res.Dist, res.Steps = r.Dist, r.Steps
+	default:
+		return nil, fmt.Errorf("wasp: unknown algorithm %d", opt.Algorithm)
+	}
+	if pruned != nil {
+		pruned.Restore(res.Dist)
+	}
+	res.Elapsed = time.Since(start)
+
+	if m != nil {
+		t := m.Totals()
+		res.Metrics = &t
+	}
+	if opt.Verify {
+		if err := verify.Certificate(original, source, res.Dist); err != nil {
+			return nil, fmt.Errorf("wasp: %s produced an invalid result: %w", opt.Algorithm, err)
+		}
+	}
+	return res, nil
+}
