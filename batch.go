@@ -1,11 +1,14 @@
 package wasp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
 	"wasp/internal/core"
 	"wasp/internal/graph"
 	"wasp/internal/metrics"
+	"wasp/internal/parallel"
 )
 
 // RunMany computes SSSP from each source in turn, sharing preprocessing
@@ -18,6 +21,15 @@ import (
 // Run; algorithms other than AlgoWasp simply run sequentially per
 // source.
 func RunMany(g *Graph, sources []Vertex, opt Options) ([]*Result, error) {
+	return RunManyContext(context.Background(), g, sources, opt)
+}
+
+// RunManyContext is RunMany with cooperative cancellation: cancelling
+// ctx stops the in-flight solve at its next cancellation point and
+// skips the remaining sources. The results computed so far are
+// returned alongside the wrapped ErrCancelled (completed solves stay
+// complete; the interrupted one is dropped).
+func RunManyContext(ctx context.Context, g *Graph, sources []Vertex, opt Options) ([]*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("wasp: nil graph")
 	}
@@ -26,14 +38,17 @@ func RunMany(g *Graph, sources []Vertex, opt Options) ([]*Result, error) {
 			return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", s, g.NumVertices())
 		}
 	}
-	results := make([]*Result, len(sources))
+	results := make([]*Result, 0, len(sources))
 	if opt.Algorithm != AlgoWasp {
-		for i, s := range sources {
-			res, err := Run(g, s, opt)
+		for _, s := range sources {
+			res, err := RunContext(ctx, g, s, opt)
 			if err != nil {
+				if errors.Is(err, ErrCancelled) {
+					return results, err
+				}
 				return nil, err
 			}
-			results[i] = res
+			results = append(results, res)
 		}
 		return results, nil
 	}
@@ -49,22 +64,29 @@ func RunMany(g *Graph, sources []Vertex, opt Options) ([]*Result, error) {
 	if !opt.NoLeafPruning {
 		leaves = graph.LeafBitmap(g)
 	}
-	for i, s := range sources {
+	for _, s := range sources {
 		var m *metrics.Set
 		if opt.CollectMetrics {
 			m = metrics.NewSet(opt.Workers)
 		}
-		r, err := runWaspWithLeaves(g, s, opt, leaves, m)
+		r, err := runWaspWithLeaves(ctx, g, s, opt, leaves, m)
 		if err != nil {
+			if errors.Is(err, ErrCancelled) {
+				return results, err
+			}
 			return nil, err
 		}
-		results[i] = r
+		results = append(results, r)
 	}
 	return results, nil
 }
 
-func runWaspWithLeaves(g *Graph, source Vertex, opt Options,
+func runWaspWithLeaves(ctx context.Context, g *Graph, source Vertex, opt Options,
 	leaves *graph.Bitmap, m *metrics.Set) (*Result, error) {
+	tok := new(parallel.Token)
+	stopWatch := parallel.WatchContext(ctx, tok)
+	defer stopWatch()
+
 	res := &Result{Algorithm: AlgoWasp}
 	elapsed := timeIt(func() {
 		r := core.Run(g, source, core.Options{
@@ -79,6 +101,7 @@ func runWaspWithLeaves(g *Graph, source Vertex, opt Options,
 			Theta:           opt.Theta,
 			Metrics:         m,
 			Leaves:          leaves,
+			Cancel:          tok,
 		})
 		res.Dist = r.Dist
 	})
@@ -87,6 +110,13 @@ func runWaspWithLeaves(g *Graph, source Vertex, opt Options,
 		t := m.Totals()
 		res.Metrics = &t
 	}
+	if pe := tok.Err(); pe != nil {
+		return nil, fmt.Errorf("wasp: %s solver panicked: %w", AlgoWasp, pe)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	res.Complete = true
 	if opt.Verify {
 		if err := verifyResult(g, source, res.Dist); err != nil {
 			return nil, err

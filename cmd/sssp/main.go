@@ -11,12 +11,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"wasp"
@@ -47,6 +51,17 @@ func main() {
 		return
 	}
 
+	// SIGINT/SIGTERM cancels the in-flight solve cooperatively instead
+	// of killing the process: the run drains at its next cancellation
+	// point and the partial result is reported below. A second signal
+	// falls through to the default handler and terminates.
+	ctx, stopSignals := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	// Restore default signal disposition once cancelled, so the second
+	// signal is not swallowed while the partial report prints.
+	context.AfterFunc(ctx, stopSignals)
+
 	g, err := loadGraph(*name, *file, *n, *seed)
 	if err != nil {
 		log.Fatal(err)
@@ -70,7 +85,7 @@ func main() {
 		best := time.Duration(0)
 		var last *wasp.Result
 		for trial := 0; trial < *trials; trial++ {
-			res, err := wasp.Run(g, src, wasp.Options{
+			res, err := wasp.RunContext(ctx, g, src, wasp.Options{
 				Algorithm:      a,
 				Workers:        *workers,
 				Delta:          uint32(*delta),
@@ -78,6 +93,11 @@ func main() {
 				CollectMetrics: *metrics,
 				Verify:         *doVerify && trial == 0,
 			})
+			if errors.Is(err, wasp.ErrCancelled) {
+				fmt.Printf("%-12s  interrupted after %v: %d/%d vertices reached (partial)\n",
+					a, res.Elapsed, res.Reached(), g.NumVertices())
+				os.Exit(130) // conventional exit code for SIGINT
+			}
 			if err != nil {
 				log.Fatal(err)
 			}

@@ -30,6 +30,10 @@ type Options struct {
 	Delta   uint32
 	Workers int
 	Metrics *metrics.Set
+	// Cancel, when non-nil, is polled between semiring products; a
+	// cancelled run returns the partial distances. Also arms panic
+	// containment in the per-product worker pools.
+	Cancel *parallel.Token
 }
 
 // Result carries distances and the operation counts.
@@ -56,11 +60,12 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 	frontier.Set(int(source))
 	res := &Result{}
 
+	tok := opt.Cancel
 	if opt.Delta == 0 {
 		res.Steps = 1
-		for {
+		for !tok.Cancelled() {
 			res.SpMVs++
-			if spmvMasked(g, d, frontier, next, p, m) == 0 {
+			if spmvMasked(g, d, frontier, next, p, tok, m) == 0 {
 				break
 			}
 			frontier, next = next, frontier
@@ -75,14 +80,14 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 	// promote pending vertices.
 	threshold := uint64(opt.Delta)
 	pending := graph.NewBitmap(n) // improved vertices beyond the threshold
-	for {
+	for !tok.Cancelled() {
 		// Inner fixed point below the threshold.
-		for {
+		for !tok.Cancelled() {
 			res.SpMVs++
-			changed := spmvMasked(g, d, frontier, next, p, m)
+			changed := spmvMasked(g, d, frontier, next, p, tok, m)
 			frontier.Clear()
 			var below atomic.Int64
-			parallel.For(p, n, 1024, func(v int) {
+			parallel.For(p, n, 1024, tok, func(v int) {
 				if !next.Get(v) {
 					return
 				}
@@ -138,10 +143,10 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 // in the mask relaxes its out-edges (the ⊗ and row-wise ⊕); improved
 // destinations join the next mask. Returns the improvement count.
 func spmvMasked(g *graph.Graph, d *dist.Array, mask, next *graph.Bitmap,
-	p int, m *metrics.Set) int64 {
+	p int, tok *parallel.Token, m *metrics.Set) int64 {
 	n := g.NumVertices()
 	var changed atomic.Int64
-	parallel.ForWorkers(p, n, 256, func(w, ui int) {
+	parallel.ForWorkers(p, n, 256, tok, func(w, ui int) {
 		if !mask.Get(ui) {
 			return
 		}

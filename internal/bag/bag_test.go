@@ -41,7 +41,7 @@ func TestConcurrentAdds(t *testing.T) {
 	const workers = 8
 	const each = 10000
 	b := New(workers)
-	parallel.Run(workers, func(w int) {
+	parallel.Run(workers, nil, func(w int) {
 		for i := 0; i < each; i++ {
 			b.Add(w, uint32(w*each+i))
 		}

@@ -19,6 +19,7 @@ type Barrier struct {
 	cond    *sync.Cond
 	count   int
 	phase   uint64
+	broken  bool
 
 	waitNS []atomic.Int64 // per-party cumulative wait, nanoseconds
 }
@@ -31,10 +32,16 @@ func New(n int) *Barrier {
 }
 
 // Wait blocks party id until all parties have called Wait, then releases
-// them all. The time spent blocked is accumulated per party.
+// them all. The time spent blocked is accumulated per party. On a
+// broken barrier Wait returns immediately (see Break).
 func (b *Barrier) Wait(id int) {
 	start := time.Now()
 	b.mu.Lock()
+	if b.broken {
+		b.mu.Unlock()
+		b.waitNS[id].Add(int64(time.Since(start)))
+		return
+	}
 	phase := b.phase
 	b.count++
 	if b.count == b.parties {
@@ -42,12 +49,34 @@ func (b *Barrier) Wait(id int) {
 		b.phase++
 		b.cond.Broadcast()
 	} else {
-		for b.phase == phase {
+		for b.phase == phase && !b.broken {
 			b.cond.Wait()
 		}
 	}
 	b.mu.Unlock()
 	b.waitNS[id].Add(int64(time.Since(start)))
+}
+
+// Break permanently breaks the barrier: every current waiter is
+// released and every future Wait returns immediately. A party that
+// panics between two barriers would otherwise strand its siblings in
+// Wait forever — panic-containment paths call Break before unwinding
+// so the survivors can observe Broken and drain.
+func (b *Barrier) Break() {
+	b.mu.Lock()
+	b.broken = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// Broken reports whether the barrier has been broken. After a Wait
+// that returned because of Break, callers must not touch step-shared
+// state (the phase protocol no longer orders accesses) — check Broken
+// first and bail out.
+func (b *Barrier) Broken() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.broken
 }
 
 // WaitTime returns party id's cumulative time blocked in Wait.

@@ -17,7 +17,7 @@ func TestBarrierSynchronizes(t *testing.T) {
 	b := New(parties)
 	var phase atomic.Int64
 	fail := atomic.Bool{}
-	parallel.Run(parties, func(id int) {
+	parallel.Run(parties, nil, func(id int) {
 		for r := 0; r < rounds; r++ {
 			// Everyone must observe the same round number here.
 			if int(phase.Load()) != r {

@@ -4,10 +4,24 @@
 // graph rules out a common bug in the shared test harness.
 package bellmanford
 
-import "wasp/internal/graph"
+import (
+	sdist "wasp/internal/dist"
+	"wasp/internal/graph"
+	"wasp/internal/parallel"
+)
 
 // Run computes single-source shortest paths from source.
 func Run(g *graph.Graph, source graph.Vertex) []uint32 {
+	return RunToken(g, source, nil)
+}
+
+// cancelStride bounds the queue pops between cancellation polls.
+const cancelStride = 1024
+
+// RunToken is Run with cooperative cancellation: the token is polled
+// every ~thousand queue pops, and a cancelled run returns the partial
+// (possibly non-final) distances computed so far.
+func RunToken(g *graph.Graph, source graph.Vertex, tok *parallel.Token) []uint32 {
 	n := g.NumVertices()
 	dist := make([]uint32, n)
 	for i := range dist {
@@ -19,13 +33,20 @@ func Run(g *graph.Graph, source graph.Vertex) []uint32 {
 	queue := make([]graph.Vertex, 0, 1024)
 	queue = append(queue, source)
 	inQueue[source] = true
+	countdown := cancelStride
 	for head := 0; head < len(queue); head++ {
+		if countdown--; countdown <= 0 {
+			if tok.Cancelled() {
+				break
+			}
+			countdown = cancelStride
+		}
 		u := queue[head]
 		inQueue[u] = false
 		du := dist[u]
 		dst, wts := g.OutNeighbors(u)
 		for i, v := range dst {
-			if nd := du + wts[i]; nd < dist[v] {
+			if nd := sdist.SatAdd(du, wts[i]); nd < dist[v] {
 				dist[v] = nd
 				if !inQueue[v] {
 					inQueue[v] = true

@@ -6,8 +6,10 @@
 package dijkstra
 
 import (
+	"wasp/internal/dist"
 	"wasp/internal/graph"
 	"wasp/internal/heap"
+	"wasp/internal/parallel"
 )
 
 // Result carries the distances and the relaxation count.
@@ -19,6 +21,18 @@ type Result struct {
 
 // Run computes single-source shortest paths from source.
 func Run(g *graph.Graph, source graph.Vertex) *Result {
+	return RunToken(g, source, nil)
+}
+
+// cancelStride bounds how many heap pops happen between cancellation
+// polls; one poll per pop would put an atomic load on the hot loop of
+// the repository's universal correctness oracle.
+const cancelStride = 256
+
+// RunToken is Run with cooperative cancellation: the token is polled
+// every few hundred heap pops, and a cancelled run returns the partial
+// distances computed so far.
+func RunToken(g *graph.Graph, source graph.Vertex, tok *parallel.Token) *Result {
 	n := g.NumVertices()
 	res := &Result{Dist: make([]uint32, n)}
 	for i := range res.Dist {
@@ -28,7 +42,14 @@ func Run(g *graph.Graph, source graph.Vertex) *Result {
 
 	h := heap.New(4, n/4+16)
 	h.Push(heap.Item{Prio: 0, Vertex: uint32(source)})
+	countdown := cancelStride
 	for {
+		if countdown--; countdown <= 0 {
+			if tok.Cancelled() {
+				break
+			}
+			countdown = cancelStride
+		}
 		it, ok := h.Pop()
 		if !ok {
 			break
@@ -42,7 +63,7 @@ func Run(g *graph.Graph, source graph.Vertex) *Result {
 		dst, wts := g.OutNeighbors(u)
 		for i, v := range dst {
 			res.Relaxations++
-			if nd := du + wts[i]; nd < res.Dist[v] {
+			if nd := dist.SatAdd(du, wts[i]); nd < res.Dist[v] {
 				res.Dist[v] = nd
 				h.Push(heap.Item{Prio: uint64(nd), Vertex: uint32(v)})
 			}

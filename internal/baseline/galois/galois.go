@@ -23,6 +23,10 @@ type Options struct {
 	Delta   uint32 // Δ-coarsening factor (0 → 1)
 	Workers int
 	Metrics *metrics.Set
+	// Cancel, when non-nil, is polled before every pop; a cancelled run
+	// returns the partial distances. Also arms panic containment in
+	// parallel.Run.
+	Cancel *parallel.Token
 }
 
 // Result carries the distances.
@@ -48,14 +52,18 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 	d := dist.New(g.NumVertices(), source)
 	sched := obim.New()
 
+	tok := opt.Cancel
 	var inFlight atomic.Int64
-	parallel.Run(p, func(w int) {
+	parallel.Run(p, tok, func(w int) {
 		h := sched.NewHandle()
 		if w == 0 {
 			h.Push(uint32(source), 0)
 		}
 		mw := &m.Workers[w]
 		for {
+			if tok.Cancelled() {
+				return // workers exit unilaterally: no barrier to respect
+			}
 			inFlight.Add(1)
 			u, prio, ok := h.Pop()
 			if ok {

@@ -37,6 +37,11 @@ type Options struct {
 	// Metrics, when non-nil, receives relaxation counts and barrier
 	// wait times (≥ Workers entries).
 	Metrics *metrics.Set
+	// Cancel, when non-nil, is polled at step boundaries (and inside
+	// long frontier scans, where it skips straight to the barrier so
+	// every worker exits at the same synchronized point). A non-nil
+	// token also arms panic containment in parallel.Run.
+	Cancel *parallel.Token
 }
 
 // Result carries the distances and the number of synchronous steps.
@@ -87,7 +92,18 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 		kLevels = 1
 	}
 
-	parallel.Run(p, func(w int) {
+	tok := opt.Cancel
+	parallel.Run(p, tok, func(w int) {
+		// A worker panicking between barriers would strand its siblings
+		// in Wait forever; break the barrier before the panic unwinds
+		// into parallel.Run's containment so the survivors drain.
+		defer func() {
+			if r := recover(); r != nil {
+				tok.Cancel()
+				bar.Break()
+				panic(r)
+			}
+		}()
 		mw := &m.Workers[w]
 		relaxAt := func(u uint32, level uint64) {
 			if uint64(d.Get(u)) < level*uint64(delta) {
@@ -108,8 +124,14 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 			}
 		}
 		for {
-			// Dynamic share of the shared frontier.
-			for {
+			if bar.Broken() {
+				return // a sibling panicked: step-shared state is off-limits
+			}
+			// Dynamic share of the shared frontier. On cancellation,
+			// skip the remaining work and fall through to the barrier:
+			// workers must not exit unilaterally or the barrier would
+			// strand the others.
+			for !tok.Cancelled() {
 				start := int(cursor.Add(grain)) - grain
 				if start >= len(frontier) {
 					break
@@ -126,7 +148,7 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 			// kLevels priority levels without synchronizing (GAP's
 			// optimization at k=1; the KLA extension beyond).
 			if !opt.NoBucketFusion {
-				for {
+				for !tok.Cancelled() {
 					drained := false
 					for lvl := bucket; lvl < bucket+kLevels && lvl < uint64(len(bins[w])); lvl++ {
 						for len(bins[w][lvl]) > 0 {
@@ -149,8 +171,14 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 				steps++
 				bucket, frontier, done = gather(bins, bucket)
 				cursor.Store(0)
+				if tok.Cancelled() {
+					done = true // synchronized exit for all workers
+				}
 			}
 			waitTimed(bar, w, mw)
+			if bar.Broken() {
+				return
+			}
 			if done {
 				return
 			}

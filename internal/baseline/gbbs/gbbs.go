@@ -26,6 +26,10 @@ type Options struct {
 	// edge-heavy frontiers (paper §5.1).
 	NoDirectionOptimization bool
 	Metrics                 *metrics.Set
+	// Cancel, when non-nil, is polled at step and grain boundaries; a
+	// cancelled run returns the partial distances. Also arms panic
+	// containment in the per-step worker pools.
+	Cancel *parallel.Token
 }
 
 // Result carries distances and step count.
@@ -60,8 +64,12 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 	buckets := bucketing.New(opt.OpenBucket, p, prioOf)
 	buckets.Stage(0, uint32(source), 0)
 
+	tok := opt.Cancel
 	res := &Result{}
 	for {
+		if tok.Cancelled() {
+			break
+		}
 		prio, frontier, ok := buckets.NextBucket()
 		if !ok {
 			break
@@ -73,15 +81,15 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 		if !opt.NoDirectionOptimization && pull.ShouldPull(g, frontier, 0) {
 			// Direction optimization (paper §5.1): relax destinations
 			// in parallel instead of serializing on huge frontiers.
-			pull.Step(g, d, p, m, func(w int, v uint32, nd uint32) {
+			pull.Step(g, d, p, tok, m, func(w int, v uint32, nd uint32) {
 				buckets.Stage(w, v, uint64(nd)/uint64(delta))
 			})
 			continue
 		}
 		var cursor atomic.Int64
-		parallel.Run(p, func(w int) {
+		parallel.Run(p, tok, func(w int) {
 			mw := &m.Workers[w]
-			for {
+			for !tok.Cancelled() {
 				start := int(cursor.Add(64)) - 64
 				if start >= len(frontier) {
 					break

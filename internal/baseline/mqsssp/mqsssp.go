@@ -30,6 +30,10 @@ type Options struct {
 	BufferSize int  // insertion/deletion buffers (0 → 16, paper configuration)
 	Timing     bool // record queue-operation time (Figure 2)
 	Metrics    *metrics.Set
+	// Cancel, when non-nil, is polled before every pop; a cancelled run
+	// returns the partial distances. Also arms panic containment in
+	// parallel.Run.
+	Cancel *parallel.Token
 }
 
 // Result carries the distances.
@@ -63,10 +67,14 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 	// of the popped item's relaxations; see the termination note below.
 	var inFlight atomic.Int64
 
-	parallel.Run(p, func(w int) {
+	tok := opt.Cancel
+	parallel.Run(p, tok, func(w int) {
 		h := queue.NewHandle(w + 1)
 		mw := &m.Workers[w]
 		for {
+			if tok.Cancelled() {
+				return // workers exit unilaterally: no barrier to respect
+			}
 			inFlight.Add(1)
 			var it heap.Item
 			var ok bool

@@ -50,13 +50,14 @@ func ShouldPull(g *graph.Graph, frontier []uint32, denom int) bool {
 // through an in-neighbor is relaxed, in parallel over destinations.
 // updated receives every vertex whose distance changed (per-worker
 // callback, used by callers to rebuild their frontier structures).
-// It returns the number of updated vertices.
-func Step(g *graph.Graph, d *dist.Array, p int, m *metrics.Set,
-	updated func(worker int, v uint32, nd uint32)) int64 {
+// A cancelled token skips the remaining vertex grains. It returns the
+// number of updated vertices.
+func Step(g *graph.Graph, d *dist.Array, p int, tok *parallel.Token,
+	m *metrics.Set, updated func(worker int, v uint32, nd uint32)) int64 {
 	n := g.NumVertices()
 	var changed int64
 	counts := make([]int64, p)
-	parallel.ForWorkers(p, n, 256, func(w, vi int) {
+	parallel.ForWorkers(p, n, 256, tok, func(w, vi int) {
 		v := graph.Vertex(vi)
 		src, wts := g.InNeighbors(v)
 		if len(src) == 0 {
@@ -71,7 +72,7 @@ func Step(g *graph.Graph, d *dist.Array, p int, m *metrics.Set,
 				continue
 			}
 			mw.Relaxations++
-			if nd := du + wts[i]; nd < best {
+			if nd := dist.SatAdd(du, wts[i]); nd < best {
 				best = nd
 				improved = true
 			}

@@ -56,7 +56,7 @@ func TestStepRelaxesOneRound(t *testing.T) {
 	m := metrics.NewSet(2)
 	var updates atomic.Int64
 	for i := 0; i < 3; i++ {
-		Step(g, d, 2, m, func(_ int, _ uint32, _ uint32) { updates.Add(1) })
+		Step(g, d, 2, nil, m, func(_ int, _ uint32, _ uint32) { updates.Add(1) })
 	}
 	if d.Get(1) != 2 || d.Get(2) != 5 {
 		t.Fatalf("dist = [%d %d %d]", d.Get(0), d.Get(1), d.Get(2))
@@ -80,7 +80,7 @@ func TestIteratedPullIsBellmanFord(t *testing.T) {
 	d := dist.New(g.NumVertices(), src)
 	m := metrics.NewSet(4)
 	for {
-		changed := Step(g, d, 4, m, func(_ int, _ uint32, _ uint32) {})
+		changed := Step(g, d, 4, nil, m, func(_ int, _ uint32, _ uint32) {})
 		if changed == 0 {
 			break
 		}

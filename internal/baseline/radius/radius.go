@@ -27,6 +27,10 @@ type Options struct {
 	Rho     int // ball size ρ for the radius precomputation (0 → 8)
 	Workers int
 	Metrics *metrics.Set
+	// Cancel, when non-nil, is polled at step and sub-step boundaries; a
+	// cancelled run returns the partial distances. Also arms panic
+	// containment in the per-step worker pools.
+	Cancel *parallel.Token
 }
 
 // Result carries distances and counters.
@@ -51,7 +55,8 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 		m = metrics.NewSet(p)
 	}
 
-	radii := Radii(g, rho, p)
+	tok := opt.Cancel
+	radii := radiiToken(g, rho, p, tok)
 	n := g.NumVertices()
 	d := dist.New(n, source)
 	inSet := make([]uint32, n)
@@ -59,7 +64,7 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 	active := []uint32{uint32(source)}
 	res := &Result{}
 
-	for len(active) > 0 {
+	for len(active) > 0 && !tok.Cancelled() {
 		res.Steps++
 		// Threshold: the nearest active ball boundary.
 		threshold := uint64(graph.Infinity)
@@ -84,10 +89,10 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 			}
 		}
 		frontier := below
-		for len(frontier) > 0 {
+		for len(frontier) > 0 && !tok.Cancelled() {
 			res.SubSteps++
 			perWorker := make([][]uint32, p)
-			parallel.ForWorkers(p, len(frontier), 64, func(w, i int) {
+			parallel.ForWorkers(p, len(frontier), 64, tok, func(w, i int) {
 				u := graph.Vertex(frontier[i])
 				mw := &m.Workers[w]
 				dst, wts := g.OutNeighbors(u)
@@ -140,6 +145,10 @@ const futureBit = uint32(1) << 31
 // (visited map, local heap) is reused per worker to keep the
 // preprocessing allocation-free on the hot path.
 func Radii(g *graph.Graph, rho, p int) []uint32 {
+	return radiiToken(g, rho, p, nil)
+}
+
+func radiiToken(g *graph.Graph, rho, p int, tok *parallel.Token) []uint32 {
 	n := g.NumVertices()
 	radii := make([]uint32, n)
 	scratch := make([]*localState, p)
@@ -149,7 +158,7 @@ func Radii(g *graph.Graph, rho, p int) []uint32 {
 			heap: heap.New(4, rho*4),
 		}
 	}
-	parallel.ForWorkers(p, n, 64, func(w, vi int) {
+	parallel.ForWorkers(p, n, 64, tok, func(w, vi int) {
 		radii[vi] = localRadius(g, graph.Vertex(vi), rho, scratch[w])
 	})
 	return radii

@@ -36,6 +36,10 @@ type Queue interface {
 type Options struct {
 	Workers int
 	Metrics *metrics.Set
+	// Cancel, when non-nil, is polled before every pop; a cancelled run
+	// returns the partial distances. Also arms panic containment in
+	// parallel.Run.
+	Cancel *parallel.Token
 }
 
 // Run computes SSSP from source over the given queue.
@@ -55,9 +59,10 @@ func Run(g *graph.Graph, source graph.Vertex, q Queue, opt Options) []uint32 {
 	// thread-local storage (the SMQ's heaps) would otherwise strand the
 	// seed in a handle nobody drains. The seeded latch keeps other
 	// workers from passing the termination check before the seed lands.
+	tok := opt.Cancel
 	var seeded atomic.Bool
 	var inFlight atomic.Int64
-	parallel.Run(p, func(w int) {
+	parallel.Run(p, tok, func(w int) {
 		h := q.NewHandle(w)
 		mw := &m.Workers[w]
 		if w == 0 {
@@ -65,6 +70,9 @@ func Run(g *graph.Graph, source graph.Vertex, q Queue, opt Options) []uint32 {
 			seeded.Store(true)
 		}
 		for {
+			if tok.Cancelled() {
+				return // workers exit unilaterally: no barrier to respect
+			}
 			inFlight.Add(1)
 			it, ok := h.Pop()
 			if ok {

@@ -10,12 +10,17 @@
 package seqdelta
 
 import (
+	sdist "wasp/internal/dist"
 	"wasp/internal/graph"
+	"wasp/internal/parallel"
 )
 
 // Options configures a run.
 type Options struct {
 	Delta uint32 // Δ (0 → 1)
+	// Cancel, when non-nil, is polled at bucket and phase boundaries; a
+	// cancelled run returns the partial distances.
+	Cancel *parallel.Token
 }
 
 // Result carries distances and the phase/relaxation counters.
@@ -59,7 +64,7 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 	place(source, 0)
 
 	relax := func(u, v graph.Vertex, w graph.Weight) bool {
-		if nd := dist[u] + w; nd < dist[v] {
+		if nd := sdist.SatAdd(dist[u], w); nd < dist[v] {
 			dist[v] = nd
 			place(v, nd)
 			return true
@@ -67,8 +72,12 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 		return false
 	}
 
+	tok := opt.Cancel
 	var settled []uint32 // vertices removed from the current bucket
 	for i := 0; i < len(buckets); i++ {
+		if tok.Cancelled() {
+			break
+		}
 		if len(buckets[i]) == 0 {
 			continue
 		}
@@ -76,7 +85,7 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 		settled = settled[:0]
 		// Light phases: keep relaxing light edges until the bucket
 		// stops refilling.
-		for len(buckets[i]) > 0 {
+		for len(buckets[i]) > 0 && !tok.Cancelled() {
 			res.Phases++
 			current := buckets[i]
 			buckets[i] = nil

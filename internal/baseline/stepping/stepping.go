@@ -49,6 +49,10 @@ type Options struct {
 	// paper credits for their Mawi results, §5.1).
 	NoDirectionOptimization bool
 	Metrics                 *metrics.Set
+	// Cancel, when non-nil, is polled at step boundaries; a cancelled
+	// run returns the partial distances. Also arms panic containment in
+	// the per-step worker pools.
+	Cancel *parallel.Token
 }
 
 // Result carries distances and step count.
@@ -86,9 +90,10 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 	active := []uint32{uint32(source)}
 	inSet[source] = 1
 
+	tok := opt.Cancel
 	res := &Result{}
 	var frontier, rest []uint32
-	for len(active) > 0 {
+	for len(active) > 0 && !tok.Cancelled() {
 		res.Steps++
 		threshold := computeThreshold(active, d, opt)
 
@@ -130,13 +135,13 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 			// Direction optimization: the frontier touches a large
 			// share of all edges — relax destinations in parallel
 			// instead of serializing on huge source neighborhoods.
-			pull.Step(g, d, p, m, func(w int, v uint32, _ uint32) {
+			pull.Step(g, d, p, tok, m, func(w int, v uint32, _ uint32) {
 				if atomic.CompareAndSwapUint32(&inSet[v], 0, 1) {
 					staging.Add(w, v)
 				}
 			})
 		default:
-			parallel.ForWorkers(p, len(frontier), 64, func(w, i int) {
+			parallel.ForWorkers(p, len(frontier), 64, tok, func(w, i int) {
 				process(w, frontier[i])
 			})
 		}

@@ -19,6 +19,7 @@ import (
 	"wasp/internal/graph"
 	"wasp/internal/metrics"
 	"wasp/internal/numa"
+	"wasp/internal/parallel"
 	"wasp/internal/trace"
 )
 
@@ -106,6 +107,19 @@ type Options struct {
 	// steal outcomes, idle transitions). Must be created for at least
 	// Workers workers.
 	Trace *trace.Log
+
+	// Cancel, when non-nil, is polled at chunk and bucket boundaries:
+	// once tripped, workers drain and Run returns a partial Result
+	// with Complete unset. A non-nil token also arms panic
+	// containment — a panicking worker trips the token (so siblings
+	// exit instead of spinning on lost work) and the panic is recorded
+	// on the token as a *parallel.PanicError.
+	Cancel *parallel.Token
+
+	// debugWorkers, when non-nil, observes the worker array before the
+	// run starts. Set only by in-package tests (the fault-injection
+	// watchdog uses it to dump worker state on livelock).
+	debugWorkers func([]*worker)
 }
 
 const infPrio = ^uint64(0)
@@ -132,6 +146,11 @@ func (o Options) withDefaults() Options {
 // Result of a Wasp run.
 type Result struct {
 	Dist []uint32
+	// Complete is false when the run was cancelled and Dist is a
+	// partial (but internally consistent) snapshot: every finite entry
+	// is the length of some real path, never shorter than the true
+	// distance.
+	Complete bool
 }
 
 // prioOf returns the coarsened priority level of distance d.

@@ -1,5 +1,7 @@
 package core
 
+import "wasp/internal/dist"
+
 // The three optimizations of paper §4.4, ablated in Figure 7:
 // neighborhood decomposition (ND), bidirectional relaxation (BR); leaf
 // pruning (LP) lives in processNeighborhood/Run since it is a push-time
@@ -45,7 +47,7 @@ func (w *worker) bidirectionalPull(u uint32, deg int) bool {
 		if dn == ^uint32(0) {
 			continue
 		}
-		if nd := dn + wts[i]; nd < best {
+		if nd := dist.SatAdd(dn, wts[i]); nd < best {
 			best = nd
 			improved = true
 		}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"wasp/internal/chunk"
+	"wasp/internal/fault"
 	"wasp/internal/trace"
 )
 
@@ -28,6 +29,11 @@ func (w *worker) stealRound(next uint64) []*chunk.Chunk {
 		stolen = w.stealWasp(next)
 	}
 	if len(stolen) > 0 {
+		// In-flight-steal window (§4.3): the chunks left their victims'
+		// deques but this thief's curr still reads stale/idle. The
+		// stealing flag raised above is what keeps the termination scan
+		// honest here; the fault hook stretches the window in tests.
+		fault.Inject(fault.PrePublish, w.id)
 		minPrio := infPrio
 		for _, c := range stolen {
 			if c.Prio < minPrio {
@@ -58,6 +64,7 @@ func (w *worker) stealWasp(next uint64) []*chunk.Chunk {
 				continue
 			}
 			w.m.StealAttempts++
+			fault.Inject(fault.StealAttempt, w.id)
 			if c := victim.dq.Steal(); c != nil {
 				stolen = append(stolen, c)
 			}
@@ -79,6 +86,7 @@ func (w *worker) stealRandom() []*chunk.Chunk {
 			continue
 		}
 		w.m.StealAttempts++
+		fault.Inject(fault.StealAttempt, w.id)
 		if c := w.workers[t].dq.Steal(); c != nil {
 			return []*chunk.Chunk{c}
 		}
@@ -107,6 +115,7 @@ func (w *worker) stealTwoChoice() []*chunk.Chunk {
 			t = b
 		}
 		w.m.StealAttempts++
+		fault.Inject(fault.StealAttempt, w.id)
 		if c := w.workers[t].dq.Steal(); c != nil {
 			return []*chunk.Chunk{c}
 		}

@@ -1,5 +1,7 @@
 package core
 
+import "wasp/internal/fault"
+
 // Termination detection (paper §4.3, hardened).
 //
 // The paper's protocol: an idle worker publishes curr = ∞ and scans
@@ -38,6 +40,10 @@ func (w *worker) allIdle() bool {
 }
 
 func (w *worker) scanIdle() bool {
+	// Jitter hook: in fault-injection stress runs this pushes scan
+	// passes into the middle of concurrent steals, exercising the
+	// counter-based invalidation above.
+	fault.Inject(fault.TermScan, w.id)
 	for _, other := range w.workers {
 		if other.stealing.Load() {
 			return false

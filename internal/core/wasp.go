@@ -42,8 +42,16 @@ func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 	// Seed: the source enters worker 0's current bucket at level 0.
 	ws[0].pushCurrent(uint32(source))
 
-	parallel.Run(p, func(i int) { ws[i].run() })
-	return &Result{Dist: d.Snapshot()}
+	if opt.debugWorkers != nil {
+		opt.debugWorkers(ws)
+	}
+	// With a non-nil Cancel token, parallel.Run contains worker panics:
+	// the token is tripped (so the siblings polling it below drain) and
+	// the panic is recorded on the token, where the caller that owns it
+	// retrieves it via Err. Without a token the panic propagates as it
+	// always did.
+	_ = parallel.Run(p, opt.Cancel, func(i int) { ws[i].run() })
+	return &Result{Dist: d.Snapshot(), Complete: !opt.Cancel.Cancelled()}
 }
 
 // worker is one Wasp thread's state: its shared current bucket (deque +
@@ -66,8 +74,9 @@ type worker struct {
 	opt      Options
 	delta    uint32
 	workers  []*worker
-	ops      *atomic.Int64 // global successful-steal counter (see term.go)
-	tiers    [][]int       // steal victim ids by NUMA tier
+	ops      *atomic.Int64   // global successful-steal counter (see term.go)
+	cancel   *parallel.Token // cooperative cancellation; nil = never cancelled
+	tiers    [][]int         // steal victim ids by NUMA tier
 	r        *rng.Xoshiro256
 	buf      *chunk.Chunk // current bucket's buffer chunk (push and pop)
 	buckets  []chunk.List // thread-local buckets by priority level
@@ -88,6 +97,7 @@ func newWorker(id int, g *graph.Graph, d *dist.Array, leaves *graph.Bitmap,
 		delta:   opt.Delta,
 		workers: all,
 		ops:     ops,
+		cancel:  opt.Cancel,
 		tiers:   opt.Topology.Tiers(id, opt.Workers),
 		r:       rng.NewXoshiro256(uint64(id)*0x9e3779b97f4a7c15 + 0xdead),
 		dq:      deque.New(16),
@@ -105,9 +115,14 @@ func (w *worker) setCurr(prio uint64) {
 	w.curr.Store(prio)
 }
 
-// run is the top-level loop of Algorithm 1, lines 16–32.
+// run is the top-level loop of Algorithm 1, lines 16–32. Cancellation
+// is polled at bucket boundaries here and at chunk boundaries inside
+// drainCurrent/processStolen — never per relaxation.
 func (w *worker) run() {
 	for {
+		if w.cancel.Cancelled() {
+			return
+		}
 		w.drainCurrent()
 
 		// Current bucket empty: steal higher-priority work before
@@ -140,13 +155,21 @@ func (w *worker) run() {
 
 // drainCurrent processes the current bucket until it is empty
 // (Algorithm 1 lines 18–21). Thieves may drain it concurrently.
+// Cancellation is polled once per chunk's worth of entries.
 func (w *worker) drainCurrent() {
+	countdown := chunk.Size
 	for {
 		u, prio, begin, end, ok := w.popCurrent()
 		if !ok {
 			return
 		}
 		w.processEntry(u, prio, begin, end)
+		if countdown--; countdown <= 0 {
+			countdown = chunk.Size
+			if w.cancel.Cancelled() {
+				return
+			}
+		}
 	}
 }
 
@@ -318,6 +341,9 @@ func (w *worker) processStolen(stolen []*chunk.Chunk) {
 	w.setCurr(minPrio)
 	w.buf.Prio = minPrio
 	for _, c := range stolen {
+		if w.cancel.Cancelled() {
+			return // chunk-boundary cancellation point
+		}
 		if c.IsRange() {
 			v, _ := c.Pop()
 			w.processEntry(v, c.Prio, c.Begin, c.End)
@@ -351,6 +377,10 @@ func (w *worker) idleUntilWorkOrTermination() bool {
 		}
 	}
 	for {
+		if w.cancel.Cancelled() {
+			idleDone()
+			return true // cancelled: leave the run loop
+		}
 		if stolen := w.stealRound(infPrio); stolen != nil {
 			idleDone() // processing resumes: stop the idle clock first
 			w.processStolen(stolen)

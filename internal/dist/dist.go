@@ -39,16 +39,29 @@ func (a *Array) Get(v graph.Vertex) uint32 {
 // no concurrent writers (i.e. after the algorithm terminated).
 func (a *Array) Snapshot() []uint32 { return a.d }
 
+// SatAdd returns a+b clamped to Infinity, the top of the (min,+)
+// semiring. Plain uint32 addition would wrap past Infinity and turn an
+// unreachable candidate into a bogus short distance; every distance
+// candidate must be formed with this.
+func SatAdd(a uint32, b graph.Weight) uint32 {
+	if s := uint64(a) + uint64(b); s < uint64(graph.Infinity) {
+		return uint32(s)
+	}
+	return graph.Infinity
+}
+
 // Relax attempts to lower v's distance to du + w where du is u's
 // current distance, re-reading du if v's distance changes concurrently
-// (paper Alg. 1 lines 1–8). It returns the successfully written
-// distance and true, or 0 and false if no improvement was possible.
+// (paper Alg. 1 lines 1–8). Candidates saturate at Infinity, so a
+// near-Infinity du can never wrap into a spuriously small distance.
+// It returns the successfully written distance and true, or 0 and
+// false if no improvement was possible.
 func (a *Array) Relax(u, v graph.Vertex, w graph.Weight) (uint32, bool) {
 	du := atomic.LoadUint32(&a.d[u])
 	if du == graph.Infinity {
-		return 0, false // u unreached: adding w would wrap
+		return 0, false // u unreached
 	}
-	newDist := du + w
+	newDist := SatAdd(du, w)
 	for {
 		oldDist := atomic.LoadUint32(&a.d[v])
 		if newDist >= oldDist {
@@ -59,7 +72,7 @@ func (a *Array) Relax(u, v graph.Vertex, w graph.Weight) (uint32, bool) {
 		}
 		// Either v improved concurrently (retry the comparison) or u
 		// improved; refresh the candidate as the paper does.
-		newDist = atomic.LoadUint32(&a.d[u]) + w
+		newDist = SatAdd(atomic.LoadUint32(&a.d[u]), w)
 	}
 }
 

@@ -77,7 +77,7 @@ func TestConcurrentRelaxConverges(t *testing.T) {
 	for round := 0; round < rounds; round++ {
 		a := New(workers+2, 0)
 		target := graph.Vertex(workers + 1)
-		parallel.Run(workers, func(w int) {
+		parallel.Run(workers, nil, func(w int) {
 			// Each worker first reaches its own staging vertex, then
 			// relaxes the shared target through it.
 			a.RelaxTo(graph.Vertex(w+1), uint32(w+1))
@@ -95,5 +95,48 @@ func TestSnapshot(t *testing.T) {
 	s := a.Snapshot()
 	if len(s) != 3 || s[1] != 0 || s[0] != graph.Infinity {
 		t.Fatalf("snapshot = %v", s)
+	}
+}
+
+func TestSatAdd(t *testing.T) {
+	cases := []struct {
+		a    uint32
+		b    graph.Weight
+		want uint32
+	}{
+		{0, 0, 0},
+		{3, 4, 7},
+		{graph.Infinity - 2, 1, graph.Infinity - 1},
+		{graph.Infinity - 1, 1, graph.Infinity}, // exact boundary clamps
+		{graph.Infinity - 1, 2, graph.Infinity}, // one past: must not wrap
+		{graph.Infinity, graph.Infinity, graph.Infinity},
+	}
+	for _, c := range cases {
+		if got := SatAdd(c.a, c.b); got != c.want {
+			t.Errorf("SatAdd(%d, %d) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// Regression: before SatAdd, a relaxation from du = Infinity-1 wrapped
+// uint32 and produced a tiny bogus distance that then poisoned every
+// downstream relaxation.
+func TestRelaxSaturatesNearInfinity(t *testing.T) {
+	a := New(3, 0)
+	if !a.RelaxTo(1, graph.Infinity-1) {
+		t.Fatal("setup relaxation failed")
+	}
+	if _, ok := a.Relax(1, 2, 2); ok {
+		t.Fatal("overflowing relaxation claimed an improvement")
+	}
+	if got := a.Get(2); got != graph.Infinity {
+		t.Fatalf("d[2] = %d after overflowing relaxation, want Infinity", got)
+	}
+	// A saturating candidate must still lose to any finite distance.
+	if !a.RelaxTo(2, 100) {
+		t.Fatal("setup RelaxTo failed")
+	}
+	if _, ok := a.Relax(1, 2, 5); ok || a.Get(2) != 100 {
+		t.Fatalf("saturated candidate beat finite distance: d[2] = %d", a.Get(2))
 	}
 }

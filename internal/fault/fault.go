@@ -1,0 +1,177 @@
+// Package fault provides seeded, deterministic fault-injection hooks
+// for stress-testing the Wasp termination protocol (paper §4.3). The
+// protocol's correctness argument rests on two windows being closed —
+// a thief between the steal CAS and the re-publication of its curr
+// level, and the double scan racing an in-flight steal — and those
+// windows are exactly where deterministic unit tests never land. The
+// hooks below let a stress suite stretch them on purpose:
+//
+//   - StealAttempt: a yield burst immediately before a thief's steal
+//     CAS, desynchronizing thieves and victims.
+//   - PrePublish: a stall inside the in-flight-steal window, between a
+//     successful steal CAS and the thief's curr update — the window
+//     term.go's stealing flag and ops counter exist to cover.
+//   - TermScan: jitter before each termination scan pass, pushing
+//     scans into the middle of concurrent steals.
+//
+// Hooks are dormant by default: Inject is one atomic pointer load and
+// a predicted branch when no plan is active. Building with the
+// `faultfree` tag compiles Inject to an empty function, removing even
+// that load from production binaries (build-time zero cost).
+//
+// Plans are seeded and the per-worker decision streams are
+// deterministic: the same plan against the same interleaving makes the
+// same choices, so a failing seed is a reproducible starting point.
+package fault
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Point identifies an injection site.
+type Point int
+
+const (
+	// StealAttempt fires immediately before a thief's steal CAS.
+	StealAttempt Point = iota
+	// PrePublish fires between a successful steal CAS and the thief's
+	// curr re-publication — inside the §4.3 in-flight-steal window.
+	PrePublish
+	// TermScan fires before each termination-scan pass.
+	TermScan
+
+	numPoints
+)
+
+// String names the injection point.
+func (p Point) String() string {
+	switch p {
+	case StealAttempt:
+		return "steal-attempt"
+	case PrePublish:
+		return "pre-publish"
+	case TermScan:
+		return "term-scan"
+	default:
+		return fmt.Sprintf("point(%d)", int(p))
+	}
+}
+
+// Config seeds an injection plan. Probabilities are in permille per
+// hook hit; zero disables the point.
+type Config struct {
+	// Seed derives every worker's decision stream.
+	Seed uint64
+
+	// StealDelay is the permille chance of a yield burst at a
+	// StealAttempt hit.
+	StealDelay int
+	// PrePublish is the permille chance of a stall at a PrePublish hit.
+	PrePublish int
+	// TermScan is the permille chance of jitter at a TermScan hit.
+	TermScan int
+
+	// MaxYields bounds the runtime.Gosched burst per injection
+	// (default 4).
+	MaxYields int
+
+	// PanicOnHit, when positive, panics on the n-th hit (counted
+	// globally across workers) of PanicPoint — the panic-containment
+	// stress input. Zero disables.
+	PanicOnHit int64
+	PanicPoint Point
+}
+
+// Plan is a compiled, activatable injection plan.
+type Plan struct {
+	threshold  [numPoints]uint64
+	maxYields  uint64
+	panicOnHit int64
+	panicPoint Point
+	hits       atomic.Int64
+	workers    []workerState
+}
+
+// workerState is one worker's decision stream: an xorshift64 state
+// stepped with atomic loads/stores so that even a misuse across
+// overlapping solves stays race-free, padded to a cache line so
+// workers' draws do not false-share.
+type workerState struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+// maxWorkers bounds the per-plan decision streams; workers beyond it
+// share streams (ids are taken modulo maxWorkers).
+const maxWorkers = 64
+
+// NewPlan compiles a Config.
+func NewPlan(cfg Config) *Plan {
+	p := &Plan{
+		maxYields:  uint64(cfg.MaxYields),
+		panicOnHit: cfg.PanicOnHit,
+		panicPoint: cfg.PanicPoint,
+		workers:    make([]workerState, maxWorkers),
+	}
+	if p.maxYields == 0 {
+		p.maxYields = 4
+	}
+	p.threshold[StealAttempt] = permille(cfg.StealDelay)
+	p.threshold[PrePublish] = permille(cfg.PrePublish)
+	p.threshold[TermScan] = permille(cfg.TermScan)
+	for i := range p.workers {
+		s := splitmix(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
+		if s == 0 {
+			s = 0x2545f4914f6cdd1d
+		}
+		p.workers[i].v.Store(s)
+	}
+	return p
+}
+
+func permille(v int) uint64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1000 {
+		return 1000
+	}
+	return uint64(v)
+}
+
+func splitmix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// draw steps worker's xorshift64 stream.
+func (p *Plan) draw(worker int) uint64 {
+	s := &p.workers[worker%maxWorkers].v
+	x := s.Load()
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	s.Store(x)
+	return x
+}
+
+// Hits returns the number of PanicPoint hits counted so far (only
+// meaningful when PanicOnHit was configured; the threshold points do
+// not count hits). Stress suites use it to assert the hooks fired.
+func (p *Plan) Hits() int64 { return p.hits.Load() }
+
+// active is the globally installed plan; nil means every hook is a
+// near-free no-op.
+var active atomic.Pointer[Plan]
+
+// Activate installs p as the process-wide plan. Passing nil disarms
+// all hooks (same as Deactivate).
+func Activate(p *Plan) { active.Store(p) }
+
+// Deactivate disarms all hooks.
+func Deactivate() { active.Store(nil) }
+
+// Enabled reports whether a plan is currently active.
+func Enabled() bool { return active.Load() != nil }

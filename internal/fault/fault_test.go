@@ -1,0 +1,111 @@
+package fault
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestPointString(t *testing.T) {
+	for p, want := range map[Point]string{
+		StealAttempt: "steal-attempt",
+		PrePublish:   "pre-publish",
+		TermScan:     "term-scan",
+		Point(99):    "point(99)",
+	} {
+		if got := p.String(); got != want {
+			t.Errorf("Point(%d).String() = %q, want %q", int(p), got, want)
+		}
+	}
+}
+
+// Same seed, same worker → identical decision streams: a failing seed
+// must be a reproducible starting point.
+func TestDrawDeterministic(t *testing.T) {
+	a := NewPlan(Config{Seed: 42, StealDelay: 500})
+	b := NewPlan(Config{Seed: 42, StealDelay: 500})
+	for w := 0; w < 3; w++ {
+		for i := 0; i < 1000; i++ {
+			if x, y := a.draw(w), b.draw(w); x != y {
+				t.Fatalf("worker %d draw %d: %d != %d", w, i, x, y)
+			}
+		}
+	}
+}
+
+func TestDrawStreamsDifferPerWorkerAndSeed(t *testing.T) {
+	if NewPlan(Config{Seed: 1}).draw(0) == NewPlan(Config{Seed: 1}).draw(1) {
+		t.Error("workers 0 and 1 share a decision stream")
+	}
+	if NewPlan(Config{Seed: 1}).draw(0) == NewPlan(Config{Seed: 2}).draw(0) {
+		t.Error("seeds 1 and 2 produced the same first draw")
+	}
+}
+
+func TestActivateDeactivate(t *testing.T) {
+	if Enabled() {
+		t.Fatal("plan active at test start")
+	}
+	p := NewPlan(Config{Seed: 7, TermScan: 1000})
+	Activate(p)
+	if !Enabled() {
+		t.Fatal("Activate did not enable the hooks")
+	}
+	Inject(TermScan, 0) // must not panic, may yield
+	Deactivate()
+	if Enabled() {
+		t.Fatal("Deactivate left the hooks enabled")
+	}
+	Inject(TermScan, 0) // dormant: no-op
+}
+
+func TestPanicOnHit(t *testing.T) {
+	p := NewPlan(Config{Seed: 3, PanicOnHit: 3, PanicPoint: PrePublish})
+	Activate(p)
+	defer Deactivate()
+
+	Inject(PrePublish, 1)
+	Inject(StealAttempt, 1) // wrong point: not counted
+	Inject(PrePublish, 1)
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("third PrePublish hit did not panic")
+		}
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "injected panic") ||
+			!strings.Contains(msg, "pre-publish") {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+		if p.Hits() != 3 {
+			t.Fatalf("Hits = %d, want 3", p.Hits())
+		}
+	}()
+	Inject(PrePublish, 2)
+}
+
+// Concurrent draws on one worker stream must be race-free (the stream
+// degrades to "some deterministic interleaving" but never corrupts).
+func TestDrawConcurrentSafe(t *testing.T) {
+	p := NewPlan(Config{Seed: 5, StealDelay: 200, MaxYields: 2})
+	Activate(p)
+	defer Deactivate()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				Inject(StealAttempt, id)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+func TestWorkerIDsBeyondMaxWorkersWrap(t *testing.T) {
+	p := NewPlan(Config{Seed: 11})
+	if p.draw(maxWorkers+3) == 0 {
+		t.Fatal("wrapped worker stream is unseeded")
+	}
+}

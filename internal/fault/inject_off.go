@@ -1,0 +1,8 @@
+//go:build faultfree
+
+package fault
+
+// Inject is compiled to nothing under the faultfree tag: the call
+// inlines to an empty body, so production builds pay no cost — not
+// even the dormant atomic load — for the hook sites.
+func Inject(Point, int) {}

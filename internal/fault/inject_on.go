@@ -1,0 +1,36 @@
+//go:build !faultfree
+
+package fault
+
+import (
+	"fmt"
+	"runtime"
+)
+
+// Inject is a hook site: when a plan is active it may stall the
+// calling worker at the given point, or panic if the plan's
+// panic-on-hit counter elects this hit. Dormant cost is one atomic
+// load and a predicted branch; the `faultfree` build tag removes the
+// hook entirely.
+func Inject(point Point, worker int) {
+	p := active.Load()
+	if p == nil {
+		return
+	}
+	p.inject(point, worker)
+}
+
+func (p *Plan) inject(point Point, worker int) {
+	if p.panicOnHit > 0 && point == p.panicPoint &&
+		p.hits.Add(1) == p.panicOnHit {
+		panic(fmt.Sprintf("fault: injected panic at %v (worker %d)", point, worker))
+	}
+	th := p.threshold[point]
+	if th == 0 || p.draw(worker)%1000 >= th {
+		return
+	}
+	n := p.draw(worker)%p.maxYields + 1
+	for i := uint64(0); i < n; i++ {
+		runtime.Gosched()
+	}
+}

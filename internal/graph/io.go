@@ -102,6 +102,20 @@ func ReadText(r io.Reader) (*Graph, error) {
 				return nil, fmt.Errorf("graph: line %d: %v", line, err)
 			}
 		}
+		// Infinity is the "unreached" sentinel of every distance array;
+		// admitting it (or anything that saturates to it) as an edge
+		// weight would make a real edge indistinguishable from no path.
+		if w >= uint64(Infinity) {
+			return nil, fmt.Errorf("graph: line %d: weight %d is not below Infinity (%d)", line, w, uint32(Infinity))
+		}
+		if n >= 0 {
+			if u >= uint64(n) {
+				return nil, fmt.Errorf("graph: line %d: vertex %d out of range for declared count %d", line, u, n)
+			}
+			if v >= uint64(n) {
+				return nil, fmt.Errorf("graph: line %d: vertex %d out of range for declared count %d", line, v, n)
+			}
+		}
 		if Vertex(u) > maxID {
 			maxID = Vertex(u)
 		}

@@ -70,6 +70,48 @@ func TestReadTextErrors(t *testing.T) {
 	}
 }
 
+// TestReadTextRejectsMalformed covers the hardened validation: every
+// rejected input must fail with an error naming the offending line, so
+// a bad row in a million-edge file is findable.
+func TestReadTextRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		line string // expected "line N" fragment in the error
+	}{
+		{"bad header count", "n zero directed\n", "line 1"},
+		{"header count too small", "n 0 directed\n", "line 1"},
+		{"weight equal to infinity", "n 3 directed\n0 1 4294967295\n", "line 2"},
+		{"weight above uint32", "n 3 directed\n0 1 4294967296\n", "line 2"},
+		{"endpoint at declared count", "n 3 directed\n0 3 1\n", "line 2"},
+		{"source beyond declared count", "n 3 directed\n# ok line\n7 1 1\n", "line 3"},
+		{"truncated edge line", "n 3 directed\n0 1 1\n2\n", "line 3"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadText(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("input %q: expected error", c.in)
+			}
+			if !strings.Contains(err.Error(), c.line) {
+				t.Fatalf("error %q does not name %s", err, c.line)
+			}
+		})
+	}
+}
+
+// Weights just below the sentinel remain legal.
+func TestReadTextMaxFiniteWeight(t *testing.T) {
+	g, err := ReadText(strings.NewReader("n 2 directed\n0 1 4294967294\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, w := g.OutNeighbors(0)
+	if w[0] != Infinity-1 {
+		t.Fatalf("weight = %d, want %d", w[0], uint32(Infinity-1))
+	}
+}
+
 func TestBinaryRoundTripDirected(t *testing.T) {
 	g := diamond(true)
 	var buf bytes.Buffer

@@ -103,7 +103,7 @@ func TestConcurrentConservation(t *testing.T) {
 	const each = 5000
 	m := New(Config{Threads: workers, Delta: 8})
 	var popped atomic.Int64
-	parallel.Run(workers, func(w int) {
+	parallel.Run(workers, nil, func(w int) {
 		h := m.NewHandle(w)
 		r := rng.NewXoshiro256(uint64(w) + 77)
 		for i := 0; i < each; i++ {

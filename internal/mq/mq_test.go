@@ -84,7 +84,7 @@ func TestConcurrentPushPopConservesItems(t *testing.T) {
 	const perWorker = 5000
 	m := New(Config{Threads: workers})
 	var popped atomic.Int64
-	parallel.Run(workers, func(w int) {
+	parallel.Run(workers, nil, func(w int) {
 		h := m.NewHandle(w)
 		r := rng.NewXoshiro256(uint64(w) + 100)
 		for i := 0; i < perWorker; i++ {

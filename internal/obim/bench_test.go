@@ -25,7 +25,7 @@ func BenchmarkPushPopContended(b *testing.B) {
 	const workers = 4
 	s := New()
 	b.ResetTimer()
-	parallel.Run(workers, func(w int) {
+	parallel.Run(workers, nil, func(w int) {
 		h := s.NewHandle()
 		r := rng.NewXoshiro256(uint64(w))
 		for i := 0; i < b.N/workers; i++ {

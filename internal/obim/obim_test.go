@@ -73,7 +73,7 @@ func TestDrainConservesVertices(t *testing.T) {
 	const each = 20000
 	s := New()
 	var popped atomic.Int64
-	parallel.Run(workers, func(w int) {
+	parallel.Run(workers, nil, func(w int) {
 		h := s.NewHandle()
 		r := rng.NewXoshiro256(uint64(w))
 		for i := 0; i < each; i++ {

@@ -1,70 +1,216 @@
 // Package parallel provides the worker-pool and parallel-for helpers
-// shared by the synchronous SSSP baselines. Work is split into
-// contiguous grains handed out by an atomic cursor, the standard
-// dynamic-scheduling scheme of shared-memory graph frameworks: static
-// splitting would recreate exactly the load imbalance on skewed-degree
-// graphs that the paper's Figure 1 attributes to barrier waits.
+// shared by the synchronous SSSP baselines, plus the cancellation and
+// panic-containment substrate every solver in the repository runs on.
+// Work is split into contiguous grains handed out by an atomic cursor,
+// the standard dynamic-scheduling scheme of shared-memory graph
+// frameworks: static splitting would recreate exactly the load
+// imbalance on skewed-degree graphs that the paper's Figure 1
+// attributes to barrier waits.
+//
+// Cancellation is cooperative and cheap: a Token is a single atomic
+// bool that solver loops poll at chunk, grain, step or queue-pop
+// boundaries — never per edge relaxation. Panic containment turns a
+// worker panic into a cancelled token (so sibling workers drain
+// instead of deadlocking on the join) and a *PanicError carrying the
+// worker id and stack.
 package parallel
 
 import (
+	"context"
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 )
 
+// Token is a cooperative cancellation latch shared by one solve's
+// workers. The zero value is ready to use. All methods are safe for
+// concurrent use and safe on a nil receiver (a nil Token is never
+// cancelled), so solvers can thread an optional token unconditionally.
+type Token struct {
+	cancelled atomic.Bool
+	panicked  atomic.Pointer[PanicError]
+}
+
+// Cancel trips the token. Workers observe it at their next
+// cancellation point and drain. Idempotent.
+func (t *Token) Cancel() {
+	if t != nil {
+		t.cancelled.Store(true)
+	}
+}
+
+// Cancelled reports whether the token has been tripped.
+func (t *Token) Cancelled() bool {
+	return t != nil && t.cancelled.Load()
+}
+
+// Err returns the first worker panic recorded on this token, or nil.
+// A non-nil result implies Cancelled.
+func (t *Token) Err() error {
+	if t == nil {
+		return nil
+	}
+	if pe := t.panicked.Load(); pe != nil {
+		return pe
+	}
+	return nil
+}
+
+// fail records a worker panic (first writer wins) and cancels the
+// token so sibling workers stop instead of waiting for lost work.
+func (t *Token) fail(pe *PanicError) {
+	t.panicked.CompareAndSwap(nil, pe)
+	t.Cancel()
+}
+
+// PanicError is a worker panic captured by Run, For or ForWorkers.
+type PanicError struct {
+	Worker int    // id of the panicking worker
+	Value  any    // the recovered panic value
+	Stack  []byte // stack of the panicking goroutine
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("parallel: worker %d panicked: %v\n%s", e.Worker, e.Value, e.Stack)
+}
+
+// WatchContext cancels tok when ctx is done. The returned stop
+// function releases the watcher goroutine and must be called (it is
+// idempotent to rely on defer); it blocks until the watcher exited, so
+// callers observe no goroutine leak. An already-done context cancels
+// the token synchronously, before WatchContext returns.
+func WatchContext(ctx context.Context, tok *Token) (stop func()) {
+	if ctx == nil || ctx.Done() == nil {
+		return func() {}
+	}
+	if ctx.Err() != nil {
+		tok.Cancel()
+		return func() {}
+	}
+	quit := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		select {
+		case <-ctx.Done():
+			tok.Cancel()
+		case <-quit:
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(quit) })
+		<-done
+	}
+}
+
+// capture wraps one worker's body invocation: a panic is recorded on
+// tok (cancelling the siblings) and into first, first writer wins.
+func capture(worker int, tok *Token, first *atomic.Pointer[PanicError], body func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 64<<10)
+			buf = buf[:runtime.Stack(buf, false)]
+			pe := &PanicError{Worker: worker, Value: r, Stack: buf}
+			first.CompareAndSwap(nil, pe)
+			tok.fail(pe)
+		}
+	}()
+	body()
+}
+
 // For runs body(i) for every i in [0, n) using p goroutines with
-// dynamic grain scheduling. It blocks until all iterations finish.
-func For(p, n, grain int, body func(i int)) {
-	ForWorkers(p, n, grain, func(_, i int) { body(i) })
+// dynamic grain scheduling. It blocks until all iterations finish or
+// the token is cancelled (remaining grains are skipped; in-flight
+// grains complete). A panicking body cancels the token; with a nil
+// token the panic is re-raised on the caller's goroutine after all
+// workers returned, otherwise it is returned as a *PanicError.
+func For(p, n, grain int, tok *Token, body func(i int)) error {
+	return ForWorkers(p, n, grain, tok, func(_, i int) { body(i) })
 }
 
 // ForWorkers is For with the worker id passed to the body, for
 // per-worker accumulators.
-func ForWorkers(p, n, grain int, body func(worker, i int)) {
+func ForWorkers(p, n, grain int, tok *Token, body func(worker, i int)) error {
 	if n <= 0 {
-		return
+		return nil
 	}
 	if grain <= 0 {
 		grain = 64
 	}
+	reraise := tok == nil
+	if reraise {
+		tok = new(Token) // internal token: panic containment still on
+	}
+	var first atomic.Pointer[PanicError]
 	if p <= 1 || n <= grain {
-		for i := 0; i < n; i++ {
-			body(0, i)
-		}
-		return
-	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < p; w++ {
-		wg.Add(1)
-		go func(worker int) {
-			defer wg.Done()
-			for {
-				start := int(cursor.Add(int64(grain))) - grain
-				if start >= n {
-					return
-				}
-				end := start + grain
-				if end > n {
-					end = n
-				}
+		// Serial path: same grain-boundary cancellation points.
+		for start := 0; start < n && !tok.Cancelled(); start += grain {
+			end := min(start+grain, n)
+			capture(0, tok, &first, func() {
 				for i := start; i < end; i++ {
-					body(worker, i)
+					body(0, i)
 				}
-			}
-		}(w)
+			})
+		}
+	} else {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < p; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for !tok.Cancelled() {
+					start := int(cursor.Add(int64(grain))) - grain
+					if start >= n {
+						return
+					}
+					end := min(start+grain, n)
+					capture(worker, tok, &first, func() {
+						for i := start; i < end; i++ {
+							body(worker, i)
+						}
+					})
+				}
+			}(w)
+		}
+		wg.Wait()
 	}
-	wg.Wait()
+	if pe := first.Load(); pe != nil {
+		if reraise {
+			panic(pe)
+		}
+		return pe
+	}
+	return nil
 }
 
 // Run launches p goroutines running body(worker) and waits for all.
-func Run(p int, body func(worker int)) {
+//
+// With a non-nil token, a panicking worker is recovered, the token is
+// cancelled so that sibling workers (which must poll it) drain instead
+// of deadlocking on the join, and the first panic is returned as a
+// *PanicError (also available via tok.Err). With a nil token no
+// recovery is installed: bodies that do not poll a token could block
+// forever on lost work, so the panic propagates as it always did.
+func Run(p int, tok *Token, body func(worker int)) error {
+	var first atomic.Pointer[PanicError]
 	var wg sync.WaitGroup
 	for w := 0; w < p; w++ {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
-			body(worker)
+			if tok == nil {
+				body(worker)
+				return
+			}
+			capture(worker, tok, &first, func() { body(worker) })
 		}(w)
 	}
 	wg.Wait()
+	if pe := first.Load(); pe != nil {
+		return pe
+	}
+	return nil
 }

@@ -11,7 +11,7 @@ func TestForCoversAllIndices(t *testing.T) {
 	defer runtime.GOMAXPROCS(prev)
 	const n = 100000
 	var hits [n]atomic.Int32
-	For(4, n, 128, func(i int) { hits[i].Add(1) })
+	For(4, n, 128, nil, func(i int) { hits[i].Add(1) })
 	for i := 0; i < n; i++ {
 		if hits[i].Load() != 1 {
 			t.Fatalf("index %d executed %d times", i, hits[i].Load())
@@ -21,7 +21,7 @@ func TestForCoversAllIndices(t *testing.T) {
 
 func TestForSequentialFallback(t *testing.T) {
 	var sum int
-	For(1, 100, 0, func(i int) { sum += i }) // p=1: runs inline, no races
+	For(1, 100, 0, nil, func(i int) { sum += i }) // p=1: runs inline, no races
 	if sum != 4950 {
 		t.Fatalf("sum = %d", sum)
 	}
@@ -29,7 +29,7 @@ func TestForSequentialFallback(t *testing.T) {
 
 func TestForSmallNInline(t *testing.T) {
 	var sum int
-	For(8, 10, 64, func(i int) { sum += i }) // n <= grain: inline
+	For(8, 10, 64, nil, func(i int) { sum += i }) // n <= grain: inline
 	if sum != 45 {
 		t.Fatalf("sum = %d", sum)
 	}
@@ -37,7 +37,7 @@ func TestForSmallNInline(t *testing.T) {
 
 func TestForZeroN(t *testing.T) {
 	called := false
-	For(4, 0, 64, func(int) { called = true })
+	For(4, 0, 64, nil, func(int) { called = true })
 	if called {
 		t.Fatal("body called for n=0")
 	}
@@ -47,7 +47,7 @@ func TestForWorkersIDsInRange(t *testing.T) {
 	prev := runtime.GOMAXPROCS(4)
 	defer runtime.GOMAXPROCS(prev)
 	var bad atomic.Int32
-	ForWorkers(4, 10000, 16, func(w, i int) {
+	ForWorkers(4, 10000, 16, nil, func(w, i int) {
 		if w < 0 || w >= 4 {
 			bad.Add(1)
 		}
@@ -59,7 +59,7 @@ func TestForWorkersIDsInRange(t *testing.T) {
 
 func TestRunAllWorkersExecute(t *testing.T) {
 	var mask atomic.Int64
-	Run(8, func(w int) { mask.Add(1 << w) })
+	Run(8, nil, func(w int) { mask.Add(1 << w) })
 	if mask.Load() != (1<<8)-1 {
 		t.Fatalf("mask = %b", mask.Load())
 	}

@@ -1,0 +1,197 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestTokenNilSafe(t *testing.T) {
+	var tok *Token
+	tok.Cancel() // must not panic
+	if tok.Cancelled() {
+		t.Fatal("nil token reports cancelled")
+	}
+	if tok.Err() != nil {
+		t.Fatal("nil token reports an error")
+	}
+}
+
+func TestTokenCancelIdempotent(t *testing.T) {
+	tok := new(Token)
+	tok.Cancel()
+	tok.Cancel()
+	if !tok.Cancelled() {
+		t.Fatal("token not cancelled")
+	}
+	if tok.Err() != nil {
+		t.Fatal("plain cancellation must not fabricate a panic error")
+	}
+}
+
+func TestForPreCancelledRunsNothing(t *testing.T) {
+	tok := new(Token)
+	tok.Cancel()
+	var count atomic.Int64
+	if err := For(4, 1<<20, 64, tok, func(int) { count.Add(1) }); err != nil {
+		t.Fatalf("For: %v", err)
+	}
+	if count.Load() != 0 {
+		t.Fatalf("pre-cancelled For executed %d iterations", count.Load())
+	}
+}
+
+func TestForCancelMidFlightStopsEarly(t *testing.T) {
+	const n = 1 << 22
+	tok := new(Token)
+	var count atomic.Int64
+	err := For(4, n, 64, tok, func(i int) {
+		if count.Add(1) == 100 {
+			tok.Cancel()
+		}
+	})
+	if err != nil {
+		t.Fatalf("For: %v", err)
+	}
+	if c := count.Load(); c == n {
+		t.Fatal("cancellation did not stop the loop early")
+	}
+}
+
+func TestForWorkersPanicWithTokenReturnsError(t *testing.T) {
+	tok := new(Token)
+	err := ForWorkers(4, 10000, 16, tok, func(w, i int) {
+		if i == 5000 {
+			panic("boom at 5000")
+		}
+	})
+	if err == nil {
+		t.Fatal("panic was swallowed")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %T is not a *PanicError", err)
+	}
+	if pe.Worker < 0 || pe.Worker >= 4 {
+		t.Fatalf("worker id %d out of range", pe.Worker)
+	}
+	if !strings.Contains(pe.Error(), "boom at 5000") {
+		t.Fatalf("panic value lost: %v", pe.Error())
+	}
+	if len(pe.Stack) == 0 {
+		t.Fatal("no stack captured")
+	}
+	if !tok.Cancelled() {
+		t.Fatal("panic did not cancel the token")
+	}
+	if tok.Err() == nil {
+		t.Fatal("panic not recorded on the token")
+	}
+}
+
+func TestForPanicNilTokenRepanics(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("panic did not propagate with a nil token")
+		}
+		if pe, ok := r.(*PanicError); !ok || pe.Value != "legacy" {
+			t.Fatalf("unexpected panic value %v", r)
+		}
+	}()
+	For(4, 1000, 8, nil, func(i int) {
+		if i == 500 {
+			panic("legacy")
+		}
+	})
+}
+
+func TestRunPanicContainmentNoDeadlock(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tok := new(Token)
+	err := Run(4, tok, func(w int) {
+		if w == 2 {
+			panic("worker 2 dies")
+		}
+		// Sibling loop that would spin forever on lost work without the
+		// token: containment must trip it so everyone drains.
+		for !tok.Cancelled() {
+			runtime.Gosched()
+		}
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Worker != 2 {
+		t.Fatalf("err = %v, want PanicError from worker 2", err)
+	}
+	// All workers joined (Run returned); goroutine count settles back.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after", before, g)
+	}
+}
+
+func TestRunFirstPanicWins(t *testing.T) {
+	tok := new(Token)
+	err := Run(4, tok, func(w int) { panic(w) })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := tok.Err(); got == nil {
+		t.Fatal("token lost the panic")
+	}
+}
+
+func TestWatchContextAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	tok := new(Token)
+	stop := WatchContext(ctx, tok)
+	defer stop()
+	if !tok.Cancelled() {
+		t.Fatal("already-done context must cancel synchronously")
+	}
+}
+
+func TestWatchContextPropagatesAndStops(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	tok := new(Token)
+	stop := WatchContext(ctx, tok)
+	cancel()
+	deadline := time.Now().Add(5 * time.Second)
+	for !tok.Cancelled() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !tok.Cancelled() {
+		t.Fatal("context cancellation did not reach the token")
+	}
+	stop()
+	stop() // idempotent
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("watcher leaked: %d goroutines before, %d after", before, g)
+	}
+}
+
+func TestWatchContextBackgroundIsFree(t *testing.T) {
+	before := runtime.NumGoroutine()
+	tok := new(Token)
+	stop := WatchContext(context.Background(), tok)
+	if g := runtime.NumGoroutine(); g != before {
+		t.Fatalf("background watch spawned a goroutine (%d → %d)", before, g)
+	}
+	stop()
+	if tok.Cancelled() {
+		t.Fatal("background context cancelled the token")
+	}
+}

@@ -18,6 +18,7 @@
 package prune
 
 import (
+	sdist "wasp/internal/dist"
 	"wasp/internal/graph"
 )
 
@@ -122,7 +123,7 @@ func (p *Pruned) Restore(dist []uint32) {
 	for i := len(p.order) - 1; i >= 0; i-- {
 		e := p.order[i]
 		if dp := dist[e.parent]; dp != graph.Infinity {
-			nd := dp + e.w
+			nd := sdist.SatAdd(dp, e.w)
 			if nd < dist[e.v] {
 				dist[e.v] = nd
 			}

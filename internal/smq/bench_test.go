@@ -26,7 +26,7 @@ func BenchmarkPushPopContended(b *testing.B) {
 	const workers = 4
 	s := New(Config{Threads: workers})
 	b.ResetTimer()
-	parallel.Run(workers, func(w int) {
+	parallel.Run(workers, nil, func(w int) {
 		h := s.NewHandle(w)
 		r := rng.NewXoshiro256(uint64(w))
 		for i := 0; i < b.N/workers; i++ {

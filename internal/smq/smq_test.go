@@ -87,7 +87,7 @@ func TestConcurrentConservation(t *testing.T) {
 	const each = 5000
 	s := New(Config{Threads: workers})
 	var popped atomic.Int64
-	parallel.Run(workers, func(w int) {
+	parallel.Run(workers, nil, func(w int) {
 		h := s.NewHandle(w)
 		r := rng.NewXoshiro256(uint64(w) + 50)
 		for i := 0; i < each; i++ {

@@ -1,0 +1,171 @@
+package wasp_test
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"wasp"
+)
+
+// TestRunContextPreCancelled: a context that is already cancelled must
+// come back promptly with a wrapped ErrCancelled and an incomplete
+// partial result — for every algorithm, parallel and sequential alike.
+// The per-algorithm watchdog turns a termination bug into a test
+// failure instead of a suite hang.
+func TestRunContextPreCancelled(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	g, err := wasp.GenerateWorkload("kron", wasp.WorkloadConfig{N: 5000, Seed: 21})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := wasp.SourceInLargestComponent(g, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	for _, name := range wasp.Algorithms() {
+		algo, err := wasp.ParseAlgorithm(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Run(name, func(t *testing.T) {
+			type outcome struct {
+				res *wasp.Result
+				err error
+			}
+			done := make(chan outcome, 1)
+			go func() {
+				res, err := wasp.RunContext(ctx, g, src, wasp.Options{
+					Algorithm: algo, Workers: 3, Delta: 8,
+				})
+				done <- outcome{res, err}
+			}()
+			var out outcome
+			select {
+			case out = <-done:
+			case <-time.After(30 * time.Second):
+				t.Fatal("pre-cancelled RunContext hung")
+			}
+			if !errors.Is(out.err, wasp.ErrCancelled) {
+				t.Fatalf("err = %v, want ErrCancelled", out.err)
+			}
+			if !errors.Is(out.err, context.Canceled) {
+				t.Fatalf("err = %v does not wrap context.Canceled", out.err)
+			}
+			if out.res == nil {
+				t.Fatal("cancelled run returned no partial result")
+			}
+			if out.res.Complete {
+				t.Fatal("cancelled run reported Complete")
+			}
+			if out.res.Dist[src] != 0 {
+				t.Fatalf("d(source) = %d in partial snapshot", out.res.Dist[src])
+			}
+		})
+	}
+}
+
+// TestRunContextBackgroundCompletes: with a plain background context,
+// RunContext is exactly Run — complete, verified results.
+func TestRunContextBackgroundCompletes(t *testing.T) {
+	g := wasp.FromEdges(3, true, []wasp.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+	})
+	res, err := wasp.RunContext(context.Background(), g, 0, wasp.Options{Verify: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete {
+		t.Fatal("uncancelled run not Complete")
+	}
+	if res.Dist[2] != 2 {
+		t.Fatalf("d(2) = %d", res.Dist[2])
+	}
+}
+
+// TestRunContextMidFlightCancel cancels a running Wasp solve. Timing
+// decides whether the solve finishes first, so both outcomes are legal;
+// what is checked is the invariant pair: complete+verified or
+// cancelled+upper-bound snapshot — never a hang, never an underestimate.
+func TestRunContextMidFlightCancel(t *testing.T) {
+	prev := runtime.GOMAXPROCS(4)
+	defer runtime.GOMAXPROCS(prev)
+	g, err := wasp.GenerateWorkload("road-usa", wasp.WorkloadConfig{N: 50000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := wasp.SourceInLargestComponent(g, 1)
+	ref, err := wasp.Run(g, src, wasp.Options{Algorithm: wasp.AlgoDijkstra})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		time.Sleep(200 * time.Microsecond)
+		cancel()
+	}()
+	res, err := wasp.RunContext(ctx, g, src, wasp.Options{
+		Algorithm: wasp.AlgoWasp, Workers: 4, Delta: 16,
+	})
+	switch {
+	case err == nil:
+		if !res.Complete {
+			t.Fatal("no error but Complete unset")
+		}
+	case errors.Is(err, wasp.ErrCancelled):
+		if res == nil || res.Complete {
+			t.Fatalf("cancelled result inconsistent: %+v", res)
+		}
+		for v := range ref.Dist {
+			if res.Dist[v] < ref.Dist[v] {
+				t.Fatalf("partial d(%d) = %d below true distance %d", v, res.Dist[v], ref.Dist[v])
+			}
+		}
+	default:
+		t.Fatal(err)
+	}
+}
+
+// TestRunContextDeadline: an expired deadline surfaces as ErrCancelled
+// wrapping context.DeadlineExceeded.
+func TestRunContextDeadline(t *testing.T) {
+	g := wasp.FromEdges(2, true, []wasp.Edge{{From: 0, To: 1, W: 1}})
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := wasp.RunContext(ctx, g, 0, wasp.Options{})
+	if !errors.Is(err, wasp.ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestRunManyContextCancelled: a cancelled batch keeps the solves that
+// finished and reports the cancellation.
+func TestRunManyContextCancelled(t *testing.T) {
+	g := wasp.FromEdges(3, true, []wasp.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	results, err := wasp.RunManyContext(ctx, g, []wasp.Vertex{0, 1, 2}, wasp.Options{})
+	if !errors.Is(err, wasp.ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if len(results) != 0 {
+		t.Fatalf("pre-cancelled batch returned %d results", len(results))
+	}
+	// And an uncancelled batch still works.
+	results, err = wasp.RunManyContext(context.Background(), g, []wasp.Vertex{0, 1}, wasp.Options{})
+	if err != nil || len(results) != 2 {
+		t.Fatalf("results = %d, err = %v", len(results), err)
+	}
+	for _, r := range results {
+		if !r.Complete {
+			t.Fatal("batch result not Complete")
+		}
+	}
+}

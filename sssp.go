@@ -1,6 +1,8 @@
 package wasp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"time"
 
@@ -19,6 +21,7 @@ import (
 	"wasp/internal/mbq"
 	"wasp/internal/metrics"
 	"wasp/internal/numa"
+	"wasp/internal/parallel"
 	"wasp/internal/prune"
 	"wasp/internal/smq"
 	"wasp/internal/verify"
@@ -202,6 +205,11 @@ type Result struct {
 	// Steps is the number of synchronous steps, for the synchronous
 	// algorithms (0 otherwise).
 	Steps int64
+	// Complete reports whether the solve ran to termination. It is
+	// false only when the run was cancelled (see RunContext), in which
+	// case Dist is a partial snapshot: every finite entry is a valid
+	// upper bound on the true distance, but not necessarily final.
+	Complete bool
 }
 
 // Reached returns the number of vertices with finite distance.
@@ -230,8 +238,30 @@ func verifyResult(g *Graph, source Vertex, d []uint32) error {
 	return nil
 }
 
+// ErrCancelled is returned (wrapped) by RunContext when the context is
+// cancelled before the solve terminates. Test with errors.Is.
+var ErrCancelled = errors.New("wasp: run cancelled")
+
 // Run computes single-source shortest paths on g from source.
 func Run(g *Graph, source Vertex, opt Options) (*Result, error) {
+	return RunContext(context.Background(), g, source, opt)
+}
+
+// RunContext is Run with cooperative cancellation. Cancellation is
+// polled at chunk, bucket, step or queue-pop boundaries — never per
+// edge relaxation — so it costs nothing measurable and takes effect
+// within one grain of work. When ctx is cancelled before the solve
+// terminates, RunContext returns an error wrapping both ErrCancelled
+// and ctx.Err() together with a non-nil partial Result: Complete is
+// false and Dist holds the tentative distances at the moment the
+// workers drained (finite entries are valid upper bounds). Verify is
+// skipped for cancelled runs, whose output is legitimately partial.
+//
+// RunContext also contains worker panics: a panic inside any parallel
+// solver cancels its siblings (no deadlocked joins, no leaked
+// goroutines) and surfaces as an error carrying the worker id and
+// stack trace.
+func RunContext(ctx context.Context, g *Graph, source Vertex, opt Options) (*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("wasp: nil graph")
 	}
@@ -248,6 +278,12 @@ func Run(g *Graph, source Vertex, opt Options) (*Result, error) {
 	if opt.CollectMetrics || opt.QueueTiming {
 		m = metrics.NewSet(opt.Workers)
 	}
+
+	// One token per solve: the context watcher trips it, worker panics
+	// trip it, and every solver loop polls it.
+	tok := new(parallel.Token)
+	stopWatch := parallel.WatchContext(ctx, tok)
+	defer stopWatch()
 
 	res := &Result{Algorithm: opt.Algorithm}
 	start := time.Now()
@@ -279,69 +315,70 @@ func Run(g *Graph, source Vertex, opt Options) (*Result, error) {
 			NoBidirectional: opt.NoBidirectional,
 			Theta:           opt.Theta,
 			Metrics:         m,
+			Cancel:          tok,
 		})
 		res.Dist = r.Dist
 	case AlgoDijkstra:
-		r := dijkstra.Run(g, source)
+		r := dijkstra.RunToken(g, source, tok)
 		res.Dist = r.Dist
 		if m != nil {
 			m.Workers[0].Relaxations = r.Relaxations
 		}
 	case AlgoBellmanFord:
-		res.Dist = bellmanford.Run(g, source)
+		res.Dist = bellmanford.RunToken(g, source, tok)
 	case AlgoGAP:
 		r := gapds.Run(g, source, gapds.Options{
-			Delta: opt.Delta, Workers: opt.Workers, Metrics: m,
+			Delta: opt.Delta, Workers: opt.Workers, Metrics: m, Cancel: tok,
 		})
 		res.Dist, res.Steps = r.Dist, r.Steps
 	case AlgoGBBS:
 		r := gbbs.Run(g, source, gbbs.Options{
-			Delta: opt.Delta, Workers: opt.Workers, Metrics: m,
+			Delta: opt.Delta, Workers: opt.Workers, Metrics: m, Cancel: tok,
 		})
 		res.Dist, res.Steps = r.Dist, r.Steps
 	case AlgoDeltaStar:
 		r := stepping.Run(g, source, stepping.Options{
 			Algorithm: stepping.DeltaStar, Delta: opt.Delta,
-			Workers: opt.Workers, Metrics: m,
+			Workers: opt.Workers, Metrics: m, Cancel: tok,
 		})
 		res.Dist, res.Steps = r.Dist, r.Steps
 	case AlgoRho:
 		r := stepping.Run(g, source, stepping.Options{
 			Algorithm: stepping.Rho, Rho: opt.Rho,
-			Workers: opt.Workers, Metrics: m,
+			Workers: opt.Workers, Metrics: m, Cancel: tok,
 		})
 		res.Dist, res.Steps = r.Dist, r.Steps
 	case AlgoMultiQueue:
 		r := mqsssp.Run(g, source, mqsssp.Options{
 			Workers: opt.Workers, Stickiness: opt.Stickiness,
-			Timing: opt.QueueTiming, Metrics: m,
+			Timing: opt.QueueTiming, Metrics: m, Cancel: tok,
 		})
 		res.Dist = r.Dist
 	case AlgoGalois:
 		r := galois.Run(g, source, galois.Options{
-			Delta: opt.Delta, Workers: opt.Workers, Metrics: m,
+			Delta: opt.Delta, Workers: opt.Workers, Metrics: m, Cancel: tok,
 		})
 		res.Dist = r.Dist
 	case AlgoSMQ:
 		res.Dist = relaxed.RunSMQ(g, source, smq.Config{},
-			relaxed.Options{Workers: opt.Workers, Metrics: m})
+			relaxed.Options{Workers: opt.Workers, Metrics: m, Cancel: tok})
 	case AlgoMBQ:
 		res.Dist = relaxed.RunMBQ(g, source, mbq.Config{Delta: uint64(opt.Delta)},
-			relaxed.Options{Workers: opt.Workers, Metrics: m})
+			relaxed.Options{Workers: opt.Workers, Metrics: m, Cancel: tok})
 	case AlgoRadius:
 		r := radius.Run(g, source, radius.Options{
-			Rho: opt.Rho, Workers: opt.Workers, Metrics: m,
+			Rho: opt.Rho, Workers: opt.Workers, Metrics: m, Cancel: tok,
 		})
 		res.Dist, res.Steps = r.Dist, r.Steps
 	case AlgoSeqDelta:
-		r := seqdelta.Run(g, source, seqdelta.Options{Delta: opt.Delta})
+		r := seqdelta.Run(g, source, seqdelta.Options{Delta: opt.Delta, Cancel: tok})
 		res.Dist, res.Steps = r.Dist, r.Buckets
 		if m != nil {
 			m.Workers[0].Relaxations = r.LightRelaxations + r.HeavyRelaxations
 		}
 	case AlgoAlgebraic:
 		r := algebra.Run(g, source, algebra.Options{
-			Delta: opt.Delta, Workers: opt.Workers, Metrics: m,
+			Delta: opt.Delta, Workers: opt.Workers, Metrics: m, Cancel: tok,
 		})
 		res.Dist, res.Steps = r.Dist, r.Steps
 	default:
@@ -356,6 +393,15 @@ func Run(g *Graph, source Vertex, opt Options) (*Result, error) {
 		t := m.Totals()
 		res.Metrics = &t
 	}
+	if pe := tok.Err(); pe != nil {
+		return nil, fmt.Errorf("wasp: %s solver panicked: %w", opt.Algorithm, pe)
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled: the distances are a legitimate partial snapshot,
+		// so hand them back alongside the error and skip verification.
+		return res, fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	res.Complete = true
 	if opt.Verify {
 		if err := verify.Certificate(original, source, res.Dist); err != nil {
 			return nil, fmt.Errorf("wasp: %s produced an invalid result: %w", opt.Algorithm, err)

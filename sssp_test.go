@@ -79,6 +79,36 @@ func TestParseAlgorithm(t *testing.T) {
 	}
 }
 
+// TestOptionsDefaulting: out-of-range Workers/Delta/Rho must be
+// normalized to the documented defaults, not crash or hang — for the
+// zero value and for explicitly negative inputs, across a sequential, a
+// synchronous and an asynchronous algorithm.
+func TestOptionsDefaulting(t *testing.T) {
+	g := wasp.FromEdges(4, true, []wasp.Edge{
+		{From: 0, To: 1, W: 2}, {From: 1, To: 2, W: 2}, {From: 2, To: 3, W: 2},
+	})
+	cases := []wasp.Options{
+		{}, // zero value: Wasp, Δ=1, one worker
+		{Workers: -3, Delta: 0},
+		{Algorithm: wasp.AlgoGAP, Workers: 0, Delta: 0},
+		{Algorithm: wasp.AlgoRho, Workers: -1, Rho: 0},
+		{Algorithm: wasp.AlgoDijkstra, Workers: -5},
+	}
+	for i, o := range cases {
+		o.Verify = true
+		res, err := wasp.Run(g, 0, o)
+		if err != nil {
+			t.Fatalf("case %d (%+v): %v", i, o, err)
+		}
+		if !res.Complete {
+			t.Fatalf("case %d: defaulted run not Complete", i)
+		}
+		if res.Dist[3] != 6 {
+			t.Fatalf("case %d: d(3) = %d, want 6", i, res.Dist[3])
+		}
+	}
+}
+
 func TestParallelFlag(t *testing.T) {
 	if wasp.AlgoDijkstra.Parallel() || wasp.AlgoBellmanFord.Parallel() {
 		t.Fatal("sequential algorithms marked parallel")
