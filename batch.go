@@ -4,31 +4,35 @@ import (
 	"context"
 	"errors"
 	"fmt"
-
-	"wasp/internal/core"
-	"wasp/internal/graph"
-	"wasp/internal/metrics"
-	"wasp/internal/parallel"
 )
 
-// RunMany computes SSSP from each source in turn, sharing preprocessing
-// across the batch (for AlgoWasp, the shortest-path-tree leaf bitmap is
-// built once). This is the access pattern of the SSSP-as-inner-loop
-// applications the paper's introduction motivates — betweenness and
-// closeness centrality run one SSSP per pivot over a fixed graph.
+// RunMany computes SSSP from each source in turn over one shared
+// Session, amortizing preprocessing and per-worker state across the
+// batch (for AlgoWasp, the shortest-path-tree leaf bitmap, distance
+// array, deques, chunk pools and buckets are built once). This is the
+// access pattern of the SSSP-as-inner-loop applications the paper's
+// introduction motivates — betweenness and closeness centrality run one
+// SSSP per pivot over a fixed graph.
 //
-// Results are returned in source order. Options are interpreted as in
-// Run; algorithms other than AlgoWasp simply run sequentially per
-// source.
+// Results are returned in source order and are independently owned (no
+// aliasing of session storage). Options are interpreted as in Run;
+// algorithms other than AlgoWasp simply run sequentially per source.
 func RunMany(g *Graph, sources []Vertex, opt Options) ([]*Result, error) {
 	return RunManyContext(context.Background(), g, sources, opt)
 }
 
 // RunManyContext is RunMany with cooperative cancellation: cancelling
 // ctx stops the in-flight solve at its next cancellation point and
-// skips the remaining sources. The results computed so far are
-// returned alongside the wrapped ErrCancelled (completed solves stay
-// complete; the interrupted one is dropped).
+// skips the remaining sources.
+//
+// Error contract, identical on the Wasp and baseline paths: on any
+// error the results computed so far are returned alongside it —
+// completed solves stay complete and are never discarded. On
+// cancellation the returned slice additionally ends with the partial
+// Result of the interrupted solve (Complete false, finite distances
+// valid upper bounds), matching the RunContext contract for a single
+// solve, and the error wraps ErrCancelled. Only argument errors (nil
+// graph, out-of-range source) return a nil slice.
 func RunManyContext(ctx context.Context, g *Graph, sources []Vertex, opt Options) ([]*Result, error) {
 	if g == nil {
 		return nil, fmt.Errorf("wasp: nil graph")
@@ -38,89 +42,22 @@ func RunManyContext(ctx context.Context, g *Graph, sources []Vertex, opt Options
 			return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", s, g.NumVertices())
 		}
 	}
+	sess, err := NewSession(g, opt)
+	if err != nil {
+		return nil, err
+	}
 	results := make([]*Result, 0, len(sources))
-	if opt.Algorithm != AlgoWasp {
-		for _, s := range sources {
-			res, err := RunContext(ctx, g, s, opt)
-			if err != nil {
-				if errors.Is(err, ErrCancelled) {
-					return results, err
-				}
-				return nil, err
-			}
-			results = append(results, res)
-		}
-		return results, nil
-	}
-
-	// Wasp path: amortize the leaf bitmap across the batch.
-	if opt.Workers <= 0 {
-		opt.Workers = 1
-	}
-	if opt.Delta == 0 {
-		opt.Delta = 1
-	}
-	var leaves *graph.Bitmap
-	if !opt.NoLeafPruning {
-		leaves = graph.LeafBitmap(g)
-	}
 	for _, s := range sources {
-		var m *metrics.Set
-		if opt.CollectMetrics {
-			m = metrics.NewSet(opt.Workers)
-		}
-		r, err := runWaspWithLeaves(ctx, g, s, opt, leaves, m)
+		res, err := sess.Run(ctx, s)
 		if err != nil {
-			if errors.Is(err, ErrCancelled) {
-				return results, err
+			if errors.Is(err, ErrCancelled) && res != nil {
+				// The interrupted solve's snapshot rides along with the
+				// completed prefix, as a single RunContext would return.
+				results = append(results, sess.detach(res))
 			}
-			return nil, err
+			return results, err
 		}
-		results = append(results, r)
+		results = append(results, sess.detach(res))
 	}
 	return results, nil
-}
-
-func runWaspWithLeaves(ctx context.Context, g *Graph, source Vertex, opt Options,
-	leaves *graph.Bitmap, m *metrics.Set) (*Result, error) {
-	tok := new(parallel.Token)
-	stopWatch := parallel.WatchContext(ctx, tok)
-	defer stopWatch()
-
-	res := &Result{Algorithm: AlgoWasp}
-	elapsed := timeIt(func() {
-		r := core.Run(g, source, core.Options{
-			Delta:           opt.Delta,
-			Workers:         opt.Workers,
-			Topology:        opt.Topology,
-			Policy:          opt.Steal,
-			Retries:         opt.StealRetries,
-			NoLeafPruning:   opt.NoLeafPruning,
-			NoDecomposition: opt.NoDecomposition,
-			NoBidirectional: opt.NoBidirectional,
-			Theta:           opt.Theta,
-			Metrics:         m,
-			Leaves:          leaves,
-			Cancel:          tok,
-		})
-		res.Dist = r.Dist
-	})
-	res.Elapsed = elapsed
-	if m != nil {
-		t := m.Totals()
-		res.Metrics = &t
-	}
-	if pe := tok.Err(); pe != nil {
-		return nil, fmt.Errorf("wasp: %s solver panicked: %w", AlgoWasp, pe)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, fmt.Errorf("%w: %w", ErrCancelled, err)
-	}
-	res.Complete = true
-	if opt.Verify {
-		if err := verifyResult(g, source, res.Dist); err != nil {
-			return nil, err
-		}
-	}
-	return res, nil
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -33,12 +34,23 @@ func main() {
 	fmt.Printf("web graph: %d pages, %d links, max out-degree %d\n",
 		s.Vertices, s.Edges, s.MaxOutDegree)
 
+	// One session serves every pivot: the solver's deques, chunk pools,
+	// buckets and distance array are allocated once and reset per pivot,
+	// so the loop below allocates almost nothing per SSSP. Each pivot's
+	// distances are consumed by accumulate before the next Run, so the
+	// session-owned Dist aliasing is safe here.
+	sess, err := wasp.NewSession(g, wasp.Options{
+		Algorithm: wasp.AlgoWasp, Workers: *workers, Delta: 1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
 	bc := make([]float64, g.NumVertices())
 	for k := 0; k < *pivots; k++ {
 		src := wasp.SourceInLargestComponent(g, uint64(100+k))
-		res, err := wasp.Run(g, src, wasp.Options{
-			Algorithm: wasp.AlgoWasp, Workers: *workers, Delta: 1,
-		})
+		res, err := sess.Run(ctx, src)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -58,6 +58,13 @@ func SourceInLargestComponent(g *Graph, seed uint64) Vertex {
 	return graph.SourceInLargestComponent(g, seed)
 }
 
+// SourcesInLargestComponent returns n such vertices, one per
+// consecutive seed, amortizing the component analysis across the whole
+// batch; element i equals SourceInLargestComponent(g, seed+i).
+func SourcesInLargestComponent(g *Graph, seed uint64, n int) []Vertex {
+	return graph.SourcesInLargestComponent(g, seed, n)
+}
+
 // RelabelByDegree returns a copy of g with vertex ids assigned in
 // decreasing-degree order plus the old→new mapping — the
 // vertex-reordering preprocessing of GPU SSSP systems (paper [68]) that

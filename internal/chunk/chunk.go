@@ -146,3 +146,20 @@ func (p *Pool) Put(c *Chunk) {
 		p.free.Push(c)
 	}
 }
+
+// Reclaim drains every chunk of l into the pool's free list, emptying
+// the list. Solver sessions use it between runs to recover the chunks a
+// cancelled solve left stranded in buckets, so repeated solves reuse
+// one warm pool instead of reallocating.
+func (p *Pool) Reclaim(l *List) {
+	for {
+		c := l.Pop()
+		if c == nil {
+			return
+		}
+		p.Put(c)
+	}
+}
+
+// Free reports the number of chunks currently held by the free list.
+func (p *Pool) Free() int { return p.free.Len() }

@@ -174,3 +174,38 @@ func BenchmarkPushPop(b *testing.B) {
 		c.Pop()
 	}
 }
+
+// TestPoolReclaim: Reclaim moves every chunk of a list into the free
+// list, emptying the list, and Get then reuses those chunks.
+func TestPoolReclaim(t *testing.T) {
+	var p Pool
+	var l List
+	chunks := make(map[*Chunk]bool)
+	for i := 0; i < 5; i++ {
+		c := p.Get()
+		c.Push(uint32(i))
+		l.Push(c)
+		chunks[c] = true
+	}
+	p.Reclaim(&l)
+	if !l.Empty() || l.Len() != 0 {
+		t.Fatalf("list not emptied: len %d", l.Len())
+	}
+	if p.Free() != 5 {
+		t.Fatalf("free list holds %d chunks, want 5", p.Free())
+	}
+	for i := 0; i < 5; i++ {
+		c := p.Get()
+		if !chunks[c] {
+			t.Fatal("Get allocated instead of reusing a reclaimed chunk")
+		}
+		if !c.Empty() || c.IsRange() {
+			t.Fatal("reclaimed chunk not reset")
+		}
+	}
+	// Reclaiming an empty list is a no-op.
+	p.Reclaim(&l)
+	if p.Free() != 0 {
+		t.Fatalf("free list holds %d chunks, want 0", p.Free())
+	}
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync/atomic"
+
+	"wasp/internal/dist"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+	"wasp/internal/parallel"
+)
+
+// Solver is a reusable Wasp instance bound to one graph: the distance
+// array, per-worker Chase-Lev deques, chunk pools, thread-local bucket
+// vectors, metrics storage and the shortest-path-tree leaf bitmap are
+// all allocated once by NewSolver and recycled by every Solve. This is
+// the engine behind the public session API (wasp.NewSession): the
+// SSSP-as-inner-loop applications of the paper's introduction
+// (betweenness/closeness centrality) run one solve per pivot over a
+// fixed graph, and rebuilding this state per pivot is pure GC churn.
+//
+// A Solver supports one solve at a time; Solve must not be called
+// concurrently with itself. Between calls the structures are quiescent
+// and Reset reclaims whatever a cancelled run left behind.
+type Solver struct {
+	g   *graph.Graph
+	opt Options // defaults applied; opt.Leaves holds the shared bitmap
+	d   *dist.Array
+	m   *metrics.Set
+	ops atomic.Int64
+	ws  []*worker
+}
+
+// NewSolver preallocates a Solver for g. The options are captured with
+// defaults applied; opt.Cancel is ignored (a cancellation token is per
+// solve, passed to Solve). When opt.Metrics is nil the solver owns a
+// private set; either way counters accumulate across solves unless the
+// caller resets the set (metrics.Set.Reset) between runs.
+func NewSolver(g *graph.Graph, opt Options) *Solver {
+	opt = opt.withDefaults()
+	opt.Cancel = nil
+	p := opt.Workers
+	m := opt.Metrics
+	if m == nil || len(m.Workers) < p {
+		m = metrics.NewSet(p)
+	}
+	if !opt.NoLeafPruning && opt.Leaves == nil {
+		opt.Leaves = graph.LeafBitmap(g)
+	}
+	s := &Solver{
+		g:   g,
+		opt: opt,
+		d:   dist.New(g.NumVertices(), 0),
+		m:   m,
+	}
+	s.ws = make([]*worker, p)
+	for i := 0; i < p; i++ {
+		s.ws[i] = newWorker(i, g, s.d, opt.Leaves, opt, s.ws, &s.ops, &m.Workers[i])
+	}
+	return s
+}
+
+// Metrics returns the per-worker metrics set the solver writes into —
+// the one passed via Options.Metrics, or the solver-owned set.
+func (s *Solver) Metrics() *metrics.Set { return s.m }
+
+// Solve computes SSSP from source, reusing every preallocated
+// structure. cancel, when non-nil, is polled at chunk and bucket
+// boundaries exactly as in Run and also arms panic containment; pass a
+// fresh token per solve (a tripped token would cancel the run
+// immediately). The returned Result's Dist aliases the solver's
+// distance array: it is valid until the next Solve call.
+func (s *Solver) Solve(source graph.Vertex, cancel *parallel.Token) *Result {
+	s.Reset(source)
+	for _, w := range s.ws {
+		w.cancel = cancel
+	}
+	// Seed: the source enters worker 0's current bucket at level 0.
+	s.ws[0].pushCurrent(uint32(source))
+	if s.opt.debugWorkers != nil {
+		s.opt.debugWorkers(s.ws)
+	}
+	// With a non-nil cancel token, parallel.Run contains worker panics:
+	// the token is tripped (so the siblings polling it drain) and the
+	// panic is recorded on the token, where the caller that owns it
+	// retrieves it via Err. Without a token the panic propagates as it
+	// always did.
+	_ = parallel.Run(len(s.ws), cancel, func(i int) { s.ws[i].run() })
+	return &Result{Dist: s.d.Snapshot(), Complete: !cancel.Cancelled()}
+}
+
+// Reset restores the pre-run state for a solve from source: distances
+// refilled, every worker's buffer/deque/buckets drained back into its
+// chunk pool (a completed run leaves them empty; a cancelled one does
+// not), scheduling RNGs reseeded so a reused solver schedules
+// identically to a fresh one. Solve calls it automatically.
+func (s *Solver) Reset(source graph.Vertex) {
+	s.ops.Store(0)
+	s.d.Reset(source)
+	for _, w := range s.ws {
+		w.reset()
+	}
+}

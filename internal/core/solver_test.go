@@ -1,0 +1,96 @@
+package core
+
+import (
+	"testing"
+
+	"wasp/internal/baseline/dijkstra"
+	"wasp/internal/gen"
+	"wasp/internal/graph"
+	"wasp/internal/parallel"
+	"wasp/internal/verify"
+)
+
+// TestSolverReuseMatchesFresh: a Solver reused across many sources must
+// produce, for every source, exactly the distances of a fresh one-shot
+// Run (and of sequential Dijkstra).
+func TestSolverReuseMatchesFresh(t *testing.T) {
+	g, err := gen.Generate("kron", gen.Config{N: 2000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSolver(g, Options{Workers: 4, Delta: 4, Theta: 64})
+	n := g.NumVertices()
+	for _, src := range []graph.Vertex{0, 3, 77, graph.Vertex(n / 2), graph.Vertex(n - 1)} {
+		res := s.Solve(src, nil)
+		if !res.Complete {
+			t.Fatalf("source %d: uncancelled solve not complete", src)
+		}
+		if err := verify.Equal(res.Dist, dijkstra.Distances(g, src)); err != nil {
+			t.Fatalf("source %d: reused solver diverged: %v", src, err)
+		}
+		fresh := Run(g, src, Options{Workers: 4, Delta: 4, Theta: 64})
+		if err := verify.Equal(res.Dist, fresh.Dist); err != nil {
+			t.Fatalf("source %d: reuse vs fresh mismatch: %v", src, err)
+		}
+	}
+}
+
+// TestSolverResetAfterCancel: a solve interrupted by a pre-tripped
+// token leaves vertices stranded in buffers, deques and buckets; the
+// next Solve on the same Solver must drain them and still produce exact
+// distances.
+func TestSolverResetAfterCancel(t *testing.T) {
+	g, err := gen.Generate("road-usa", gen.Config{N: 10000, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSolver(g, Options{Workers: 4, Delta: 8})
+
+	tok := new(parallel.Token)
+	tok.Cancel()
+	if partial := s.Solve(0, tok); partial.Complete {
+		t.Fatal("cancelled solve reported complete")
+	}
+
+	res := s.Solve(0, nil)
+	if !res.Complete {
+		t.Fatal("post-cancel solve not complete")
+	}
+	if err := verify.Equal(res.Dist, dijkstra.Distances(g, 0)); err != nil {
+		t.Fatalf("solver poisoned by cancelled run: %v", err)
+	}
+}
+
+// TestSolverRepeatDeterministic: two solves of the same source on one
+// Solver return identical distances — the reseeded scheduling RNGs and
+// drained structures make a reused solver behave like a fresh one.
+func TestSolverRepeatDeterministic(t *testing.T) {
+	g, err := gen.Generate("kron", gen.Config{N: 1200, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := NewSolver(g, Options{Workers: 2, Delta: 2})
+	a := append([]uint32(nil), s.Solve(5, nil).Dist...)
+	b := s.Solve(5, nil).Dist
+	if err := verify.Equal(a, b); err != nil {
+		t.Fatalf("repeated solve diverged: %v", err)
+	}
+}
+
+// TestSolverDistAliasing pins the documented ownership contract: the
+// Result of one Solve aliases solver storage and is overwritten by the
+// next Solve.
+func TestSolverDistAliasing(t *testing.T) {
+	g := graph.FromEdges(3, true, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+	})
+	s := NewSolver(g, Options{Workers: 1})
+	first := s.Solve(0, nil)
+	if first.Dist[2] != 2 {
+		t.Fatalf("d(2) = %d", first.Dist[2])
+	}
+	second := s.Solve(2, nil)
+	if &first.Dist[0] != &second.Dist[0] {
+		t.Fatal("Solve results no longer share storage; update the documented contract")
+	}
+}

@@ -16,42 +16,13 @@ import (
 )
 
 // Run computes single-source shortest paths from source using the Wasp
-// algorithm (paper Algorithm 1).
+// algorithm (paper Algorithm 1). It is the one-shot entry point: a
+// fresh Solver is built and used once. Callers solving many sources
+// over one graph should build a Solver (or a wasp.Session) and reuse
+// it — see solver.go.
 func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
-	opt = opt.withDefaults()
-	p := opt.Workers
-	m := opt.Metrics
-	if m == nil || len(m.Workers) < p {
-		m = metrics.NewSet(p)
-	}
-
-	d := dist.New(g.NumVertices(), source)
-	var leaves *graph.Bitmap
-	if !opt.NoLeafPruning {
-		leaves = opt.Leaves
-		if leaves == nil {
-			leaves = graph.LeafBitmap(g)
-		}
-	}
-
-	ops := new(atomic.Int64)
-	ws := make([]*worker, p)
-	for i := 0; i < p; i++ {
-		ws[i] = newWorker(i, g, d, leaves, opt, ws, ops, &m.Workers[i])
-	}
-	// Seed: the source enters worker 0's current bucket at level 0.
-	ws[0].pushCurrent(uint32(source))
-
-	if opt.debugWorkers != nil {
-		opt.debugWorkers(ws)
-	}
-	// With a non-nil Cancel token, parallel.Run contains worker panics:
-	// the token is tripped (so the siblings polling it below drain) and
-	// the panic is recorded on the token, where the caller that owns it
-	// retrieves it via Err. Without a token the panic propagates as it
-	// always did.
-	_ = parallel.Run(p, opt.Cancel, func(i int) { ws[i].run() })
-	return &Result{Dist: d.Snapshot(), Complete: !opt.Cancel.Cancelled()}
+	cancel := opt.Cancel
+	return NewSolver(g, opt).Solve(source, cancel)
 }
 
 // worker is one Wasp thread's state: its shared current bucket (deque +
@@ -107,6 +78,31 @@ func newWorker(id int, g *graph.Graph, d *dist.Array, leaves *graph.Bitmap,
 	w.curr.Store(0)
 	w.currLoc = 0
 	return w
+}
+
+// reset restores the worker to its just-constructed state for the next
+// solve of a reused Solver. After a completed run the buffer, deque and
+// buckets are already empty; after a cancelled run they are not, so
+// everything is drained back into the chunk pool. The RNG is reseeded
+// with the constructor's stream so a reused worker makes the same
+// victim choices as a fresh one.
+func (w *worker) reset() {
+	for {
+		c := w.dq.PopBottom()
+		if c == nil {
+			break
+		}
+		w.pool.Put(c)
+	}
+	for i := range w.buckets {
+		w.pool.Reclaim(&w.buckets[i])
+	}
+	w.buf.Reset()
+	w.minLocal = 0
+	w.r.Reseed(uint64(w.id)*0x9e3779b97f4a7c15 + 0xdead)
+	w.cancel = nil
+	w.stealing.Store(false)
+	w.setCurr(0)
 }
 
 // setCurr publishes a new current priority level.
@@ -340,9 +336,14 @@ func (w *worker) processStolen(stolen []*chunk.Chunk) {
 	}
 	w.setCurr(minPrio)
 	w.buf.Prio = minPrio
-	for _, c := range stolen {
+	for i, c := range stolen {
 		if w.cancel.Cancelled() {
-			return // chunk-boundary cancellation point
+			// Chunk-boundary cancellation point. Recycle the chunks we
+			// will not process so a reused solver does not leak them.
+			for _, rest := range stolen[i:] {
+				w.pool.Put(rest)
+			}
+			return
 		}
 		if c.IsRange() {
 			v, _ := c.Pop()

@@ -20,11 +20,26 @@ type Array struct {
 // New returns an Array of n distances, all Infinity except source = 0.
 func New(n int, source graph.Vertex) *Array {
 	a := &Array{d: make([]uint32, n)}
-	for i := range a.d {
-		a.d[i] = graph.Infinity
-	}
-	a.d[source] = 0
+	a.Reset(source)
 	return a
+}
+
+// Reset reinstates the initial state — every distance Infinity except
+// source = 0 — without reallocating, so a solver session can reuse one
+// Array across repeated solves. Callers must ensure no concurrent
+// readers or writers (i.e. between runs). The fill doubles a copied
+// prefix instead of storing one word per iteration, which lets the
+// runtime move cache lines with wide copies.
+func (a *Array) Reset(source graph.Vertex) {
+	d := a.d
+	if len(d) == 0 {
+		return
+	}
+	d[0] = graph.Infinity
+	for i := 1; i < len(d); i *= 2 {
+		copy(d[i:], d[:i])
+	}
+	d[source] = 0
 }
 
 // Len returns the number of vertices.

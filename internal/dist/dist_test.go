@@ -140,3 +140,39 @@ func TestRelaxSaturatesNearInfinity(t *testing.T) {
 		t.Fatalf("saturated candidate beat finite distance: d[2] = %d", a.Get(2))
 	}
 }
+
+// TestReset: after arbitrary mutation, Reset must restore exactly the
+// initial state for the new source, at every length (the doubling-copy
+// fill has off-by-one potential at power-of-two boundaries).
+func TestReset(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 9, 63, 64, 65, 1000} {
+		a := New(n, 0)
+		for v := 0; v < n; v++ {
+			a.RelaxTo(graph.Vertex(v), uint32(v)) // scribble
+		}
+		src := graph.Vertex(n / 2)
+		a.Reset(src)
+		for v := 0; v < n; v++ {
+			want := uint32(graph.Infinity)
+			if graph.Vertex(v) == src {
+				want = 0
+			}
+			if got := a.Get(graph.Vertex(v)); got != want {
+				t.Fatalf("n=%d: after Reset d(%d) = %d, want %d", n, v, got, want)
+			}
+		}
+	}
+}
+
+// TestResetMatchesNew: Reset(src) and New(n, src) are indistinguishable.
+func TestResetMatchesNew(t *testing.T) {
+	a := New(100, 3)
+	a.RelaxTo(50, 7)
+	a.Reset(9)
+	b := New(100, 9)
+	for v := 0; v < 100; v++ {
+		if a.Get(graph.Vertex(v)) != b.Get(graph.Vertex(v)) {
+			t.Fatalf("d(%d): reset %d != fresh %d", v, a.Get(graph.Vertex(v)), b.Get(graph.Vertex(v)))
+		}
+	}
+}

@@ -64,6 +64,16 @@ func Components(g *Graph) (labels []int32, largest int32) {
 // the same seed so, as in the paper, variance from source selection is
 // removed.
 func SourceInLargestComponent(g *Graph, seed uint64) Vertex {
+	return SourcesInLargestComponent(g, seed, 1)[0]
+}
+
+// SourcesInLargestComponent returns n deterministic vertices inside the
+// largest component, one per consecutive seed starting at seed — the
+// batch-source analogue of SourceInLargestComponent, sharing a single
+// component analysis across all picks. Sources repeat if the component
+// has fewer than n distinct picks; seed i always yields the same vertex
+// as SourceInLargestComponent(g, seed+i).
+func SourcesInLargestComponent(g *Graph, seed uint64, n int) []Vertex {
 	labels, largest := Components(g)
 	var members []Vertex
 	for v, id := range labels {
@@ -71,13 +81,17 @@ func SourceInLargestComponent(g *Graph, seed uint64) Vertex {
 			members = append(members, Vertex(v))
 		}
 	}
+	srcs := make([]Vertex, n)
 	if len(members) == 0 {
-		return 0
+		return srcs
 	}
-	// splitmix-style scramble of the seed to pick an index.
-	z := seed + 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return members[z%uint64(len(members))]
+	for i := range srcs {
+		// splitmix-style scramble of the seed to pick an index.
+		z := seed + uint64(i) + 0x9e3779b97f4a7c15
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		srcs[i] = members[z%uint64(len(members))]
+	}
+	return srcs
 }

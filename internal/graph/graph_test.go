@@ -195,6 +195,34 @@ func TestSourceInLargestComponent(t *testing.T) {
 	}
 }
 
+func TestSourcesInLargestComponent(t *testing.T) {
+	g := FromEdges(10, false, []Edge{
+		{0, 1, 1}, {1, 2, 1}, {2, 3, 1}, {3, 4, 1}, // big component 0-4
+		{5, 6, 1}, // small component
+	})
+	labels, largest := Components(g)
+	srcs := SourcesInLargestComponent(g, 7, 5)
+	if len(srcs) != 5 {
+		t.Fatalf("got %d sources, want 5", len(srcs))
+	}
+	for i, s := range srcs {
+		if labels[s] != largest {
+			t.Fatalf("source %d (%d) outside largest component", i, s)
+		}
+		// Batch pick i must agree with the single-source picker at seed+i.
+		if want := SourceInLargestComponent(g, 7+uint64(i)); s != want {
+			t.Fatalf("source %d = %d, want %d (single-pick parity)", i, s, want)
+		}
+	}
+	// Edgeless graph: the zero vertex for every slot, not a panic.
+	empty := FromEdges(1, false, nil)
+	for _, s := range SourcesInLargestComponent(empty, 1, 3) {
+		if s != 0 {
+			t.Fatalf("edgeless pick = %d", s)
+		}
+	}
+}
+
 func TestLeafBitmap(t *testing.T) {
 	// 0-1 path plus leaf 2 hanging off 1: undirected, vertex 2 has
 	// degree 1 → leaf. Vertex 0 also has degree 1 → leaf.

@@ -38,6 +38,15 @@ type Set struct {
 // NewSet returns metrics storage for p workers.
 func NewSet(p int) *Set { return &Set{Workers: make([]Worker, p)} }
 
+// Reset zeroes every worker's counters so the set can be reused across
+// runs without reallocating. Callers must ensure no worker is
+// concurrently updating its counters (i.e. between runs).
+func (s *Set) Reset() {
+	for i := range s.Workers {
+		s.Workers[i] = Worker{}
+	}
+}
+
 // Totals sums all workers' counters into a single Worker value.
 func (s *Set) Totals() Worker {
 	var t Worker

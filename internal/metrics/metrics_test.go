@@ -50,3 +50,18 @@ func TestAllFieldsAggregated(t *testing.T) {
 		t.Fatalf("totals dropped a field: %+v", tot)
 	}
 }
+
+// TestSetReset: Reset zeroes every counter of every worker so a session
+// can reuse one Set across solves.
+func TestSetReset(t *testing.T) {
+	s := NewSet(2)
+	s.Workers[0].Relaxations = 5
+	s.Workers[0].StealHits = 2
+	s.Workers[1].IdleNS = 99
+	s.Workers[1].AddQueueOp(3 * time.Millisecond)
+	s.Reset()
+	tot := s.Totals()
+	if tot != (Worker{}) {
+		t.Fatalf("counters survive Reset: %+v", tot)
+	}
+}

@@ -41,8 +41,17 @@ type Xoshiro256 struct {
 // NewXoshiro256 returns a Xoshiro256 whose state is derived from seed
 // via SplitMix64, as recommended by the xoshiro authors.
 func NewXoshiro256(seed uint64) *Xoshiro256 {
-	sm := NewSplitMix64(seed)
 	var x Xoshiro256
+	x.Reseed(seed)
+	return &x
+}
+
+// Reseed re-derives the state from seed in place, producing exactly the
+// stream of a freshly constructed generator without allocating. Solver
+// sessions reseed their workers' generators between runs so a reused
+// session schedules identically to a fresh one.
+func (x *Xoshiro256) Reseed(seed uint64) {
+	sm := NewSplitMix64(seed)
 	for i := range x.s {
 		x.s[i] = sm.Next()
 	}
@@ -50,7 +59,6 @@ func NewXoshiro256(seed uint64) *Xoshiro256 {
 	if x.s[0]|x.s[1]|x.s[2]|x.s[3] == 0 {
 		x.s[0] = 0x9e3779b97f4a7c15
 	}
-	return &x
 }
 
 func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }

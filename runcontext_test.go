@@ -144,7 +144,9 @@ func TestRunContextDeadline(t *testing.T) {
 }
 
 // TestRunManyContextCancelled: a cancelled batch keeps the solves that
-// finished and reports the cancellation.
+// finished, appends the interrupted solve's partial snapshot (the same
+// Result a single RunContext would return), and reports the
+// cancellation.
 func TestRunManyContextCancelled(t *testing.T) {
 	g := wasp.FromEdges(3, true, []wasp.Edge{
 		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
@@ -155,8 +157,14 @@ func TestRunManyContextCancelled(t *testing.T) {
 	if !errors.Is(err, wasp.ErrCancelled) {
 		t.Fatalf("err = %v, want ErrCancelled", err)
 	}
-	if len(results) != 0 {
-		t.Fatalf("pre-cancelled batch returned %d results", len(results))
+	if len(results) != 1 {
+		t.Fatalf("pre-cancelled batch returned %d results, want the partial solve", len(results))
+	}
+	if results[0].Complete {
+		t.Fatal("interrupted solve reported Complete")
+	}
+	if results[0].Dist[0] != 0 {
+		t.Fatalf("partial d(source) = %d", results[0].Dist[0])
 	}
 	// And an uncancelled batch still works.
 	results, err = wasp.RunManyContext(context.Background(), g, []wasp.Vertex{0, 1}, wasp.Options{})

@@ -1,0 +1,152 @@
+package wasp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"wasp/internal/core"
+	"wasp/internal/graph"
+	"wasp/internal/metrics"
+	"wasp/internal/parallel"
+)
+
+// ErrSessionBusy is returned by Session.Run when a solve is already in
+// flight on the same session. A Session serializes solves; run one
+// session per goroutine to solve concurrently.
+var ErrSessionBusy = errors.New("wasp: session already running a solve")
+
+// Session is a reusable solver bound to one graph and one option set.
+// NewSession preallocates everything a solve needs — the distance
+// array, per-worker deques, chunk pools, thread-local buckets, metrics
+// storage and the shortest-path-tree leaf bitmap — and Run resets and
+// reuses it, so steady-state repeated queries allocate almost nothing
+// and cause no GC churn. This is the paper's §1 access pattern made
+// explicit: betweenness/closeness centrality run one SSSP per pivot
+// over a fixed graph, and RunMany is built on top of this type.
+//
+// Reuse invariants:
+//
+//   - One solve at a time. Run returns ErrSessionBusy if called while
+//     another Run on the same session is in flight; it never blocks.
+//     The preallocated structures are single-owner between runs.
+//   - The returned Result's Dist aliases session-owned storage and is
+//     valid only until the next Run call. Callers that retain results
+//     across solves must copy it (RunMany does this for you).
+//   - A cancelled solve does not poison the session: the next Run
+//     drains whatever the interrupted workers left behind and starts
+//     fresh. Scheduling RNGs are reseeded per run, so a reused session
+//     behaves identically to a fresh one.
+//   - Full preallocation applies to AlgoWasp without PendantPruning
+//     (the pruned core is a different graph per source). Other
+//     configurations still work — Run transparently falls back to a
+//     one-shot RunContext per call — so generic batch drivers need no
+//     special cases.
+type Session struct {
+	g        *Graph
+	opt      Options      // defaults applied
+	solver   *core.Solver // non-nil on the preallocated Wasp path
+	m        *metrics.Set // session-owned, reset per run; nil unless collecting
+	inFlight atomic.Bool
+}
+
+// NewSession validates g and opt and preallocates a Session. The
+// options are captured with defaults applied (Workers and Delta are
+// defaulted here, before anything is sized by them); later mutations of
+// opt by the caller have no effect on the session.
+func NewSession(g *Graph, opt Options) (*Session, error) {
+	if g == nil {
+		return nil, fmt.Errorf("wasp: nil graph")
+	}
+	opt = opt.withDefaults()
+	if opt.Algorithm < 0 || opt.Algorithm >= numAlgorithms {
+		return nil, fmt.Errorf("wasp: unknown algorithm %d", opt.Algorithm)
+	}
+	s := &Session{g: g, opt: opt}
+	if opt.CollectMetrics || opt.QueueTiming {
+		s.m = metrics.NewSet(opt.Workers)
+	}
+	if opt.Algorithm == AlgoWasp && !opt.PendantPruning {
+		s.solver = core.NewSolver(g, core.Options{
+			Delta:           opt.Delta,
+			Workers:         opt.Workers,
+			Topology:        opt.Topology,
+			Policy:          opt.Steal,
+			Retries:         opt.StealRetries,
+			NoLeafPruning:   opt.NoLeafPruning,
+			NoDecomposition: opt.NoDecomposition,
+			NoBidirectional: opt.NoBidirectional,
+			Theta:           opt.Theta,
+			Metrics:         s.m,
+		})
+	}
+	return s, nil
+}
+
+// Run solves SSSP from source on the session's graph, reusing the
+// preallocated state. The cancellation contract is RunContext's: when
+// ctx is cancelled before termination, Run returns a non-nil partial
+// Result (Complete false, every finite distance a valid upper bound)
+// together with an error wrapping ErrCancelled and ctx.Err().
+//
+// The returned Result's Dist aliases session-owned storage: it is
+// overwritten by the next Run on this session. Copy it to retain it.
+func (s *Session) Run(ctx context.Context, source Vertex) (*Result, error) {
+	if int(source) >= s.g.NumVertices() {
+		return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", source, s.g.NumVertices())
+	}
+	if !s.inFlight.CompareAndSwap(false, true) {
+		return nil, ErrSessionBusy
+	}
+	defer s.inFlight.Store(false)
+
+	if s.solver == nil {
+		// Configurations outside the preallocated Wasp path solve
+		// one-shot, with the same result contract.
+		return RunContext(ctx, s.g, source, s.opt)
+	}
+
+	tok := new(parallel.Token)
+	stopWatch := parallel.WatchContext(ctx, tok)
+	defer stopWatch()
+
+	if s.m != nil {
+		s.m.Reset()
+	}
+	res := &Result{Algorithm: AlgoWasp}
+	start := time.Now()
+	r := s.solver.Solve(graph.Vertex(source), tok)
+	res.Dist = r.Dist
+	res.Elapsed = time.Since(start)
+	if s.m != nil {
+		t := s.m.Totals()
+		res.Metrics = &t
+	}
+	if pe := tok.Err(); pe != nil {
+		return nil, fmt.Errorf("wasp: %s solver panicked: %w", AlgoWasp, pe)
+	}
+	if err := ctx.Err(); err != nil {
+		// Cancelled: the distances are a legitimate partial snapshot,
+		// so hand them back alongside the error and skip verification.
+		return res, fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+	res.Complete = true
+	if s.opt.Verify {
+		if err := verifyResult(s.g, source, res.Dist); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// detach makes res safe to retain across further solves on s by
+// copying session-owned storage out of it. One-shot fallback results
+// already own their distances.
+func (s *Session) detach(res *Result) *Result {
+	if res != nil && s.solver != nil && res.Dist != nil {
+		res.Dist = append([]uint32(nil), res.Dist...)
+	}
+	return res
+}

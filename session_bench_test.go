@@ -1,0 +1,68 @@
+package wasp_test
+
+// BenchmarkSessionReuse quantifies the tentpole claim of the session
+// API: repeated solves over a fixed graph on one Session allocate a
+// small constant number of objects, while per-call Run rebuilds the
+// distance array, workers, deques, chunk pools, bucket vectors, metrics
+// and the leaf bitmap from scratch every time. Run with
+//
+//	go test -run='^$' -bench=SessionReuse -benchmem
+//
+// and compare allocs/op of the two sub-benchmarks; results are pinned
+// in BENCH_session.json.
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"wasp"
+)
+
+func sessionBenchWorkload(b *testing.B) (*wasp.Graph, wasp.Vertex, wasp.Options) {
+	b.Helper()
+	g, err := wasp.GenerateWorkload("kron", wasp.WorkloadConfig{N: 1 << 13, Seed: 42})
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := wasp.SourceInLargestComponent(g, 42)
+	opt := wasp.Options{
+		Algorithm: wasp.AlgoWasp,
+		Workers:   runtime.GOMAXPROCS(0),
+		Delta:     4,
+	}
+	return g, src, opt
+}
+
+func BenchmarkSessionReuse(b *testing.B) {
+	b.Run("per-call", func(b *testing.B) {
+		g, src, opt := sessionBenchWorkload(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := wasp.Run(g, src, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("session", func(b *testing.B) {
+		g, src, opt := sessionBenchWorkload(b)
+		sess, err := wasp.NewSession(g, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ctx := context.Background()
+		// One warmup solve so steady state (not first-run pool growth)
+		// is what b.N measures.
+		if _, err := sess.Run(ctx, src); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sess.Run(ctx, src); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

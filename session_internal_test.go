@@ -1,0 +1,32 @@
+package wasp
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestSessionBusyGuard pins the one-in-flight-solve rule
+// deterministically: with the in-flight latch held (as it is for the
+// duration of any Run), a second Run must fail fast with ErrSessionBusy
+// and must not touch solver state; once released, runs proceed again.
+func TestSessionBusyGuard(t *testing.T) {
+	g := FromEdges(3, true, []Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+	})
+	sess, err := NewSession(g, Options{Algorithm: AlgoWasp, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sess.inFlight.CompareAndSwap(false, true) {
+		t.Fatal("fresh session already in flight")
+	}
+	if _, err := sess.Run(context.Background(), 0); !errors.Is(err, ErrSessionBusy) {
+		t.Fatalf("err = %v, want ErrSessionBusy", err)
+	}
+	sess.inFlight.Store(false)
+	res, err := sess.Run(context.Background(), 0)
+	if err != nil || !res.Complete || res.Dist[2] != 2 {
+		t.Fatalf("post-release run: %v, %+v", err, res)
+	}
+}

@@ -190,6 +190,20 @@ type Options struct {
 	Verify bool
 }
 
+// withDefaults returns a copy of o with the cross-cutting defaults
+// applied. Every entry point (RunContext, NewSession, RunManyContext)
+// goes through this before sizing anything — metrics sets and session
+// preallocation must never see Workers <= 0.
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Delta == 0 {
+		o.Delta = 1
+	}
+	return o
+}
+
 // Result of an SSSP run.
 type Result struct {
 	// Dist maps every vertex to its shortest distance from the source
@@ -268,12 +282,7 @@ func RunContext(ctx context.Context, g *Graph, source Vertex, opt Options) (*Res
 	if int(source) >= g.NumVertices() {
 		return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", source, g.NumVertices())
 	}
-	if opt.Workers <= 0 {
-		opt.Workers = 1
-	}
-	if opt.Delta == 0 {
-		opt.Delta = 1
-	}
+	opt = opt.withDefaults()
 	var m *metrics.Set
 	if opt.CollectMetrics || opt.QueueTiming {
 		m = metrics.NewSet(opt.Workers)
