@@ -41,6 +41,7 @@ func main() {
 		delta    = flag.Uint("delta", 1, "Δ-coarsening factor")
 		rho      = flag.Int("rho", 4096, "ρ for rho-stepping")
 		trials   = flag.Int("trials", 3, "trials per algorithm (best time reported)")
+		timeout  = flag.Duration("timeout", 0, "per-solve latency budget (whole-batch with -sources); an expired budget prints the partial result with a 'partial' marker and exits 0")
 		sources  = flag.Int("sources", 1, "batch mode: solve from this many distinct sources instead of repeating one")
 		doVerify = flag.Bool("verify", false, "verify outputs against the SSSP certificate")
 		metrics  = flag.Bool("metrics", false, "print work counters")
@@ -85,7 +86,7 @@ func main() {
 	}
 
 	if *sources > 1 {
-		runBatch(ctx, g, names, *sources, *seed, opt)
+		runBatch(ctx, g, names, *sources, *seed, *timeout, opt)
 		return
 	}
 
@@ -109,9 +110,24 @@ func main() {
 		}
 		best := time.Duration(0)
 		var last *wasp.Result
+		degraded := false
 		for trial := 0; trial < *trials; trial++ {
-			res, err := sess.Run(ctx, src)
+			runCtx, cancelRun := ctx, context.CancelFunc(func() {})
+			if *timeout > 0 {
+				runCtx, cancelRun = context.WithTimeout(ctx, *timeout)
+			}
+			res, err := sess.Run(runCtx, src)
+			cancelRun()
 			if errors.Is(err, wasp.ErrCancelled) {
+				if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+					// The -timeout budget expired: the partial
+					// upper-bound snapshot is the (degraded) answer.
+					fmt.Printf("%-12s %12v %10d %14s  partial (%.1f%% settled, budget %v)\n",
+						a, res.Elapsed, res.Reached(), "-",
+						res.Progress.Settled*100, *timeout)
+					degraded = true
+					break
+				}
 				fmt.Printf("%-12s  interrupted after %v: %d/%d vertices reached (partial)\n",
 					a, res.Elapsed, res.Reached(), g.NumVertices())
 				os.Exit(130) // conventional exit code for SIGINT
@@ -123,6 +139,9 @@ func main() {
 				best = res.Elapsed
 			}
 			last = res
+		}
+		if degraded {
+			continue // partial row already printed; exit stays 0
 		}
 		relax := "-"
 		if last.Metrics != nil {
@@ -152,7 +171,7 @@ func main() {
 // RunManyContext (one reused session under the hood) and prints a row
 // per source. On SIGINT the completed prefix plus the interrupted
 // solve's partial snapshot are reported before exiting 130.
-func runBatch(ctx context.Context, g *wasp.Graph, names []string, nSources int, seed uint64, opt wasp.Options) {
+func runBatch(ctx context.Context, g *wasp.Graph, names []string, nSources int, seed uint64, timeout time.Duration, opt wasp.Options) {
 	srcs := wasp.SourcesInLargestComponent(g, seed, nSources)
 	fmt.Printf("graph: %v\nbatch: %d sources\n\n", wasp.Stats(g), nSources)
 
@@ -162,8 +181,14 @@ func runBatch(ctx context.Context, g *wasp.Graph, names []string, nSources int, 
 			log.Fatal(err)
 		}
 		opt.Algorithm = a
-		results, err := wasp.RunManyContext(ctx, g, srcs, opt)
+		batchCtx, cancelBatch := ctx, context.CancelFunc(func() {})
+		if timeout > 0 {
+			batchCtx, cancelBatch = context.WithTimeout(ctx, timeout)
+		}
+		results, err := wasp.RunManyContext(batchCtx, g, srcs, opt)
+		cancelBatch()
 		cancelled := errors.Is(err, wasp.ErrCancelled)
+		timedOut := cancelled && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil
 		if err != nil && !cancelled {
 			log.Fatal(err)
 		}
@@ -176,13 +201,19 @@ func runBatch(ctx context.Context, g *wasp.Graph, names []string, nSources int, 
 			}
 			note := ""
 			if !res.Complete {
-				note = "  (partial)"
+				note = fmt.Sprintf("  partial (%.1f%% settled)", res.Progress.Settled*100)
 			}
 			fmt.Printf("%-4d %10d %12v %10d %14s%s\n",
 				i, srcs[i], res.Elapsed, res.Reached(), relax, note)
 			total += res.Elapsed
 		}
-		if cancelled {
+		switch {
+		case timedOut:
+			// The -timeout budget bounds the batch; the completed
+			// prefix plus one partial row is the degraded answer.
+			fmt.Printf("budget %v exceeded: %d/%d solves finished\n\n", timeout, len(results)-1, nSources)
+			continue // exit stays 0
+		case cancelled:
 			fmt.Printf("interrupted: %d/%d solves finished before cancellation\n",
 				len(results)-1, nSources)
 			os.Exit(130)

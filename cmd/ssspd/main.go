@@ -1,0 +1,277 @@
+// Command ssspd serves SSSP queries over one in-memory graph — the
+// overload-safe front end to the solver: a fixed pool of preallocated
+// sessions behind a bounded admission queue, per-query latency budgets
+// with graceful degradation (an expired budget returns the partial
+// upper-bound snapshot, flagged degraded, instead of an error), and
+// SIGTERM graceful drain.
+//
+// Endpoints:
+//
+//	/sssp?source=N[&target=M]  solve from N; optionally report d(M)
+//	/healthz                   200 while serving, 503 while draining
+//	/stats                     pool depth, shed/degraded counts, p50/p99
+//
+// Overload returns 429 with a Retry-After hint; a degraded (deadline)
+// response is 200 with "degraded": true and the settled fraction, so
+// callers can decide whether a partial answer is good enough.
+//
+// Usage:
+//
+//	ssspd -graph kron -n 65536 -workers 4 -sessions 2 -deadline 50ms
+//	ssspd -file road.wspg -addr :9090 -queue 16 -queue-wait 100ms
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"wasp"
+)
+
+// server is the HTTP front end over one Pool. It is constructed by
+// main and by the tests; every handler is safe for concurrent use.
+type server struct {
+	pool     *wasp.Pool
+	g        *wasp.Graph
+	draining atomic.Bool
+}
+
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/sssp", s.handleSSSP)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// queryResponse is the JSON body of a /sssp answer. Distance uses
+// wasp.Infinity (4294967295) for an unreachable target.
+type queryResponse struct {
+	Source      int     `json:"source"`
+	Complete    bool    `json:"complete"`
+	Degraded    bool    `json:"degraded"`
+	ElapsedMS   float64 `json:"elapsed_ms"`
+	Reached     int     `json:"reached"`
+	Settled     float64 `json:"settled"`
+	Relaxations int64   `json:"relaxations"`
+	Target      *int    `json:"target,omitempty"`
+	Distance    *uint32 `json:"distance,omitempty"`
+}
+
+func (s *server) handleSSSP(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	src, err := strconv.Atoi(r.URL.Query().Get("source"))
+	if err != nil || src < 0 || src >= s.g.NumVertices() {
+		http.Error(w, fmt.Sprintf("source must be in [0, %d)", s.g.NumVertices()), http.StatusBadRequest)
+		return
+	}
+	var target *int
+	if tq := r.URL.Query().Get("target"); tq != "" {
+		tv, err := strconv.Atoi(tq)
+		if err != nil || tv < 0 || tv >= s.g.NumVertices() {
+			http.Error(w, fmt.Sprintf("target must be in [0, %d)", s.g.NumVertices()), http.StatusBadRequest)
+			return
+		}
+		target = &tv
+	}
+
+	res, err := s.pool.Run(r.Context(), wasp.Vertex(src))
+	switch {
+	case errors.Is(err, wasp.ErrOverloaded):
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "overloaded", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, wasp.ErrPoolClosed):
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, wasp.ErrCancelled):
+		// The client went away mid-solve; nobody is reading this.
+		http.Error(w, "cancelled", http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	resp := queryResponse{
+		Source:      src,
+		Complete:    res.Complete,
+		Degraded:    !res.Complete,
+		ElapsedMS:   float64(res.Elapsed) / float64(time.Millisecond),
+		Reached:     res.Reached(),
+		Settled:     res.Progress.Settled,
+		Relaxations: res.Progress.Relaxations,
+	}
+	if target != nil {
+		d := res.Dist[*target]
+		resp.Target, resp.Distance = target, &d
+	}
+	writeJSON(w, resp)
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	fmt.Fprintln(w, "ok")
+}
+
+// statsResponse flattens wasp.PoolStats for JSON, durations in ms.
+type statsResponse struct {
+	Sessions    int     `json:"sessions"`
+	Idle        int     `json:"idle"`
+	InFlight    int     `json:"in_flight"`
+	Queued      int     `json:"queued"`
+	Completed   int64   `json:"completed"`
+	Degraded    int64   `json:"degraded"`
+	Shed        int64   `json:"shed"`
+	Quarantined int64   `json:"quarantined"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+	Draining    bool    `json:"draining"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	st := s.pool.Stats()
+	writeJSON(w, statsResponse{
+		Sessions:    st.Sessions,
+		Idle:        st.Idle,
+		InFlight:    st.InFlight,
+		Queued:      st.Queued,
+		Completed:   st.Completed,
+		Degraded:    st.Degraded,
+		Shed:        st.Shed,
+		Quarantined: st.Quarantined,
+		P50MS:       float64(st.P50) / float64(time.Millisecond),
+		P99MS:       float64(st.P99) / float64(time.Millisecond),
+		Draining:    s.draining.Load(),
+	})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("encode response: %v", err)
+	}
+}
+
+// drain flips the server to draining (healthz 503, no new queries) and
+// closes the pool within ctx: in-flight solves finish or deadline out.
+func (s *server) drain(ctx context.Context) error {
+	s.draining.Store(true)
+	return s.pool.Close(ctx)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("ssspd: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address")
+		name    = flag.String("graph", "", "workload to generate (see graphgen -list)")
+		file    = flag.String("file", "", "graph file to load (.wspg binary or text edge list)")
+		n       = flag.Int("n", 1<<15, "vertex count for generated workloads")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		algo    = flag.String("algo", "wasp", "algorithm name")
+		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "workers per session")
+		delta   = flag.Uint("delta", 1, "Δ-coarsening factor")
+
+		sessions  = flag.Int("sessions", 2, "concurrent solver sessions (pool size)")
+		queue     = flag.Int("queue", 8, "admission queue depth beyond the executing solves")
+		queueWait = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a free session before shedding (0 = unbounded)")
+		deadline  = flag.Duration("deadline", 0, "per-solve latency budget; expired budgets return degraded partial results (0 = none)")
+		drainWait = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight solves on SIGTERM")
+	)
+	flag.Parse()
+
+	a, err := wasp.ParseAlgorithm(*algo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	g, err := loadGraph(*name, *file, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool, err := wasp.NewPool(g, wasp.Options{
+		Algorithm: a, Workers: *workers, Delta: uint32(*delta),
+	}, wasp.PoolOptions{
+		Sessions:   *sessions,
+		QueueDepth: *queue,
+		QueueWait:  *queueWait,
+		Deadline:   *deadline,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := &server{pool: pool, g: g}
+	srv := &http.Server{Addr: *addr, Handler: s.routes()}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("serving %v on %s (%d sessions × %d workers, queue %d, deadline %v)",
+		wasp.Stats(g), *addr, *sessions, *workers, *queue, *deadline)
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop admitting (healthz flips to 503 for load
+	// balancers), let in-flight requests finish or deadline out, then
+	// exit 0. A second signal kills the process the default way.
+	stop()
+	log.Printf("signal received; draining (timeout %v)", *drainWait)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	s.draining.Store(true)
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := pool.Close(dctx); err != nil {
+		log.Printf("pool drain: %v", err)
+	}
+	st := pool.Stats()
+	log.Printf("drained: %d completed, %d degraded, %d shed, %d quarantined",
+		st.Completed, st.Degraded, st.Shed, st.Quarantined)
+}
+
+func loadGraph(name, file string, n int, seed uint64) (*wasp.Graph, error) {
+	switch {
+	case file != "":
+		f, err := os.Open(file)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		if strings.HasSuffix(file, ".wspg") {
+			return wasp.ReadBinaryGraph(f)
+		}
+		return wasp.ReadTextGraph(f)
+	case name != "":
+		return wasp.GenerateWorkload(name, wasp.WorkloadConfig{N: n, Seed: seed})
+	default:
+		return nil, fmt.Errorf("need -graph or -file")
+	}
+}

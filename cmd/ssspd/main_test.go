@@ -1,0 +1,121 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"wasp"
+)
+
+func newTestServer(t *testing.T, popt wasp.PoolOptions) (*server, *httptest.Server) {
+	t.Helper()
+	g := wasp.FromEdges(4, true, []wasp.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 2},
+	})
+	pool, err := wasp.NewPool(g, wasp.Options{Workers: 2}, popt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{pool: pool, g: g}
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func getJSON(t *testing.T, url string, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("GET %s: status %d, want %d", url, resp.StatusCode, wantStatus)
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestServeQuery: the happy path — a complete solve with a target
+// distance, reflected in /stats.
+func TestServeQuery(t *testing.T) {
+	s, ts := newTestServer(t, wasp.PoolOptions{Sessions: 1})
+	defer s.pool.Close(context.Background())
+
+	var q queryResponse
+	getJSON(t, ts.URL+"/sssp?source=0&target=2", http.StatusOK, &q)
+	if !q.Complete || q.Degraded {
+		t.Fatalf("response = %+v, want complete", q)
+	}
+	if q.Distance == nil || *q.Distance != 3 {
+		t.Fatalf("distance = %v, want 3", q.Distance)
+	}
+	if q.Reached != 3 || q.Settled != 0.75 {
+		t.Fatalf("reached %d settled %v, want 3 and 0.75", q.Reached, q.Settled)
+	}
+
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if st.Completed != 1 || st.Sessions != 1 || st.Draining {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestServeBadArgs: malformed and out-of-range parameters are 400s,
+// never solver work.
+func TestServeBadArgs(t *testing.T) {
+	s, ts := newTestServer(t, wasp.PoolOptions{Sessions: 1})
+	defer s.pool.Close(context.Background())
+	for _, path := range []string{
+		"/sssp", "/sssp?source=abc", "/sssp?source=-1",
+		"/sssp?source=99", "/sssp?source=0&target=99",
+	} {
+		getJSON(t, ts.URL+path, http.StatusBadRequest, nil)
+	}
+	if st := s.pool.Stats(); st.Completed+st.Shed != 0 {
+		t.Fatalf("bad args reached the pool: %+v", st)
+	}
+}
+
+// TestServeDrain: drain flips healthz to 503, rejects new queries with
+// 503, closes the pool, and leaks no goroutines — the in-process half
+// of the SIGTERM acceptance criterion (the CI smoke test covers the
+// real-signal half).
+func TestServeDrain(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s, ts := newTestServer(t, wasp.PoolOptions{Sessions: 2, QueueDepth: 2})
+
+	getJSON(t, ts.URL+"/healthz", http.StatusOK, nil)
+	getJSON(t, ts.URL+"/sssp?source=0", http.StatusOK, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+
+	getJSON(t, ts.URL+"/healthz", http.StatusServiceUnavailable, nil)
+	getJSON(t, ts.URL+"/sssp?source=0", http.StatusServiceUnavailable, nil)
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if !st.Draining || st.Completed != 1 {
+		t.Fatalf("stats after drain = %+v", st)
+	}
+
+	ts.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after drain", before, g)
+	}
+}

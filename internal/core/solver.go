@@ -88,6 +88,18 @@ func (s *Solver) Solve(source graph.Vertex, cancel *parallel.Token) *Result {
 	return &Result{Dist: s.d.Snapshot(), Complete: !cancel.Cancelled()}
 }
 
+// PartialSnapshot resets the solver for a solve from source and
+// returns the initial distance snapshot (∞ everywhere, 0 at source)
+// without launching a single worker. It is the pre-cancelled
+// short-circuit: a caller whose context is already done can hand back
+// a Result honoring the partial-snapshot contract at zero solve cost.
+// The returned slice aliases the solver's distance array, exactly as
+// Solve's does.
+func (s *Solver) PartialSnapshot(source graph.Vertex) []uint32 {
+	s.Reset(source)
+	return s.d.Snapshot()
+}
+
 // Reset restores the pre-run state for a solve from source: distances
 // refilled, every worker's buffer/deque/buckets drained back into its
 // chunk pool (a completed run leaves them empty; a cancelled one does

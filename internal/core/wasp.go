@@ -8,6 +8,7 @@ import (
 	"wasp/internal/chunk"
 	"wasp/internal/deque"
 	"wasp/internal/dist"
+	"wasp/internal/fault"
 	"wasp/internal/graph"
 	"wasp/internal/metrics"
 	"wasp/internal/parallel"
@@ -115,6 +116,9 @@ func (w *worker) setCurr(prio uint64) {
 // is polled at bucket boundaries here and at chunk boundaries inside
 // drainCurrent/processStolen — never per relaxation.
 func (w *worker) run() {
+	// Guaranteed injection site: hit once per worker per solve,
+	// independent of graph size or steal activity (see fault.SolveStart).
+	fault.Inject(fault.SolveStart, w.id)
 	for {
 		if w.cancel.Cancelled() {
 			return

@@ -40,6 +40,14 @@ const (
 	PrePublish
 	// TermScan fires before each termination-scan pass.
 	TermScan
+	// SolveStart fires once per worker at the top of its solve loop,
+	// before any work is claimed. Unlike the steal-path points it is
+	// guaranteed to be hit on every solve regardless of graph size or
+	// steal activity, which makes it the deterministic site for
+	// PanicOnHit: a plan with {PanicOnHit: 1, PanicPoint: SolveStart}
+	// kills exactly the first solve that starts after activation — the
+	// input the pool's quarantine-and-retry path is tested against.
+	SolveStart
 
 	numPoints
 )
@@ -53,6 +61,8 @@ func (p Point) String() string {
 		return "pre-publish"
 	case TermScan:
 		return "term-scan"
+	case SolveStart:
+		return "solve-start"
 	default:
 		return fmt.Sprintf("point(%d)", int(p))
 	}

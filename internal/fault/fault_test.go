@@ -11,6 +11,7 @@ func TestPointString(t *testing.T) {
 		StealAttempt: "steal-attempt",
 		PrePublish:   "pre-publish",
 		TermScan:     "term-scan",
+		SolveStart:   "solve-start",
 		Point(99):    "point(99)",
 	} {
 		if got := p.String(); got != want {

@@ -1,0 +1,391 @@
+package wasp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wasp/internal/parallel"
+)
+
+// ErrOverloaded is returned by Pool.Run when the pool cannot admit the
+// query: every session is busy and the admission queue is full, or the
+// queue wait expired before a session freed up. It is the pool's
+// backpressure signal — callers should shed, retry later, or surface
+// HTTP 429 — and it is returned without spawning a single solver
+// worker.
+var ErrOverloaded = errors.New("wasp: pool overloaded")
+
+// ErrPoolClosed is returned by Pool.Run once Close has begun: the pool
+// no longer admits queries, and queued waiters are released with this
+// error so a draining server never strands a caller.
+var ErrPoolClosed = errors.New("wasp: pool closed")
+
+// PoolOptions configures the overload behavior of a Pool.
+type PoolOptions struct {
+	// Sessions is the number of preallocated sessions — the maximum
+	// number of concurrently executing solves (default 1). Each
+	// session runs Options.Workers workers, so total parallelism is
+	// Sessions × Workers.
+	Sessions int
+	// QueueDepth is the number of admitted-but-waiting queries allowed
+	// beyond the executing ones (default 0). With K sessions and depth
+	// Q, the K+Q+1-th concurrent Run fails fast with ErrOverloaded.
+	QueueDepth int
+	// QueueWait bounds how long an admitted query waits for a free
+	// session before failing with ErrOverloaded. Zero or negative
+	// means wait without a pool-imposed bound (the caller's context
+	// still applies).
+	QueueWait time.Duration
+	// Deadline is the per-solve latency budget. When it expires the
+	// solve is cancelled at its next cancellation point and Run
+	// returns the partial upper-bound snapshot (Complete false,
+	// Progress filled) with a nil error — graceful degradation rather
+	// than failure. Zero means no pool-imposed deadline; a deadline on
+	// the caller's context degrades the same way.
+	Deadline time.Duration
+	// RetryBackoff is the base pause before the single retry that
+	// follows a quarantined (panicked) session, jittered to ±50%
+	// (default 2ms).
+	RetryBackoff time.Duration
+}
+
+// withDefaults returns a copy of o with defaults applied.
+func (o PoolOptions) withDefaults() PoolOptions {
+	if o.Sessions <= 0 {
+		o.Sessions = 1
+	}
+	if o.QueueDepth < 0 {
+		o.QueueDepth = 0
+	}
+	if o.RetryBackoff <= 0 {
+		o.RetryBackoff = 2 * time.Millisecond
+	}
+	return o
+}
+
+// PoolStats is a point-in-time snapshot of a Pool's counters, the
+// observability surface behind a serving layer's /stats endpoint.
+type PoolStats struct {
+	Sessions int // configured session count
+	Idle     int // sessions currently free
+	InFlight int // solves currently executing
+	Queued   int // admitted queries waiting for a session
+
+	Completed   int64 // solves that ran to termination
+	Degraded    int64 // solves returned partial after a deadline expiry
+	Shed        int64 // queries rejected with ErrOverloaded
+	Quarantined int64 // sessions torn down and rebuilt after a panic
+
+	P50, P99 time.Duration // latency of recent solves (completed + degraded)
+}
+
+// Pool is a fixed-size pool of preallocated Sessions behind a bounded
+// admission queue — the concurrent, overload-safe front door to
+// repeated SSSP queries over one graph. A Session serializes solves
+// (ErrSessionBusy); a Pool multiplexes many concurrent callers over K
+// sessions with three robustness guarantees:
+//
+//   - Admission control: at most Sessions solves execute and at most
+//     QueueDepth more wait. Beyond that, Run fails fast with
+//     ErrOverloaded before any solver state is touched, so overload
+//     produces bounded queues and prompt rejections instead of
+//     goroutine pileup.
+//   - Graceful degradation: a solve that exceeds the Deadline budget
+//     (or the caller's context deadline) returns its partial
+//     upper-bound snapshot — Complete false, Progress.Settled > 0 —
+//     with a nil error. Explicit cancellation still returns
+//     ErrCancelled.
+//   - Fault containment: a solve that dies with a worker panic
+//     quarantines its session (the preallocated state is discarded),
+//     rebuilds a fresh one, and retries the query once after a
+//     jittered backoff. One poisoned solve costs one rebuild, never
+//     the pool.
+//
+// Unlike Session.Run, results returned by Pool.Run never alias pool
+// storage — they are detached copies, safe to retain while other
+// queries execute.
+type Pool struct {
+	g    *Graph
+	opt  Options     // session options, defaults applied
+	conf PoolOptions // defaults applied
+
+	slots   chan *Session // idle sessions
+	tickets chan struct{} // admission capacity: Sessions + QueueDepth
+	drain   chan struct{} // closed by Close: releases queued waiters
+
+	mu     sync.Mutex // guards closed and the admission/wg ordering
+	closed bool
+	wg     sync.WaitGroup // admitted queries still inside Run
+
+	queued      atomic.Int64
+	inFlight    atomic.Int64
+	completed   atomic.Int64
+	degraded    atomic.Int64
+	shed        atomic.Int64
+	quarantined atomic.Int64
+
+	lat latencyRing
+}
+
+// NewPool validates g and opt once and preallocates conf.Sessions
+// sessions. Construction cost is Sessions × the cost of NewSession;
+// Run never allocates solver state.
+func NewPool(g *Graph, opt Options, conf PoolOptions) (*Pool, error) {
+	conf = conf.withDefaults()
+	p := &Pool{
+		g:       g,
+		conf:    conf,
+		slots:   make(chan *Session, conf.Sessions),
+		tickets: make(chan struct{}, conf.Sessions+conf.QueueDepth),
+		drain:   make(chan struct{}),
+	}
+	for i := 0; i < conf.Sessions; i++ {
+		sess, err := NewSession(g, opt)
+		if err != nil {
+			return nil, err
+		}
+		p.slots <- sess
+	}
+	p.opt = opt.withDefaults()
+	for i := 0; i < cap(p.tickets); i++ {
+		p.tickets <- struct{}{}
+	}
+	return p, nil
+}
+
+// Run solves SSSP from source on the first free session, blocking in
+// the admission queue up to QueueWait when all sessions are busy.
+//
+// Outcomes:
+//
+//   - (complete result, nil): the solve terminated.
+//   - (partial result, nil): the Deadline budget (or the caller's
+//     context deadline) expired — Complete is false, every finite
+//     distance a valid upper bound, Progress quantifies coverage.
+//   - (nil, ErrOverloaded): admission failed; no solver work was done.
+//   - (partial or nil, ErrCancelled-wrapping error): the caller's
+//     context was explicitly cancelled.
+//   - (nil, ErrPoolClosed): Close has begun.
+//   - (nil, other error): argument error, or a solve panicked twice
+//     in a row (the error carries the parallel.PanicError).
+//
+// The returned Result is detached from pool storage and safe to
+// retain.
+func (p *Pool) Run(ctx context.Context, source Vertex) (*Result, error) {
+	if int(source) >= p.g.NumVertices() {
+		return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", source, p.g.NumVertices())
+	}
+
+	// Admission: take a ticket or shed. The mutex orders the closed
+	// check, the ticket grab and the wg.Add against Close, so Close
+	// can never miss an admitted query.
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrPoolClosed
+	}
+	select {
+	case <-p.tickets:
+	default:
+		p.mu.Unlock()
+		p.shed.Add(1)
+		return nil, ErrOverloaded
+	}
+	p.wg.Add(1)
+	p.mu.Unlock()
+	defer p.wg.Done()
+	defer func() { p.tickets <- struct{}{} }()
+
+	// Acquire a session: free-slot fast path first (so a query that
+	// can run, runs — even with an already-expired deadline, which
+	// then degrades instead of erroring), then a wait bounded by
+	// QueueWait, the caller's context and drain.
+	var sess *Session
+	select {
+	case sess = <-p.slots:
+	default:
+		var timeout <-chan time.Time
+		if p.conf.QueueWait > 0 {
+			t := time.NewTimer(p.conf.QueueWait)
+			defer t.Stop()
+			timeout = t.C
+		}
+		p.queued.Add(1)
+		select {
+		case sess = <-p.slots:
+			p.queued.Add(-1)
+		case <-timeout:
+			p.queued.Add(-1)
+			p.shed.Add(1)
+			return nil, ErrOverloaded
+		case <-ctx.Done():
+			p.queued.Add(-1)
+			return nil, fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+		case <-p.drain:
+			p.queued.Add(-1)
+			return nil, ErrPoolClosed
+		}
+	}
+
+	p.inFlight.Add(1)
+	start := time.Now()
+	res, err := p.solveOn(ctx, &sess, source)
+	elapsed := time.Since(start)
+	// Detach before the session goes back into rotation: once another
+	// caller grabs it, the session-owned distance array is theirs.
+	res = sess.detach(res)
+	p.inFlight.Add(-1)
+	p.slots <- sess // sess may have been rebuilt by quarantine
+
+	switch {
+	case err == nil:
+		p.completed.Add(1)
+		p.lat.record(elapsed)
+	case errors.Is(err, ErrCancelled) && errors.Is(err, context.DeadlineExceeded) && res != nil:
+		// The latency budget expired — the pool's own Deadline or a
+		// deadline the caller set. Degrade: the partial upper-bound
+		// snapshot is the answer, not an error.
+		p.degraded.Add(1)
+		p.lat.record(elapsed)
+		return res, nil
+	}
+	return res, err
+}
+
+// solveOn runs one query on *sess, applying the deadline budget and
+// the quarantine-and-retry policy. On a panic the poisoned session is
+// replaced in *sess — the caller returns whatever session is there to
+// the pool, keeping the pool at full strength.
+func (p *Pool) solveOn(ctx context.Context, sess **Session, source Vertex) (*Result, error) {
+	run := func() (*Result, error) {
+		rctx := ctx
+		if p.conf.Deadline > 0 {
+			var cancel context.CancelFunc
+			rctx, cancel = context.WithTimeout(ctx, p.conf.Deadline)
+			defer cancel()
+		}
+		return (*sess).Run(rctx, source)
+	}
+
+	res, err := run()
+	var pe *parallel.PanicError
+	if !errors.As(err, &pe) {
+		return res, err
+	}
+
+	// Quarantine: the panicked session's preallocated state is
+	// discarded wholesale and a fresh session takes its slot. NewSession
+	// cannot fail here — the same (g, opt) pair was validated at
+	// NewPool.
+	p.quarantined.Add(1)
+	fresh, nerr := NewSession(p.g, p.opt)
+	if nerr != nil {
+		return nil, fmt.Errorf("wasp: rebuilding quarantined session: %w", nerr)
+	}
+	*sess = fresh
+
+	// One retry after a jittered backoff, unless the caller is gone.
+	backoff := p.conf.RetryBackoff/2 + rand.N(p.conf.RetryBackoff)
+	select {
+	case <-time.After(backoff):
+	case <-ctx.Done():
+		return nil, fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+	}
+	res, err = run()
+	if errors.As(err, &pe) {
+		// Second panic: quarantine again so the pool stays healthy,
+		// but surface the failure — retrying further would loop.
+		p.quarantined.Add(1)
+		if fresh, nerr := NewSession(p.g, p.opt); nerr == nil {
+			*sess = fresh
+		}
+		return nil, err
+	}
+	return res, err
+}
+
+// Close stops admission, releases queued waiters with ErrPoolClosed,
+// and waits for in-flight solves to finish — or for ctx to expire,
+// in which case it returns ctx.Err() with solves still draining.
+// Callers wanting a bounded drain give the pool a Deadline (so no
+// solve outlives the budget) and pass a ctx sized to it. Close is
+// idempotent; Run returns ErrPoolClosed forever after.
+func (p *Pool) Close(ctx context.Context) error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+	} else {
+		p.closed = true
+		close(p.drain)
+		p.mu.Unlock()
+	}
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Stats snapshots the pool's counters.
+func (p *Pool) Stats() PoolStats {
+	p50, p99 := p.lat.quantiles()
+	return PoolStats{
+		Sessions:    p.conf.Sessions,
+		Idle:        len(p.slots),
+		InFlight:    int(p.inFlight.Load()),
+		Queued:      int(p.queued.Load()),
+		Completed:   p.completed.Load(),
+		Degraded:    p.degraded.Load(),
+		Shed:        p.shed.Load(),
+		Quarantined: p.quarantined.Load(),
+		P50:         p50,
+		P99:         p99,
+	}
+}
+
+// latencyRing keeps the last ringSize solve latencies for quantile
+// estimates. A fixed window is deliberate: a serving layer wants
+// "recent p99", not all-time.
+type latencyRing struct {
+	mu   sync.Mutex
+	buf  [ringSize]time.Duration
+	next int
+	n    int
+}
+
+const ringSize = 512
+
+func (l *latencyRing) record(d time.Duration) {
+	l.mu.Lock()
+	l.buf[l.next] = d
+	l.next = (l.next + 1) % ringSize
+	if l.n < ringSize {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+func (l *latencyRing) quantiles() (p50, p99 time.Duration) {
+	l.mu.Lock()
+	n := l.n
+	sorted := make([]time.Duration, n)
+	copy(sorted, l.buf[:n])
+	l.mu.Unlock()
+	if n == 0 {
+		return 0, 0
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	return sorted[n/2], sorted[(n*99)/100]
+}

@@ -102,24 +102,38 @@ func (s *Session) Run(ctx context.Context, source Vertex) (*Result, error) {
 	}
 	defer s.inFlight.Store(false)
 
+	if err := ctx.Err(); err != nil {
+		// Pre-cancelled or pre-expired: honor the partial-result
+		// contract without spinning up a single worker goroutine.
+		return s.preCancelled(source), fmt.Errorf("%w: %w", ErrCancelled, err)
+	}
+
 	if s.solver == nil {
 		// Configurations outside the preallocated Wasp path solve
-		// one-shot, with the same result contract.
-		return RunContext(ctx, s.g, source, s.opt)
+		// one-shot, with the same result contract, through the
+		// session-owned metrics set (reset per run) rather than a
+		// fresh allocation per call.
+		if s.m != nil {
+			s.m.Reset()
+		}
+		return runContext(ctx, s.g, source, s.opt, s.m)
 	}
 
 	tok := new(parallel.Token)
 	stopWatch := parallel.WatchContext(ctx, tok)
 	defer stopWatch()
 
-	if s.m != nil {
-		s.m.Reset()
-	}
+	// Reset the solver's metrics set — s.m when the session collects,
+	// the solver-owned set otherwise — so Progress.Relaxations (and
+	// Result.Metrics) are per-run, not accumulated.
+	m := s.solver.Metrics()
+	m.Reset()
 	res := &Result{Algorithm: AlgoWasp}
 	start := time.Now()
 	r := s.solver.Solve(graph.Vertex(source), tok)
 	res.Dist = r.Dist
 	res.Elapsed = time.Since(start)
+	res.fillProgress(m)
 	if s.m != nil {
 		t := s.m.Totals()
 		res.Metrics = &t
@@ -139,6 +153,32 @@ func (s *Session) Run(ctx context.Context, source Vertex) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// preCancelled builds the zero-work partial snapshot Run returns when
+// the context was already done at entry: distances initialized for
+// source (∞ everywhere else), Complete false, progress reflecting the
+// one settled vertex. On the preallocated path the snapshot aliases
+// session storage, exactly like any other Run result.
+func (s *Session) preCancelled(source Vertex) *Result {
+	res := &Result{Algorithm: s.opt.Algorithm}
+	if s.solver != nil {
+		res.Dist = s.solver.PartialSnapshot(graph.Vertex(source))
+	} else {
+		d := make([]uint32, s.g.NumVertices())
+		for i := range d {
+			d[i] = Infinity
+		}
+		d[source] = 0
+		res.Dist = d
+	}
+	if s.m != nil {
+		s.m.Reset()
+		t := s.m.Totals()
+		res.Metrics = &t
+	}
+	res.fillProgress(nil)
+	return res
 }
 
 // detach makes res safe to retain across further solves on s by

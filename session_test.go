@@ -4,6 +4,8 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -204,6 +206,152 @@ func TestSessionSteadyStateAllocs(t *testing.T) {
 		t.Fatalf("steady-state Session.Run allocates %.0f objects/run, want <= %d", allocs, maxAllocs)
 	}
 	t.Logf("steady-state allocs/run: %.1f", allocs)
+}
+
+// TestSessionPreCancelledShortCircuit: a context that is already done
+// at Run entry must come back with the standard partial-result
+// contract — initialized snapshot, Complete false, both sentinel
+// errors — on the preallocated path and the fallback path alike, and
+// promptly (the short-circuit never launches workers, so even a huge
+// worker count costs nothing).
+func TestSessionPreCancelledShortCircuit(t *testing.T) {
+	g := wasp.FromEdges(4, true, []wasp.Edge{
+		{From: 1, To: 2, W: 1}, {From: 2, To: 3, W: 1},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, opt := range []wasp.Options{
+		{Algorithm: wasp.AlgoWasp, Workers: 64}, // preallocated path
+		{Algorithm: wasp.AlgoGAP, Workers: 64},  // fallback path
+	} {
+		sess, err := wasp.NewSession(g, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := time.Now()
+		res, err := sess.Run(ctx, 1)
+		elapsed := time.Since(start)
+		if !errors.Is(err, wasp.ErrCancelled) || !errors.Is(err, context.Canceled) {
+			t.Fatalf("%v: err = %v, want ErrCancelled wrapping context.Canceled", opt.Algorithm, err)
+		}
+		if res == nil || res.Complete {
+			t.Fatalf("%v: res = %+v, want incomplete partial", opt.Algorithm, res)
+		}
+		if res.Dist[1] != 0 || res.Dist[3] != wasp.Infinity {
+			t.Fatalf("%v: snapshot = %v, want initialized distances", opt.Algorithm, res.Dist)
+		}
+		if want := 0.25; res.Progress.Settled != want {
+			t.Fatalf("%v: Settled = %v, want %v", opt.Algorithm, res.Progress.Settled, want)
+		}
+		if elapsed > 5*time.Second {
+			t.Fatalf("%v: short-circuit took %v", opt.Algorithm, elapsed)
+		}
+		// The session is untouched: the next run solves exactly.
+		res, err = sess.Run(context.Background(), 1)
+		if err != nil || !res.Complete || res.Dist[3] != 2 {
+			t.Fatalf("%v: post-short-circuit run: %v, %+v", opt.Algorithm, err, res)
+		}
+	}
+}
+
+// TestSessionConcurrentHammer: the satellite race check. N goroutines
+// released simultaneously against one session must observe exactly one
+// winner and clean ErrSessionBusy losers — no third outcome, no
+// partial-state corruption (this test is in the -race CI job). Session
+// storage is only inspected after all contenders returned, per the
+// aliasing contract.
+func TestSessionConcurrentHammer(t *testing.T) {
+	g, err := wasp.GenerateWorkload("road-usa", wasp.WorkloadConfig{N: 100000, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := wasp.SourceInLargestComponent(g, 1)
+	sess, err := wasp.NewSession(g, wasp.Options{
+		Algorithm: wasp.AlgoWasp, Workers: 2, Delta: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const contenders = 8
+	sawExactlyOne := false
+	for round := 0; round < 20 && !sawExactlyOne; round++ {
+		start := make(chan struct{})
+		var wins, busy atomic.Int32
+		var wg sync.WaitGroup
+		for i := 0; i < contenders; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				<-start
+				_, err := sess.Run(context.Background(), src)
+				switch {
+				case err == nil:
+					wins.Add(1)
+				case errors.Is(err, wasp.ErrSessionBusy):
+					busy.Add(1)
+				default:
+					t.Errorf("round %d: unexpected error %v", round, err)
+				}
+			}()
+		}
+		close(start)
+		wg.Wait()
+		if wins.Load()+busy.Load() != contenders {
+			t.Fatalf("round %d: %d wins + %d busy != %d contenders",
+				round, wins.Load(), busy.Load(), contenders)
+		}
+		if wins.Load() == 0 {
+			t.Fatalf("round %d: no winner", round)
+		}
+		// A loser that retries after the winner finished is legal; the
+		// canonical interleaving — all contenders overlapping one
+		// in-flight solve — must show up within a few rounds.
+		sawExactlyOne = wins.Load() == 1 && busy.Load() == contenders-1
+	}
+	if !sawExactlyOne {
+		t.Fatal("never observed the one-winner/N-1-busy interleaving")
+	}
+
+	// No contender corrupted the single-owner state: a quiet solve
+	// still matches the oracle.
+	res, err := sess.Run(context.Background(), src)
+	if err != nil || !res.Complete {
+		t.Fatalf("post-hammer run: %v, %+v", err, res)
+	}
+	ref, err := wasp.Run(g, src, wasp.Options{Algorithm: wasp.AlgoDijkstra})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range ref.Dist {
+		if res.Dist[v] != ref.Dist[v] {
+			t.Fatalf("post-hammer d(%d) = %d, want %d", v, res.Dist[v], ref.Dist[v])
+		}
+	}
+}
+
+// TestSessionProgress: a complete solve reports the reachable fraction
+// and a positive relaxation count — on the preallocated path even
+// without CollectMetrics, since the solver owns a metrics set either
+// way.
+func TestSessionProgress(t *testing.T) {
+	g := wasp.FromEdges(4, true, []wasp.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+	})
+	sess, err := wasp.NewSession(g, wasp.Options{Algorithm: wasp.AlgoWasp})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Run(context.Background(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 0.75; res.Progress.Settled != want { // vertex 3 unreachable
+		t.Fatalf("Settled = %v, want %v", res.Progress.Settled, want)
+	}
+	if res.Progress.Relaxations == 0 {
+		t.Fatal("no relaxations reported on the preallocated path")
+	}
 }
 
 // TestSessionCancelDeadline: the deadline form of cancellation carries

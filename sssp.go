@@ -204,6 +204,26 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Progress quantifies how far a solve got. It matters most for
+// degraded results — a deadline-expired solve hands back a partial
+// upper-bound snapshot (Complete false), and Progress is what turns
+// "partial" into a number a serving layer can report or alert on.
+type Progress struct {
+	// Settled is the fraction of vertices holding a finite tentative
+	// distance at the moment the solve returned. For a complete run
+	// this equals the reachable fraction; for a cancelled or
+	// deadline-expired run it measures coverage of the partial
+	// snapshot (the source is always settled, so it is > 0 whenever
+	// the solve started).
+	Settled float64
+	// Relaxations is the number of edge relaxations attempted, plumbed
+	// from the per-worker counters in internal/metrics. It is always
+	// available on the preallocated Wasp session path (the solver owns
+	// a metrics set); on other paths it is nonzero only when
+	// CollectMetrics was set.
+	Relaxations int64
+}
+
 // Result of an SSSP run.
 type Result struct {
 	// Dist maps every vertex to its shortest distance from the source
@@ -224,6 +244,8 @@ type Result struct {
 	// case Dist is a partial snapshot: every finite entry is a valid
 	// upper bound on the true distance, but not necessarily final.
 	Complete bool
+	// Progress quantifies coverage of Dist — see the Progress type.
+	Progress Progress
 }
 
 // Reached returns the number of vertices with finite distance.
@@ -235,6 +257,17 @@ func (r *Result) Reached() int {
 		}
 	}
 	return n
+}
+
+// fillProgress computes the progress signal from the distance snapshot
+// and the run's metrics set (nil when none was collected).
+func (r *Result) fillProgress(m *metrics.Set) {
+	if len(r.Dist) > 0 {
+		r.Progress.Settled = float64(r.Reached()) / float64(len(r.Dist))
+	}
+	if m != nil {
+		r.Progress.Relaxations = m.Totals().Relaxations
+	}
 }
 
 // timeIt measures one invocation of f.
@@ -287,7 +320,14 @@ func RunContext(ctx context.Context, g *Graph, source Vertex, opt Options) (*Res
 	if opt.CollectMetrics || opt.QueueTiming {
 		m = metrics.NewSet(opt.Workers)
 	}
+	return runContext(ctx, g, source, opt, m)
+}
 
+// runContext is RunContext after validation: opt has defaults applied
+// and m is the caller-owned metrics set (nil when not collecting).
+// Session.Run's fallback path enters here directly so a session-owned
+// set is reused per call instead of reallocated.
+func runContext(ctx context.Context, g *Graph, source Vertex, opt Options, m *metrics.Set) (*Result, error) {
 	// One token per solve: the context watcher trips it, worker panics
 	// trip it, and every solver loop polls it.
 	tok := new(parallel.Token)
@@ -397,6 +437,7 @@ func RunContext(ctx context.Context, g *Graph, source Vertex, opt Options) (*Res
 		pruned.Restore(res.Dist)
 	}
 	res.Elapsed = time.Since(start)
+	res.fillProgress(m)
 
 	if m != nil {
 		t := m.Totals()
