@@ -1,0 +1,105 @@
+//go:build unix
+
+package main
+
+import (
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+
+	"wasp"
+)
+
+// TestCrashRecoveryEndToEnd is the crash-injection harness for the
+// checkpoint subsystem, run against the real binary: a solve is
+// SIGKILLed mid-flight (the -crash-after hook fires right after the
+// first checkpoint hits disk, so the kill lands inside the solve
+// deterministically), a second process resumes from the surviving
+// checkpoint file, and the resumed distances must be bit-for-bit
+// identical to an uninterrupted solve of the same query — across every
+// steal policy, since the repair-scan warm start must compose with all
+// victim-selection protocols.
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and kills real processes")
+	}
+	bin := filepath.Join(t.TempDir(), "sssp")
+	if out, err := exec.Command("go", "build", "-o", bin, ".").CombinedOutput(); err != nil {
+		t.Fatalf("building sssp: %v\n%s", err, out)
+	}
+
+	for _, policy := range []string{"wasp", "random", "two-choice"} {
+		t.Run(policy, func(t *testing.T) {
+			dir := t.TempDir()
+			ck := filepath.Join(dir, "ck.wsck")
+			// Sized so the solve runs ~100ms: the 10ms first checkpoint
+			// lands well inside it on any plausible machine.
+			common := []string{
+				"-graph", "road-usa", "-n", "1000000", "-seed", "5",
+				"-algo", "wasp", "-trials", "1", "-workers", "4",
+				"-steal", policy,
+			}
+
+			// Phase 1: solve, checkpoint, die by SIGKILL.
+			crash := exec.Command(bin, append(common,
+				"-checkpoint", ck, "-checkpoint-interval", "10ms",
+				"-crash-after", "1")...)
+			err := crash.Run()
+			var ee *exec.ExitError
+			if !errors.As(err, &ee) {
+				t.Fatalf("crash run exited cleanly (solve finished before the first checkpoint?): %v", err)
+			}
+			ws, ok := ee.Sys().(syscall.WaitStatus)
+			if !ok || !ws.Signaled() || ws.Signal() != syscall.SIGKILL {
+				t.Fatalf("crash run died of %v, want SIGKILL", err)
+			}
+
+			cp, err := wasp.LoadCheckpoint(ck)
+			if err != nil {
+				t.Fatalf("no valid checkpoint survived the kill: %v", err)
+			}
+			if s := cp.Settled(); s == 0 || s >= cp.GraphVertices {
+				t.Fatalf("checkpoint settled %d of %d vertices — not a mid-solve snapshot", s, cp.GraphVertices)
+			}
+			t.Logf("killed mid-solve with %d/%d settled", cp.Settled(), cp.GraphVertices)
+
+			// Phase 2: a fresh process resumes from the survivor.
+			resumedDump := filepath.Join(dir, "resumed.wsck")
+			resume := exec.Command(bin, append(common,
+				"-checkpoint", ck, "-resume", "-dump", resumedDump, "-verify")...)
+			if out, err := resume.CombinedOutput(); err != nil {
+				t.Fatalf("resume run failed: %v\n%s", err, out)
+			}
+			if _, err := os.Stat(ck); !os.IsNotExist(err) {
+				t.Errorf("completed resume left the spent checkpoint behind (stat err %v)", err)
+			}
+
+			// Phase 3: the reference — the same query, never interrupted.
+			freshDump := filepath.Join(dir, "fresh.wsck")
+			fresh := exec.Command(bin, append(common, "-dump", freshDump)...)
+			if out, err := fresh.CombinedOutput(); err != nil {
+				t.Fatalf("fresh run failed: %v\n%s", err, out)
+			}
+
+			a, err := wasp.LoadCheckpoint(resumedDump)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := wasp.LoadCheckpoint(freshDump)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(a.Dist) != len(b.Dist) {
+				t.Fatalf("resumed solve has %d distances, fresh has %d", len(a.Dist), len(b.Dist))
+			}
+			for i := range a.Dist {
+				if a.Dist[i] != b.Dist[i] {
+					t.Fatalf("dist[%d]: resumed %d != fresh %d", i, a.Dist[i], b.Dist[i])
+				}
+			}
+		})
+	}
+}

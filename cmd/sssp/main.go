@@ -9,6 +9,14 @@
 //	sssp -file kron.wspg -algo gap -delta 16 -trials 5 -verify
 //	sssp -graph twitter -algo all -workers 4
 //	sssp -graph kron -algo wasp -sources 8
+//
+// Crash recovery: -checkpoint periodically snapshots the in-flight
+// solve to a file, and -resume warm-starts from that file after a
+// crash, converging to the same distances an uninterrupted run
+// produces:
+//
+//	sssp -graph road-usa -n 1048576 -trials 1 -checkpoint run.wsck
+//	sssp -graph road-usa -n 1048576 -trials 1 -checkpoint run.wsck -resume
 package main
 
 import (
@@ -46,6 +54,13 @@ func main() {
 		doVerify = flag.Bool("verify", false, "verify outputs against the SSSP certificate")
 		metrics  = flag.Bool("metrics", false, "print work counters")
 		pathTo   = flag.Int("path", -1, "also print the shortest path to this vertex")
+		steal    = flag.String("steal", "wasp", "wasp steal policy: wasp, random or two-choice")
+
+		ckptPath   = flag.String("checkpoint", "", "periodically snapshot the in-flight solve to this file (wasp, -trials 1)")
+		ckptEvery  = flag.Duration("checkpoint-interval", 250*time.Millisecond, "interval between checkpoints")
+		resume     = flag.Bool("resume", false, "warm-start from the -checkpoint file instead of solving from scratch")
+		dumpPath   = flag.String("dump", "", "write the final distances to this file in checkpoint format")
+		crashAfter = flag.Int("crash-after", 0, "(crash harness) SIGKILL this process after N checkpoints are written")
 	)
 	flag.Parse()
 
@@ -84,13 +99,67 @@ func main() {
 		CollectMetrics: *metrics,
 		Verify:         *doVerify,
 	}
+	switch *steal {
+	case "wasp":
+		opt.Steal = wasp.StealWasp
+	case "random":
+		opt.Steal = wasp.StealRandom
+	case "two-choice":
+		opt.Steal = wasp.StealTwoChoice
+	default:
+		log.Fatalf("unknown steal policy %q (have wasp, random, two-choice)", *steal)
+	}
+
+	if *ckptPath == "" && (*resume || *crashAfter > 0) {
+		log.Fatal("-resume and -crash-after require -checkpoint")
+	}
+	if *ckptPath != "" {
+		// Checkpointing supervises exactly one wasp solve: multiple
+		// trials or algorithms would overwrite each other's snapshots.
+		if len(names) != 1 || strings.TrimSpace(names[0]) != "wasp" {
+			log.Fatal("-checkpoint requires -algo wasp")
+		}
+		if *trials != 1 || *sources > 1 {
+			log.Fatal("-checkpoint requires -trials 1 and a single source")
+		}
+		opt.CheckpointInterval = *ckptEvery
+		saved := 0
+		opt.CheckpointSink = func(cp *wasp.Checkpoint) {
+			if err := wasp.SaveCheckpoint(*ckptPath, cp); err != nil {
+				log.Printf("checkpoint: %v", err)
+				return
+			}
+			saved++
+			if *crashAfter > 0 && saved >= *crashAfter {
+				// Crash harness: die the hard way, mid-solve, with the
+				// checkpoint just written as the only survivor.
+				p, _ := os.FindProcess(os.Getpid())
+				_ = p.Kill()
+				select {} // unreachable once the signal lands
+			}
+		}
+	}
+	if *dumpPath != "" && len(names) != 1 {
+		log.Fatal("-dump requires a single algorithm")
+	}
+
+	var warm *wasp.Checkpoint
+	src := wasp.SourceInLargestComponent(g, *seed)
+	if *resume {
+		cp, err := wasp.LoadCheckpoint(*ckptPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		warm = cp
+		src = wasp.Vertex(cp.Source)
+		fmt.Printf("resuming from %s: %d/%d settled, %v elapsed\n",
+			*ckptPath, cp.Settled(), g.NumVertices(), cp.Elapsed)
+	}
 
 	if *sources > 1 {
 		runBatch(ctx, g, names, *sources, *seed, *timeout, opt)
 		return
 	}
-
-	src := wasp.SourceInLargestComponent(g, *seed)
 	fmt.Printf("graph: %v\nsource: %d\n\n", wasp.Stats(g), src)
 
 	fmt.Printf("%-12s %12s %10s %14s\n", "algorithm", "best time", "reached", "relaxations")
@@ -116,7 +185,14 @@ func main() {
 			if *timeout > 0 {
 				runCtx, cancelRun = context.WithTimeout(ctx, *timeout)
 			}
-			res, err := sess.Run(runCtx, src)
+			var res *wasp.Result
+			var err error
+			if warm != nil {
+				res, err = sess.Resume(runCtx, warm)
+				warm = nil // consumed; further trials are forbidden anyway
+			} else {
+				res, err = sess.Run(runCtx, src)
+			}
 			cancelRun()
 			if errors.Is(err, wasp.ErrCancelled) {
 				if errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
@@ -148,6 +224,25 @@ func main() {
 			relax = fmt.Sprint(last.Metrics.Relaxations)
 		}
 		fmt.Printf("%-12s %12v %10d %14s\n", a, best, last.Reached(), relax)
+
+		if *ckptPath != "" {
+			// The solve completed: the in-flight checkpoint is spent.
+			_ = os.Remove(*ckptPath)
+		}
+		if *dumpPath != "" {
+			cp := &wasp.Checkpoint{
+				Source:        uint32(src),
+				GraphVertices: g.NumVertices(),
+				GraphEdges:    g.NumEdges(),
+				Directed:      g.Directed(),
+				Elapsed:       last.Elapsed,
+				Relaxations:   last.Progress.Relaxations,
+				Dist:          last.Dist,
+			}
+			if err := wasp.SaveCheckpoint(*dumpPath, cp); err != nil {
+				log.Fatal(err)
+			}
+		}
 
 		if *pathTo >= 0 && *pathTo < g.NumVertices() {
 			// last.Dist aliases session storage, but the session is done:

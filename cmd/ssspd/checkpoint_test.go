@@ -1,0 +1,178 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"wasp"
+	"wasp/internal/fault"
+)
+
+func testGraph() *wasp.Graph {
+	return wasp.FromEdges(4, true, []wasp.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 2},
+	})
+}
+
+func testCheckpoint(g *wasp.Graph) *wasp.Checkpoint {
+	// A genuine mid-solve state for source 0 on testGraph: vertex 1
+	// settled, vertex 2 not yet reached. Every finite entry is a real
+	// path length, so resuming from it is legitimate.
+	return &wasp.Checkpoint{
+		Source:        0,
+		GraphVertices: g.NumVertices(),
+		GraphEdges:    g.NumEdges(),
+		Directed:      g.Directed(),
+		Elapsed:       5 * time.Millisecond,
+		Relaxations:   1,
+		Dist:          []uint32{0, 1, wasp.Infinity, wasp.Infinity},
+	}
+}
+
+// TestCheckpointTrackerLifecycle: the sink writes per-source files and
+// feeds the stats fields; the refcount keeps a shared source's file
+// alive until its last completed query releases it.
+func TestCheckpointTrackerLifecycle(t *testing.T) {
+	g := testGraph()
+	c := newCkptTracker(t.TempDir())
+	if c.ageMS() != -1 {
+		t.Fatalf("ageMS before any write = %v, want -1", c.ageMS())
+	}
+
+	cp := testCheckpoint(g)
+	c.sink(cp)
+	if c.writes.Load() != 1 {
+		t.Fatalf("writes = %d, want 1", c.writes.Load())
+	}
+	if age := c.ageMS(); age < 0 {
+		t.Fatalf("ageMS after a write = %v, want >= 0", age)
+	}
+	if _, err := os.Stat(c.path(0)); err != nil {
+		t.Fatalf("sink wrote no file: %v", err)
+	}
+	got, err := wasp.LoadCheckpoint(c.path(0))
+	if err != nil || got.Settled() != 2 {
+		t.Fatalf("persisted checkpoint unreadable or wrong: %v, %+v", err, got)
+	}
+
+	// Two queries share source 0: the first completed release must not
+	// remove the file while the second is still in flight.
+	c.acquire(0)
+	c.acquire(0)
+	c.release(0, true)
+	if _, err := os.Stat(c.path(0)); err != nil {
+		t.Fatal("file removed while a query was still in flight")
+	}
+	c.release(0, true)
+	if _, err := os.Stat(c.path(0)); !os.IsNotExist(err) {
+		t.Fatalf("spent file not removed after last completed release: %v", err)
+	}
+
+	// An incomplete exit keeps the file for restart recovery.
+	c.sink(cp)
+	c.acquire(0)
+	c.release(0, false)
+	if _, err := os.Stat(c.path(0)); err != nil {
+		t.Fatal("incomplete release must keep the checkpoint file")
+	}
+}
+
+// TestRecoverCheckpoints: a restarted server resumes valid leftover
+// files through the pool and deletes them; corrupt files are removed,
+// not retried forever. /stats reflects both.
+func TestRecoverCheckpoints(t *testing.T) {
+	g := testGraph()
+	dir := t.TempDir()
+	tracker := newCkptTracker(dir)
+	pool, err := wasp.NewPool(g, wasp.Options{Workers: 2}, wasp.PoolOptions{Sessions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close(context.Background())
+	s := &server{pool: pool, g: g, ckpt: tracker}
+
+	if err := wasp.SaveCheckpoint(tracker.path(0), testCheckpoint(g)); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(dir, "ckpt-2.wsck")
+	if err := os.WriteFile(corrupt, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s.recoverCheckpoints(context.Background())
+
+	if n := tracker.recovered.Load(); n != 1 {
+		t.Fatalf("recovered = %d, want 1", n)
+	}
+	if _, err := os.Stat(tracker.path(0)); !os.IsNotExist(err) {
+		t.Error("recovered checkpoint not removed")
+	}
+	if _, err := os.Stat(corrupt); !os.IsNotExist(err) {
+		t.Error("corrupt checkpoint not removed")
+	}
+
+	ts := newHTTPServer(t, s)
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if st.Recovered != 1 || st.Completed != 1 {
+		t.Fatalf("stats after recovery = %+v", st)
+	}
+}
+
+// TestOverloadRetryAfter: a 429 carries the configured Retry-After
+// hint. The only session is parked on a fault-injection block, so the
+// second query's rejection is deterministic, not a race.
+func TestOverloadRetryAfter(t *testing.T) {
+	g := testGraph()
+	pool, err := wasp.NewPool(g, wasp.Options{Workers: 2},
+		wasp.PoolOptions{Sessions: 1, QueueDepth: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close(context.Background())
+	s := &server{pool: pool, g: g, retry: "7"}
+	ts := newHTTPServer(t, s)
+
+	plan := fault.NewPlan(fault.Config{Seed: 1, BlockOnHit: 1, BlockPoint: fault.SolveStart})
+	fault.Activate(plan)
+	defer fault.Deactivate()
+	defer plan.Unblock()
+
+	first := make(chan error, 1)
+	go func() {
+		resp, err := http.Get(ts.URL + "/sssp?source=0")
+		if err == nil {
+			resp.Body.Close()
+		}
+		first <- err
+	}()
+	// Wait until the solve is actually parked inside the session.
+	deadline := time.Now().Add(5 * time.Second)
+	for plan.BlockedHits() == 0 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if plan.BlockedHits() == 0 {
+		t.Fatal("first query never reached the solver")
+	}
+
+	resp, err := http.Get(ts.URL + "/sssp?source=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "7" {
+		t.Fatalf("Retry-After = %q, want \"7\"", ra)
+	}
+
+	plan.Unblock()
+	if err := <-first; err != nil {
+		t.Fatalf("blocked query failed after unblock: %v", err)
+	}
+}

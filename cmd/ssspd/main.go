@@ -11,14 +11,24 @@
 //	/healthz                   200 while serving, 503 while draining
 //	/stats                     pool depth, shed/degraded counts, p50/p99
 //
-// Overload returns 429 with a Retry-After hint; a degraded (deadline)
-// response is 200 with "degraded": true and the settled fraction, so
-// callers can decide whether a partial answer is good enough.
+// Overload returns 429 with a Retry-After hint (configurable via
+// -retry-after); a degraded (deadline) response is 200 with
+// "degraded": true and the settled fraction, so callers can decide
+// whether a partial answer is good enough.
+//
+// With -checkpoint-dir the daemon is crash-recoverable: every
+// in-flight solve is snapshotted to a per-source file on a
+// -checkpoint-interval cadence, and a restarted daemon resumes those
+// solves in the background — from the last published upper-bound
+// state, converging to exact distances — while serving fresh queries.
+// /stats reports checkpoint_writes, last_checkpoint_age_ms and the
+// recovered count.
 //
 // Usage:
 //
 //	ssspd -graph kron -n 65536 -workers 4 -sessions 2 -deadline 50ms
 //	ssspd -file road.wspg -addr :9090 -queue 16 -queue-wait 100ms
+//	ssspd -graph road-usa -n 1048576 -checkpoint-dir /var/lib/ssspd
 package main
 
 import (
@@ -31,9 +41,11 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
@@ -46,7 +58,126 @@ import (
 type server struct {
 	pool     *wasp.Pool
 	g        *wasp.Graph
+	ckpt     *ckptTracker // nil when -checkpoint-dir is unset
+	retry    string       // Retry-After seconds sent with 429s
 	draining atomic.Bool
+}
+
+// retryAfter renders the 429 hint, defaulting to one second when the
+// server was built without configuration (tests).
+func (s *server) retryAfter() string {
+	if s.retry == "" {
+		return "1"
+	}
+	return s.retry
+}
+
+// ckptTracker owns the daemon's checkpoint directory: the periodic
+// sink writes per-source files (ckpt-<source>.wsck, atomically
+// replaced), a refcount of in-flight queries per source decides when a
+// completed solve's file is spent and removed, and startup recovery
+// resumes whatever files a previous process left behind. All methods
+// are safe for concurrent use — distinct sessions checkpoint
+// concurrently, and concurrent queries may share a source.
+type ckptTracker struct {
+	dir string
+
+	mu       sync.Mutex
+	inflight map[uint32]int
+
+	writes    atomic.Int64
+	lastWrite atomic.Int64 // unix nanos of the last successful write; 0 = never
+	recovered atomic.Int64
+}
+
+func newCkptTracker(dir string) *ckptTracker {
+	return &ckptTracker{dir: dir, inflight: make(map[uint32]int)}
+}
+
+func (c *ckptTracker) path(src uint32) string {
+	return filepath.Join(c.dir, fmt.Sprintf("ckpt-%d.wsck", src))
+}
+
+// sink is the pool sessions' CheckpointSink: persist the snapshot
+// under its source's file. Called synchronously from each session's
+// supervisor goroutine; the atomic write-then-rename in SaveCheckpoint
+// makes concurrent same-source writers harmless (last complete file
+// wins, never a torn one).
+func (c *ckptTracker) sink(cp *wasp.Checkpoint) {
+	if err := wasp.SaveCheckpoint(c.path(cp.Source), cp); err != nil {
+		log.Printf("checkpoint %d: %v", cp.Source, err)
+		return
+	}
+	c.writes.Add(1)
+	c.lastWrite.Store(time.Now().UnixNano())
+}
+
+// acquire registers an in-flight query for src.
+func (c *ckptTracker) acquire(src uint32) {
+	c.mu.Lock()
+	c.inflight[src]++
+	c.mu.Unlock()
+}
+
+// release unregisters a query. When it was the last one in flight for
+// src and the solve ran to completion, the checkpoint file is spent —
+// resuming finished distances is pointless — and removed. Incomplete
+// exits (degraded, cancelled, crashed later) keep the file so a
+// restart can pick the work back up.
+func (c *ckptTracker) release(src uint32, completed bool) {
+	c.mu.Lock()
+	c.inflight[src]--
+	last := c.inflight[src] <= 0
+	if last {
+		delete(c.inflight, src)
+	}
+	c.mu.Unlock()
+	if last && completed {
+		_ = os.Remove(c.path(src))
+	}
+}
+
+// ageMS reports milliseconds since the last successful checkpoint
+// write, -1 when none has happened yet.
+func (c *ckptTracker) ageMS() float64 {
+	ns := c.lastWrite.Load()
+	if ns == 0 {
+		return -1
+	}
+	return float64(time.Since(time.Unix(0, ns))) / float64(time.Millisecond)
+}
+
+// recover resumes every checkpoint file a previous process left in the
+// directory, sequentially, through the pool's normal admission path.
+// Unreadable or corrupt files (a kill can land mid-write of the
+// temporary, never of the published file — but disks lie) are logged
+// and removed rather than retried forever. Completed recoveries remove
+// their spent file; failed ones keep it for the next restart.
+func (s *server) recoverCheckpoints(ctx context.Context) {
+	files, err := filepath.Glob(filepath.Join(s.ckpt.dir, "ckpt-*.wsck"))
+	if err != nil || len(files) == 0 {
+		return
+	}
+	log.Printf("recovery: %d checkpoint(s) found", len(files))
+	for _, f := range files {
+		cp, err := wasp.LoadCheckpoint(f)
+		if err != nil {
+			log.Printf("recovery: removing %s: %v", f, err)
+			_ = os.Remove(f)
+			continue
+		}
+		s.ckpt.acquire(cp.Source)
+		res, err := s.pool.Resume(ctx, cp)
+		completed := err == nil && res != nil && res.Complete
+		s.ckpt.release(cp.Source, completed)
+		if err != nil {
+			log.Printf("recovery: source %d: %v", cp.Source, err)
+			continue
+		}
+		s.ckpt.recovered.Add(1)
+		log.Printf("recovery: source %d resumed from %d/%d settled, finished in %v (total %v)",
+			cp.Source, cp.Settled(), len(cp.Dist), res.Elapsed-cp.Elapsed, res.Elapsed)
+	}
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -91,10 +222,16 @@ func (s *server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		target = &tv
 	}
 
+	if s.ckpt != nil {
+		s.ckpt.acquire(uint32(src))
+	}
 	res, err := s.pool.Run(r.Context(), wasp.Vertex(src))
+	if s.ckpt != nil {
+		s.ckpt.release(uint32(src), err == nil && res != nil && res.Complete)
+	}
 	switch {
 	case errors.Is(err, wasp.ErrOverloaded):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, "overloaded", http.StatusTooManyRequests)
 		return
 	case errors.Is(err, wasp.ErrPoolClosed):
@@ -146,23 +283,35 @@ type statsResponse struct {
 	P50MS       float64 `json:"p50_ms"`
 	P99MS       float64 `json:"p99_ms"`
 	Draining    bool    `json:"draining"`
+
+	// Checkpointing (zeros / -1 when -checkpoint-dir is unset).
+	CheckpointWrites    int64   `json:"checkpoint_writes"`
+	LastCheckpointAgeMS float64 `json:"last_checkpoint_age_ms"` // -1: never
+	Recovered           int64   `json:"recovered"`
 }
 
 func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	st := s.pool.Stats()
-	writeJSON(w, statsResponse{
-		Sessions:    st.Sessions,
-		Idle:        st.Idle,
-		InFlight:    st.InFlight,
-		Queued:      st.Queued,
-		Completed:   st.Completed,
-		Degraded:    st.Degraded,
-		Shed:        st.Shed,
-		Quarantined: st.Quarantined,
-		P50MS:       float64(st.P50) / float64(time.Millisecond),
-		P99MS:       float64(st.P99) / float64(time.Millisecond),
-		Draining:    s.draining.Load(),
-	})
+	resp := statsResponse{
+		Sessions:            st.Sessions,
+		Idle:                st.Idle,
+		InFlight:            st.InFlight,
+		Queued:              st.Queued,
+		Completed:           st.Completed,
+		Degraded:            st.Degraded,
+		Shed:                st.Shed,
+		Quarantined:         st.Quarantined,
+		P50MS:               float64(st.P50) / float64(time.Millisecond),
+		P99MS:               float64(st.P99) / float64(time.Millisecond),
+		Draining:            s.draining.Load(),
+		LastCheckpointAgeMS: -1,
+	}
+	if s.ckpt != nil {
+		resp.CheckpointWrites = s.ckpt.writes.Load()
+		resp.LastCheckpointAgeMS = s.ckpt.ageMS()
+		resp.Recovered = s.ckpt.recovered.Load()
+	}
+	writeJSON(w, resp)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {
@@ -197,6 +346,10 @@ func main() {
 		queueWait = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a free session before shedding (0 = unbounded)")
 		deadline  = flag.Duration("deadline", 0, "per-solve latency budget; expired budgets return degraded partial results (0 = none)")
 		drainWait = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight solves on SIGTERM")
+		retryIn   = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 overload responses (rounded up to whole seconds)")
+
+		ckptDir   = flag.String("checkpoint-dir", "", "persist in-flight query state here and resume it on restart")
+		ckptEvery = flag.Duration("checkpoint-interval", 2*time.Second, "interval between checkpoints of each in-flight solve")
 	)
 	flag.Parse()
 
@@ -208,9 +361,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	pool, err := wasp.NewPool(g, wasp.Options{
-		Algorithm: a, Workers: *workers, Delta: uint32(*delta),
-	}, wasp.PoolOptions{
+	opt := wasp.Options{Algorithm: a, Workers: *workers, Delta: uint32(*delta)}
+	var tracker *ckptTracker
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		tracker = newCkptTracker(*ckptDir)
+		opt.CheckpointInterval = *ckptEvery
+		opt.CheckpointSink = tracker.sink
+	}
+	pool, err := wasp.NewPool(g, opt, wasp.PoolOptions{
 		Sessions:   *sessions,
 		QueueDepth: *queue,
 		QueueWait:  *queueWait,
@@ -220,12 +381,23 @@ func main() {
 		log.Fatal(err)
 	}
 
-	s := &server{pool: pool, g: g}
+	retrySecs := int((*retryIn + time.Second - 1) / time.Second)
+	if retrySecs < 1 {
+		retrySecs = 1
+	}
+	s := &server{pool: pool, g: g, ckpt: tracker, retry: strconv.Itoa(retrySecs)}
 	srv := &http.Server{Addr: *addr, Handler: s.routes()}
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	// Resume solves a previous process left checkpointed, in the
+	// background and through the normal admission path, while the
+	// server is already accepting fresh queries.
+	if tracker != nil {
+		go s.recoverCheckpoints(ctx)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()

@@ -22,9 +22,14 @@ func newTestServer(t *testing.T, popt wasp.PoolOptions) (*server, *httptest.Serv
 		t.Fatal(err)
 	}
 	s := &server{pool: pool, g: g}
+	return s, newHTTPServer(t, s)
+}
+
+func newHTTPServer(t *testing.T, s *server) *httptest.Server {
+	t.Helper()
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
-	return s, ts
+	return ts
 }
 
 func getJSON(t *testing.T, url string, wantStatus int, out any) {

@@ -1,0 +1,66 @@
+package checkpoint
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Save writes the snapshot to path crash-safely: encode into a
+// temporary file in the same directory, fsync it, rename over the
+// destination, fsync the directory. A reader (or a restarted process)
+// therefore sees either the previous complete checkpoint or the new
+// complete checkpoint — never a torn one — and a power cut after Save
+// returns cannot lose the rename.
+func Save(path string, s *Snapshot) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+
+	w := bufio.NewWriterSize(tmp, 1<<16)
+	if err = s.Encode(w); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err = w.Flush(); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
+	// Make the rename itself durable. Directory fsync is best-effort on
+	// filesystems that do not support it; the rename is still atomic.
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// Load reads and validates the snapshot at path.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: load: %w", err)
+	}
+	defer f.Close()
+	s, err := Decode(bufio.NewReaderSize(f, 1<<16))
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: load %s: %w", path, err)
+	}
+	return s, nil
+}

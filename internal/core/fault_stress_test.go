@@ -44,25 +44,7 @@ func runWithWatchdog(t *testing.T, g *graph.Graph, src graph.Vertex,
 // dumpWorkers renders each worker's termination-relevant state plus all
 // goroutine stacks, the post-mortem for a hung solve.
 func dumpWorkers(ws []*worker) string {
-	var b strings.Builder
-	for _, w := range ws {
-		if w == nil {
-			continue
-		}
-		curr := "∞"
-		if c := w.curr.Load(); c != infPrio {
-			curr = fmt.Sprint(c)
-		}
-		fmt.Fprintf(&b, "worker %d: curr=%s stealing=%v dq.len=%d\n",
-			w.id, curr, w.stealing.Load(), w.dq.Len())
-	}
-	if len(ws) > 0 && ws[0] != nil {
-		fmt.Fprintf(&b, "global ops counter: %d\n", ws[0].ops.Load())
-	}
-	buf := make([]byte, 1<<20)
-	buf = buf[:runtime.Stack(buf, true)]
-	fmt.Fprintf(&b, "goroutines:\n%s", buf)
-	return b.String()
+	return dumpWorkerStates(ws)
 }
 
 // TestTerminationUnderStealWindowFaults hammers the double-scan window:

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"fmt"
+	"runtime"
+	"strings"
 	"sync/atomic"
 
 	"wasp/internal/dist"
+	"wasp/internal/fault"
 	"wasp/internal/graph"
 	"wasp/internal/metrics"
 	"wasp/internal/parallel"
@@ -22,12 +26,13 @@ import (
 // concurrently with itself. Between calls the structures are quiescent
 // and Reset reclaims whatever a cancelled run left behind.
 type Solver struct {
-	g   *graph.Graph
-	opt Options // defaults applied; opt.Leaves holds the shared bitmap
-	d   *dist.Array
-	m   *metrics.Set
-	ops atomic.Int64
-	ws  []*worker
+	g      *graph.Graph
+	opt    Options // defaults applied; opt.Leaves holds the shared bitmap
+	d      *dist.Array
+	m      *metrics.Set
+	ops    atomic.Int64
+	ws     []*worker
+	source graph.Vertex // source of the prepared/running solve
 }
 
 // NewSolver preallocates a Solver for g. The options are captured with
@@ -38,6 +43,7 @@ type Solver struct {
 func NewSolver(g *graph.Graph, opt Options) *Solver {
 	opt = opt.withDefaults()
 	opt.Cancel = nil
+	opt.WarmStart = nil // per solve, passed to SolveFrom
 	p := opt.Workers
 	m := opt.Metrics
 	if m == nil || len(m.Workers) < p {
@@ -70,12 +76,60 @@ func (s *Solver) Metrics() *metrics.Set { return s.m }
 // immediately). The returned Result's Dist aliases the solver's
 // distance array: it is valid until the next Solve call.
 func (s *Solver) Solve(source graph.Vertex, cancel *parallel.Token) *Result {
+	s.Prepare(source)
+	return s.Launch(cancel)
+}
+
+// SolveFrom computes SSSP from source warm-started from seed, a
+// distance snapshot in which every finite entry is a valid upper bound
+// on the true distance from source (e.g. a Checkpoint of an earlier,
+// interrupted solve from the same source on the same graph). The solve
+// converges to exact distances: label correction only ever lowers
+// distances, so correct upper bounds plus a frontier covering every
+// violated triangle inequality reach the same fixed point a cold solve
+// does, skipping the work the snapshot already paid for. Seeds that are
+// NOT valid upper bounds yield garbage out — callers resume only from
+// snapshots they (or Checkpoint) produced.
+func (s *Solver) SolveFrom(source graph.Vertex, seed []uint32, cancel *parallel.Token) *Result {
+	s.PrepareWarm(source, seed)
+	return s.Launch(cancel)
+}
+
+// Prepare resets the solver for a cold solve from source and seeds the
+// initial frontier (the source in worker 0's current bucket at level
+// 0). Split from Launch so a caller can start observers — Checkpoint,
+// Progress — after the distance array stopped being plainly rewritten
+// by Reset and before workers start lowering it atomically.
+func (s *Solver) Prepare(source graph.Vertex) {
 	s.Reset(source)
+	s.ws[0].pushCurrent(uint32(source))
+}
+
+// PrepareWarm resets the solver and loads seed as the starting distance
+// array for a solve from source (seed[source] is forced to 0). The
+// initial frontier is not known yet — each worker rebuilds its share of
+// it during Launch with a repair scan over its vertex range, queueing
+// every vertex with an out-edge that violates the triangle inequality
+// under the seeded distances.
+func (s *Solver) PrepareWarm(source graph.Vertex, seed []uint32) {
+	s.Reset(source)
+	s.d.Load(seed, source)
+	n := s.g.NumVertices()
+	p := len(s.ws)
+	for i, w := range s.ws {
+		w.warmLo, w.warmHi = i*n/p, (i+1)*n/p
+	}
+}
+
+// Launch runs the prepared solve to termination (or cancellation),
+// reusing every preallocated structure. Checkpoint and Progress are
+// safe to call concurrently from the moment Prepare/PrepareWarm
+// returned until the next Prepare. The returned Result's Dist aliases
+// the solver's distance array: it is valid until the next solve.
+func (s *Solver) Launch(cancel *parallel.Token) *Result {
 	for _, w := range s.ws {
 		w.cancel = cancel
 	}
-	// Seed: the source enters worker 0's current bucket at level 0.
-	s.ws[0].pushCurrent(uint32(source))
 	if s.opt.debugWorkers != nil {
 		s.opt.debugWorkers(s.ws)
 	}
@@ -86,6 +140,109 @@ func (s *Solver) Solve(source graph.Vertex, cancel *parallel.Token) *Result {
 	// always did.
 	_ = parallel.Run(len(s.ws), cancel, func(i int) { s.ws[i].run() })
 	return &Result{Dist: s.d.Snapshot(), Complete: !cancel.Cancelled()}
+}
+
+// Snapshot is a point-in-time copy of a solve's upper-bound state: the
+// racy-but-valid distance copy plus the relaxation/settled counters at
+// capture. Dist is caller-owned (it never aliases solver storage).
+type Snapshot struct {
+	// Source the captured solve runs from.
+	Source graph.Vertex
+	// Dist is the copied distance array: every finite entry is the
+	// length of a real path from Source, hence a valid upper bound on
+	// the true distance — the property that makes any mid-solve
+	// snapshot a correct restart state (see SolveFrom).
+	Dist []uint32
+	// Relaxations is the approximate number of edge relaxations
+	// attempted so far (workers publish at chunk granularity).
+	Relaxations int64
+	// Settled is the number of finite entries in Dist.
+	Settled int
+}
+
+// checkpointBlock is the copy granularity of Checkpoint: the fault
+// hook between blocks is what lets tests stretch the copy window
+// across concurrent relaxations.
+const checkpointBlock = 1 << 16
+
+// Checkpoint captures a Snapshot of the current solve while workers
+// keep running — no locks, no barrier, no pause. The copy is racy by
+// design: the distance array is monotone (entries only ever decrease,
+// and only to lengths of real paths), so a per-element atomic copy
+// observes a mixture of older and newer upper bounds that is itself a
+// valid upper-bound state. buf, when non-nil and large enough, is
+// reused as the destination; pass the previous snapshot's Dist to
+// checkpoint periodically at zero steady-state allocation.
+//
+// Checkpoint must not run concurrently with Prepare/PrepareWarm/Reset
+// (which rewrite the array non-atomically); any time between a Prepare
+// return and the next Prepare call — including during and after Launch
+// — is safe.
+func (s *Solver) Checkpoint(buf []uint32) Snapshot {
+	n := s.d.Len()
+	if cap(buf) < n {
+		buf = make([]uint32, n)
+	}
+	buf = buf[:n]
+	settled := 0
+	for lo := 0; lo < n; lo += checkpointBlock {
+		hi := lo + checkpointBlock
+		if hi > n {
+			hi = n
+		}
+		fault.Inject(fault.CheckpointWindow, lo/checkpointBlock)
+		settled += s.d.AtomicCopyRange(buf, lo, hi)
+	}
+	return Snapshot{
+		Source:      s.source,
+		Dist:        buf,
+		Relaxations: s.Progress(),
+		Settled:     settled,
+	}
+}
+
+// Progress returns the relaxation count workers have published so far
+// (updated at chunk boundaries, so it trails the exact per-worker
+// counters by at most one chunk's worth of work each). It is the
+// monotone liveness signal a stall watchdog polls: a running solve
+// that stops moving this counter is stuck, not slow.
+func (s *Solver) Progress() int64 {
+	var total int64
+	for _, w := range s.ws {
+		total += w.relaxPub.Load()
+	}
+	return total
+}
+
+// DumpState renders each worker's termination-relevant state plus all
+// goroutine stacks — the post-mortem a stall watchdog attaches before
+// failing a wedged solve.
+func (s *Solver) DumpState() string {
+	return dumpWorkerStates(s.ws)
+}
+
+// dumpWorkerStates is the shared diagnostic formatter behind DumpState
+// and the fault-stress watchdog in tests.
+func dumpWorkerStates(ws []*worker) string {
+	var b strings.Builder
+	for _, w := range ws {
+		if w == nil {
+			continue
+		}
+		curr := "∞"
+		if c := w.curr.Load(); c != infPrio {
+			curr = fmt.Sprint(c)
+		}
+		fmt.Fprintf(&b, "worker %d: curr=%s stealing=%v dq.len=%d relaxed=%d\n",
+			w.id, curr, w.stealing.Load(), w.dq.Len(), w.relaxPub.Load())
+	}
+	if len(ws) > 0 && ws[0] != nil {
+		fmt.Fprintf(&b, "global ops counter: %d\n", ws[0].ops.Load())
+	}
+	buf := make([]byte, 1<<20)
+	buf = buf[:runtime.Stack(buf, true)]
+	fmt.Fprintf(&b, "goroutines:\n%s", buf)
+	return b.String()
 }
 
 // PartialSnapshot resets the solver for a solve from source and
@@ -107,6 +264,7 @@ func (s *Solver) PartialSnapshot(source graph.Vertex) []uint32 {
 // identically to a fresh one. Solve calls it automatically.
 func (s *Solver) Reset(source graph.Vertex) {
 	s.ops.Store(0)
+	s.source = source
 	s.d.Reset(source)
 	for _, w := range s.ws {
 		w.reset()

@@ -23,6 +23,9 @@ import (
 // it — see solver.go.
 func Run(g *graph.Graph, source graph.Vertex, opt Options) *Result {
 	cancel := opt.Cancel
+	if opt.WarmStart != nil {
+		return NewSolver(g, opt).SolveFrom(source, opt.WarmStart, cancel)
+	}
 	return NewSolver(g, opt).Solve(source, cancel)
 }
 
@@ -37,6 +40,13 @@ type worker struct {
 	stealing atomic.Bool   // raised across steal attempts (termination fence)
 	_        [48]byte
 	dq       *deque.Deque // the current bucket's stealable chunks
+
+	// Shared with observers (checkpointers, stall watchdogs): the
+	// relaxation counter, re-published from the private metrics at
+	// chunk boundaries so progress is readable without touching the
+	// hot per-relaxation path.
+	relaxPub atomic.Int64
+	_pad2    [56]byte
 
 	// Owner-only.
 	id       int
@@ -56,6 +66,10 @@ type worker struct {
 	pool     chunk.Pool
 	m        *metrics.Worker
 	currLoc  uint64 // owner's cached copy of curr
+	// Warm-start repair range [warmLo, warmHi): scanned at the top of
+	// run for seeded distances violating the triangle inequality.
+	// Empty (0,0) on cold solves.
+	warmLo, warmHi int
 }
 
 func newWorker(id int, g *graph.Graph, d *dist.Array, leaves *graph.Bitmap,
@@ -103,7 +117,16 @@ func (w *worker) reset() {
 	w.r.Reseed(uint64(w.id)*0x9e3779b97f4a7c15 + 0xdead)
 	w.cancel = nil
 	w.stealing.Store(false)
+	w.relaxPub.Store(0)
+	w.warmLo, w.warmHi = 0, 0
 	w.setCurr(0)
+}
+
+// publishProgress re-publishes the private relaxation counter for
+// observers (Solver.Progress, checkpoints, stall watchdogs). Called at
+// chunk and bucket boundaries — never per relaxation.
+func (w *worker) publishProgress() {
+	w.relaxPub.Store(w.m.Relaxations)
 }
 
 // setCurr publishes a new current priority level.
@@ -119,6 +142,10 @@ func (w *worker) run() {
 	// Guaranteed injection site: hit once per worker per solve,
 	// independent of graph size or steal activity (see fault.SolveStart).
 	fault.Inject(fault.SolveStart, w.id)
+	defer w.publishProgress()
+	if w.warmHi > w.warmLo {
+		w.seedFrontier()
+	}
 	for {
 		if w.cancel.Cancelled() {
 			return
@@ -136,6 +163,7 @@ func (w *worker) run() {
 		// No steal: advance to the next local bucket (lines 29–32).
 		if next != infPrio {
 			w.m.BucketAdvances++
+			w.publishProgress()
 			w.opt.Trace.Add(w.id, trace.BucketAdvance, next, 0)
 			w.setCurr(next)
 			w.pour(next)
@@ -166,8 +194,42 @@ func (w *worker) drainCurrent() {
 		w.processEntry(u, prio, begin, end)
 		if countdown--; countdown <= 0 {
 			countdown = chunk.Size
+			w.publishProgress()
 			if w.cancel.Cancelled() {
 				return
+			}
+		}
+	}
+}
+
+// seedFrontier rebuilds this worker's share of the initial frontier
+// for a warm-started solve (Solver.PrepareWarm): every vertex in
+// [warmLo, warmHi) whose seeded distance can still improve an
+// out-neighbor — a violated triangle inequality d(u)+w(u,v) < d(v) —
+// is queued at its seeded priority. Vertices with no violation are
+// already settled relative to their neighborhood and cost nothing
+// beyond the scan; this is what makes resuming from a late snapshot
+// cheaper than a cold solve. The scan runs before the main loop, so
+// the usual steal/termination machinery sees a normal (if unusually
+// pre-populated) solve.
+func (w *worker) seedFrontier() {
+	countdown := 1 << 12
+	for u := w.warmLo; u < w.warmHi; u++ {
+		if countdown--; countdown <= 0 {
+			countdown = 1 << 12
+			if w.cancel.Cancelled() {
+				return
+			}
+		}
+		du := w.d.Get(uint32(u))
+		if du == graph.Infinity {
+			continue
+		}
+		dst, wts := w.g.OutNeighbors(graph.Vertex(u))
+		for i, v := range dst {
+			if dist.SatAdd(du, wts[i]) < w.d.Get(v) {
+				w.pushLocal(uint32(u), prioOf(du, w.delta))
+				break
 			}
 		}
 	}
@@ -363,6 +425,7 @@ func (w *worker) processStolen(stolen []*chunk.Chunk) {
 			w.processEntry(v, c.Prio, 0, 0)
 		}
 		w.m.ChunksDrained++
+		w.publishProgress()
 		w.pool.Put(c)
 	}
 }

@@ -54,6 +54,36 @@ func (a *Array) Get(v graph.Vertex) uint32 {
 // no concurrent writers (i.e. after the algorithm terminated).
 func (a *Array) Snapshot() []uint32 { return a.d }
 
+// AtomicCopyRange copies distances [lo, hi) into the same positions of
+// dst with per-element atomic loads and returns the number of finite
+// (settled) entries it copied. Unlike Snapshot it is safe to call while
+// workers are concurrently relaxing: each element read is atomic, and
+// because distances only ever decrease, the racy per-element mixture of
+// "old" and "new" values is itself a state the solve could have been in
+// — every copied entry is the length of some real path, hence a valid
+// upper bound on the true distance. This is the snapshot primitive
+// behind checkpointing (see internal/core.Solver.Checkpoint).
+func (a *Array) AtomicCopyRange(dst []uint32, lo, hi int) int {
+	settled := 0
+	for i := lo; i < hi; i++ {
+		d := atomic.LoadUint32(&a.d[i])
+		dst[i] = d
+		if d != graph.Infinity {
+			settled++
+		}
+	}
+	return settled
+}
+
+// Load seeds the array from a warm-start snapshot: seed is copied in
+// and the source forced to 0 (its true distance, and the anchor every
+// relaxation chain hangs off). Like Reset, Load is a between-runs
+// operation: callers must ensure no concurrent readers or writers.
+func (a *Array) Load(seed []uint32, source graph.Vertex) {
+	copy(a.d, seed)
+	a.d[source] = 0
+}
+
 // SatAdd returns a+b clamped to Infinity, the top of the (min,+)
 // semiring. Plain uint32 addition would wrap past Infinity and turn an
 // unreachable candidate into a bogus short distance; every distance

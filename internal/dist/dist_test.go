@@ -164,6 +164,79 @@ func TestReset(t *testing.T) {
 	}
 }
 
+func TestAtomicCopyRange(t *testing.T) {
+	a := New(6, 2)
+	a.RelaxTo(0, 10)
+	a.RelaxTo(4, 3)
+	dst := make([]uint32, 6)
+	if settled := a.AtomicCopyRange(dst, 0, 6); settled != 3 {
+		t.Fatalf("settled = %d, want 3", settled)
+	}
+	for v := 0; v < 6; v++ {
+		if dst[v] != a.Get(graph.Vertex(v)) {
+			t.Fatalf("dst[%d] = %d, want %d", v, dst[v], a.Get(graph.Vertex(v)))
+		}
+	}
+	// Partial ranges copy only their window and count only its entries.
+	dst2 := make([]uint32, 6)
+	dst2[0] = 99
+	if settled := a.AtomicCopyRange(dst2, 2, 5); settled != 2 {
+		t.Fatalf("range settled = %d, want 2", settled)
+	}
+	if dst2[0] != 99 || dst2[5] != 0 {
+		t.Fatal("AtomicCopyRange wrote outside [lo, hi)")
+	}
+}
+
+// TestAtomicCopyDuringRelaxationsIsUpperBound: copies taken while
+// workers race relaxations must contain only values that were actually
+// written (monotone upper bounds), never torn or stale-beyond-initial
+// garbage.
+func TestAtomicCopyDuringRelaxationsIsUpperBound(t *testing.T) {
+	const n = 4096
+	a := New(n, 0)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for round := 0; round < 50; round++ {
+			for v := 1; v < n; v++ {
+				a.RelaxTo(graph.Vertex(v), uint32(50-round)*uint32(v%17+1))
+			}
+		}
+	}()
+	dst := make([]uint32, n)
+	for {
+		a.AtomicCopyRange(dst, 0, n)
+		for v := 1; v < n; v++ {
+			// Final values are (v%17+1); every observed value must be a
+			// multiple of the step and at least the final value.
+			if dst[v] == graph.Infinity {
+				continue
+			}
+			if dst[v] < uint32(v%17+1) || dst[v]%uint32(v%17+1) != 0 {
+				t.Fatalf("d(%d) = %d: not a written value", v, dst[v])
+			}
+		}
+		select {
+		case <-done:
+			return
+		default:
+		}
+	}
+}
+
+func TestLoad(t *testing.T) {
+	a := New(4, 0)
+	seed := []uint32{5, 7, graph.Infinity, 1}
+	a.Load(seed, 1)
+	want := []uint32{5, 0, graph.Infinity, 1}
+	for v, w := range want {
+		if got := a.Get(graph.Vertex(v)); got != w {
+			t.Fatalf("after Load d(%d) = %d, want %d", v, got, w)
+		}
+	}
+}
+
 // TestResetMatchesNew: Reset(src) and New(n, src) are indistinguishable.
 func TestResetMatchesNew(t *testing.T) {
 	a := New(100, 3)

@@ -26,6 +26,7 @@ package fault
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
 
@@ -48,6 +49,13 @@ const (
 	// kills exactly the first solve that starts after activation — the
 	// input the pool's quarantine-and-retry path is tested against.
 	SolveStart
+	// CheckpointWindow fires between blocks of the checkpointer's racy
+	// distance-array copy, while workers keep relaxing concurrently.
+	// Stretching this window forces more of the copy to interleave with
+	// live updates — the input the monotone-snapshot validity tests are
+	// run against. The worker argument at this site is the block index,
+	// not a worker id.
+	CheckpointWindow
 
 	numPoints
 )
@@ -63,6 +71,8 @@ func (p Point) String() string {
 		return "term-scan"
 	case SolveStart:
 		return "solve-start"
+	case CheckpointWindow:
+		return "checkpoint-window"
 	default:
 		return fmt.Sprintf("point(%d)", int(p))
 	}
@@ -81,6 +91,10 @@ type Config struct {
 	PrePublish int
 	// TermScan is the permille chance of jitter at a TermScan hit.
 	TermScan int
+	// CheckpointStall is the permille chance of a yield burst at a
+	// CheckpointWindow hit, stretching the racy snapshot copy across
+	// more concurrent relaxations.
+	CheckpointStall int
 
 	// MaxYields bounds the runtime.Gosched burst per injection
 	// (default 4).
@@ -91,6 +105,14 @@ type Config struct {
 	// stress input. Zero disables.
 	PanicOnHit int64
 	PanicPoint Point
+
+	// BlockOnHit, when positive, blocks the n-th and every subsequent
+	// hit of BlockPoint until Unblock is called on the plan — the
+	// deterministic way to freeze a solve mid-flight, which is what the
+	// stall-watchdog tests need. Callers MUST call Unblock (or leak the
+	// blocked goroutines); Deactivate alone does not release them.
+	BlockOnHit int64
+	BlockPoint Point
 }
 
 // Plan is a compiled, activatable injection plan.
@@ -100,6 +122,11 @@ type Plan struct {
 	panicOnHit int64
 	panicPoint Point
 	hits       atomic.Int64
+	blockOnHit int64
+	blockPoint Point
+	blockHits  atomic.Int64
+	blockCh    chan struct{}
+	unblock    sync.Once
 	workers    []workerState
 }
 
@@ -122,6 +149,9 @@ func NewPlan(cfg Config) *Plan {
 		maxYields:  uint64(cfg.MaxYields),
 		panicOnHit: cfg.PanicOnHit,
 		panicPoint: cfg.PanicPoint,
+		blockOnHit: cfg.BlockOnHit,
+		blockPoint: cfg.BlockPoint,
+		blockCh:    make(chan struct{}),
 		workers:    make([]workerState, maxWorkers),
 	}
 	if p.maxYields == 0 {
@@ -130,6 +160,7 @@ func NewPlan(cfg Config) *Plan {
 	p.threshold[StealAttempt] = permille(cfg.StealDelay)
 	p.threshold[PrePublish] = permille(cfg.PrePublish)
 	p.threshold[TermScan] = permille(cfg.TermScan)
+	p.threshold[CheckpointWindow] = permille(cfg.CheckpointStall)
 	for i := range p.workers {
 		s := splitmix(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
 		if s == 0 {
@@ -171,6 +202,15 @@ func (p *Plan) draw(worker int) uint64 {
 // meaningful when PanicOnHit was configured; the threshold points do
 // not count hits). Stress suites use it to assert the hooks fired.
 func (p *Plan) Hits() int64 { return p.hits.Load() }
+
+// BlockedHits returns the number of BlockPoint hits counted so far
+// (only meaningful when BlockOnHit was configured). A watchdog test
+// polls it to learn that the target goroutines have reached the block.
+func (p *Plan) BlockedHits() int64 { return p.blockHits.Load() }
+
+// Unblock releases every goroutine blocked (and any future hit) of the
+// plan's BlockPoint. Idempotent; safe to defer alongside Deactivate.
+func (p *Plan) Unblock() { p.unblock.Do(func() { close(p.blockCh) }) }
 
 // active is the globally installed plan; nil means every hook is a
 // near-free no-op.

@@ -4,15 +4,17 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 )
 
 func TestPointString(t *testing.T) {
 	for p, want := range map[Point]string{
-		StealAttempt: "steal-attempt",
-		PrePublish:   "pre-publish",
-		TermScan:     "term-scan",
-		SolveStart:   "solve-start",
-		Point(99):    "point(99)",
+		StealAttempt:     "steal-attempt",
+		PrePublish:       "pre-publish",
+		TermScan:         "term-scan",
+		SolveStart:       "solve-start",
+		CheckpointWindow: "checkpoint-window",
+		Point(99):        "point(99)",
 	} {
 		if got := p.String(); got != want {
 			t.Errorf("Point(%d).String() = %q, want %q", int(p), got, want)
@@ -83,6 +85,53 @@ func TestPanicOnHit(t *testing.T) {
 		}
 	}()
 	Inject(PrePublish, 2)
+}
+
+// TestBlockOnHit: hits at the block point from the threshold on must
+// park until Unblock, earlier hits and other points must pass through,
+// and Unblock must release every parked goroutine (idempotently).
+func TestBlockOnHit(t *testing.T) {
+	p := NewPlan(Config{Seed: 13, BlockOnHit: 2, BlockPoint: SolveStart})
+	Activate(p)
+	defer Deactivate()
+
+	Inject(SolveStart, 0)   // hit 1: below threshold, passes
+	Inject(StealAttempt, 0) // wrong point: not counted, passes
+	if p.BlockedHits() != 1 {
+		t.Fatalf("BlockedHits = %d, want 1", p.BlockedHits())
+	}
+
+	released := make(chan int, 2)
+	for w := 1; w <= 2; w++ {
+		go func(id int) {
+			Inject(SolveStart, id) // hits 2 and 3: both park
+			released <- id
+		}(w)
+	}
+	// Both goroutines must reach the block and stay there.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.BlockedHits() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if p.BlockedHits() != 3 {
+		t.Fatalf("BlockedHits = %d, want 3", p.BlockedHits())
+	}
+	select {
+	case id := <-released:
+		t.Fatalf("goroutine %d passed the block before Unblock", id)
+	case <-time.After(20 * time.Millisecond):
+	}
+
+	p.Unblock()
+	p.Unblock() // idempotent
+	for i := 0; i < 2; i++ {
+		select {
+		case <-released:
+		case <-time.After(2 * time.Second):
+			t.Fatal("Unblock did not release a parked goroutine")
+		}
+	}
+	Inject(SolveStart, 3) // post-unblock hits pass straight through
 }
 
 // Concurrent draws on one worker stream must be race-free (the stream

@@ -25,6 +25,10 @@ func (p *Plan) inject(point Point, worker int) {
 		p.hits.Add(1) == p.panicOnHit {
 		panic(fmt.Sprintf("fault: injected panic at %v (worker %d)", point, worker))
 	}
+	if p.blockOnHit > 0 && point == p.blockPoint &&
+		p.blockHits.Add(1) >= p.blockOnHit {
+		<-p.blockCh
+	}
 	th := p.threshold[point]
 	if th == 0 || p.draw(worker)%1000 >= th {
 		return

@@ -17,6 +17,12 @@ func FuzzReadText(f *testing.F) {
 	f.Add("0 0 0\n")
 	f.Add("4294967295 0 1\n")
 	f.Add("n abc\nxyz\n")
+	f.Add("0 1 4294967295\n")             // weight at the ∞ sentinel
+	f.Add("0 1 99999999999999999999\n")   // weight overflows uint32
+	f.Add("n 18446744073709551615\n")     // vertex count overflows int
+	f.Add("0 1 2 3 4\n")                  // too many fields
+	f.Add("n 2 directed\n0 1 5")          // missing trailing newline
+	f.Add("n 3 directed\n0 1 5\n0 1 5\n") // duplicate edge
 	f.Fuzz(func(t *testing.T, input string) {
 		g, err := ReadText(strings.NewReader(input))
 		if err != nil {

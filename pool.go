@@ -181,7 +181,28 @@ func (p *Pool) Run(ctx context.Context, source Vertex) (*Result, error) {
 	if int(source) >= p.g.NumVertices() {
 		return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", source, p.g.NumVertices())
 	}
+	return p.admitAndSolve(ctx, source, nil)
+}
 
+// Resume is Run warm-started from a checkpoint: the query enters the
+// same admission queue, runs on the first free session via
+// Session.Resume, and inherits every pool behavior — deadline
+// degradation, quarantine-and-retry, detached results. The checkpoint
+// determines the source and must belong to the pool's graph; it is
+// shape-checked here, before a ticket is taken.
+func (p *Pool) Resume(ctx context.Context, cp *Checkpoint) (*Result, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("wasp: Resume from nil checkpoint")
+	}
+	if err := cp.Matches(p.g.NumVertices(), p.g.NumEdges(), p.g.Directed()); err != nil {
+		return nil, err
+	}
+	return p.admitAndSolve(ctx, Vertex(cp.Source), cp)
+}
+
+// admitAndSolve is the shared body of Run and Resume: warm, when
+// non-nil, is a validated checkpoint to seed the solve from.
+func (p *Pool) admitAndSolve(ctx context.Context, source Vertex, warm *Checkpoint) (*Result, error) {
 	// Admission: take a ticket or shed. The mutex orders the closed
 	// check, the ticket grab and the wg.Add against Close, so Close
 	// can never miss an admitted query.
@@ -235,7 +256,7 @@ func (p *Pool) Run(ctx context.Context, source Vertex) (*Result, error) {
 
 	p.inFlight.Add(1)
 	start := time.Now()
-	res, err := p.solveOn(ctx, &sess, source)
+	res, err := p.solveOn(ctx, &sess, source, warm)
 	elapsed := time.Since(start)
 	// Detach before the session goes back into rotation: once another
 	// caller grabs it, the session-owned distance array is theirs.
@@ -262,13 +283,16 @@ func (p *Pool) Run(ctx context.Context, source Vertex) (*Result, error) {
 // the quarantine-and-retry policy. On a panic the poisoned session is
 // replaced in *sess — the caller returns whatever session is there to
 // the pool, keeping the pool at full strength.
-func (p *Pool) solveOn(ctx context.Context, sess **Session, source Vertex) (*Result, error) {
+func (p *Pool) solveOn(ctx context.Context, sess **Session, source Vertex, warm *Checkpoint) (*Result, error) {
 	run := func() (*Result, error) {
 		rctx := ctx
 		if p.conf.Deadline > 0 {
 			var cancel context.CancelFunc
 			rctx, cancel = context.WithTimeout(ctx, p.conf.Deadline)
 			defer cancel()
+		}
+		if warm != nil {
+			return (*sess).Resume(rctx, warm)
 		}
 		return (*sess).Run(rctx, source)
 	}

@@ -49,6 +49,7 @@ type Session struct {
 	opt      Options      // defaults applied
 	solver   *core.Solver // non-nil on the preallocated Wasp path
 	m        *metrics.Set // session-owned, reset per run; nil unless collecting
+	snapBuf  []uint32     // checkpoint destination, reused across captures
 	inFlight atomic.Bool
 }
 
@@ -63,6 +64,13 @@ func NewSession(g *Graph, opt Options) (*Session, error) {
 	opt = opt.withDefaults()
 	if opt.Algorithm < 0 || opt.Algorithm >= numAlgorithms {
 		return nil, fmt.Errorf("wasp: unknown algorithm %d", opt.Algorithm)
+	}
+	if opt.WarmStart != nil {
+		return nil, fmt.Errorf("wasp: Options.WarmStart is per solve — use Session.Resume (or RunContext)")
+	}
+	supervised := (opt.CheckpointInterval > 0 && opt.CheckpointSink != nil) || opt.StallTimeout > 0
+	if supervised && (opt.Algorithm != AlgoWasp || opt.PendantPruning) {
+		return nil, fmt.Errorf("wasp: checkpoint/stall supervision requires AlgoWasp without PendantPruning")
 	}
 	s := &Session{g: g, opt: opt}
 	if opt.CollectMetrics || opt.QueueTiming {
@@ -94,6 +102,35 @@ func NewSession(g *Graph, opt Options) (*Session, error) {
 // The returned Result's Dist aliases session-owned storage: it is
 // overwritten by the next Run on this session. Copy it to retain it.
 func (s *Session) Run(ctx context.Context, source Vertex) (*Result, error) {
+	return s.run(ctx, source, nil)
+}
+
+// Resume solves from the checkpoint's source, warm-started from its
+// upper-bound distances: the snapshot loads as the initial state and
+// workers rebuild the frontier with a repair scan over violated
+// triangle inequalities, so the work the checkpoint already paid for
+// is kept and the solve converges to exactly the distances an
+// uninterrupted run produces. The checkpoint must belong to the
+// session's graph (shape-checked via Checkpoint.Matches). Resume
+// requires the preallocated Wasp path — the same configurations
+// NewSession accepts supervision for. Result.Elapsed continues from
+// cp.Elapsed rather than restarting the clock.
+func (s *Session) Resume(ctx context.Context, cp *Checkpoint) (*Result, error) {
+	if cp == nil {
+		return nil, fmt.Errorf("wasp: Resume from nil checkpoint")
+	}
+	if s.solver == nil {
+		return nil, fmt.Errorf("wasp: Resume requires AlgoWasp without PendantPruning")
+	}
+	if err := cp.Matches(s.g.NumVertices(), s.g.NumEdges(), s.g.Directed()); err != nil {
+		return nil, err
+	}
+	return s.run(ctx, Vertex(cp.Source), cp)
+}
+
+// run is the shared body of Run and Resume: warm, when non-nil, is a
+// validated checkpoint to seed from.
+func (s *Session) run(ctx context.Context, source Vertex, warm *Checkpoint) (*Result, error) {
 	if int(source) >= s.g.NumVertices() {
 		return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", source, s.g.NumVertices())
 	}
@@ -112,7 +149,8 @@ func (s *Session) Run(ctx context.Context, source Vertex) (*Result, error) {
 		// Configurations outside the preallocated Wasp path solve
 		// one-shot, with the same result contract, through the
 		// session-owned metrics set (reset per run) rather than a
-		// fresh allocation per call.
+		// fresh allocation per call. (warm is nil here: Resume rejects
+		// the fallback path before reaching run.)
 		if s.m != nil {
 			s.m.Reset()
 		}
@@ -129,10 +167,24 @@ func (s *Session) Run(ctx context.Context, source Vertex) (*Result, error) {
 	m := s.solver.Metrics()
 	m.Reset()
 	res := &Result{Algorithm: AlgoWasp}
+	var base time.Duration // wall time the warm checkpoint already paid
 	start := time.Now()
-	r := s.solver.Solve(graph.Vertex(source), tok)
+
+	// Prepare before starting the supervisor: Checkpoint must never
+	// observe Reset's plain rewrites of the distance array, and after
+	// Prepare returns every write is an atomic lowering.
+	if warm != nil {
+		base = warm.Elapsed
+		s.solver.PrepareWarm(graph.Vertex(source), warm.Dist)
+	} else {
+		s.solver.Prepare(graph.Vertex(source))
+	}
+	stopSupervisor := s.supervise(tok, base, start)
+	r := s.solver.Launch(tok)
+	stallErr := stopSupervisor()
+
 	res.Dist = r.Dist
-	res.Elapsed = time.Since(start)
+	res.Elapsed = base + time.Since(start)
 	res.fillProgress(m)
 	if s.m != nil {
 		t := s.m.Totals()
@@ -140,6 +192,15 @@ func (s *Session) Run(ctx context.Context, source Vertex) (*Result, error) {
 	}
 	if pe := tok.Err(); pe != nil {
 		return nil, fmt.Errorf("wasp: %s solver panicked: %w", AlgoWasp, pe)
+	}
+	if stallErr != nil && !r.Complete {
+		// The watchdog cancelled a wedged solve. The distances are a
+		// valid partial snapshot (and the sink already received the
+		// forced final checkpoint), so hand them back with the stall
+		// diagnosis. When the solve completed despite a late watchdog
+		// trip the stall was a false positive: fall through and return
+		// the finished result.
+		return res, stallErr
 	}
 	if err := ctx.Err(); err != nil {
 		// Cancelled: the distances are a legitimate partial snapshot,
@@ -153,6 +214,107 @@ func (s *Session) Run(ctx context.Context, source Vertex) (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// emitCheckpoint captures the running solve's upper-bound state into
+// the session's reusable snapshot buffer and wraps it with the graph
+// fingerprint a resume needs. Called only from the supervisor
+// goroutine, which serializes captures; the sink must be done with the
+// snapshot before the next capture reuses the buffer.
+func (s *Session) emitCheckpoint(base time.Duration, start time.Time) *Checkpoint {
+	snap := s.solver.Checkpoint(s.snapBuf)
+	s.snapBuf = snap.Dist
+	return &Checkpoint{
+		Source:        uint32(snap.Source),
+		GraphVertices: s.g.NumVertices(),
+		GraphEdges:    s.g.NumEdges(),
+		Directed:      s.g.Directed(),
+		Elapsed:       base + time.Since(start),
+		Relaxations:   snap.Relaxations,
+		Dist:          snap.Dist,
+	}
+}
+
+// supervise starts the per-run supervisor goroutine — the periodic
+// checkpoint ticker and the stall watchdog share one goroutine so a
+// supervised solve costs a single extra goroutine, not two. The
+// returned stop function joins the supervisor and reports the stall
+// error if the watchdog fired. When neither facility is configured it
+// is a no-op returning a nil-returning stop.
+//
+// Stall detection polls Solver.Progress, the relaxation count workers
+// publish at chunk boundaries: a solve that is merely slow keeps
+// moving it, while a wedged one (livelocked termination protocol,
+// deadlocked steal loop) freezes it. On detection the watchdog dumps
+// per-worker scheduler state, force-emits a final checkpoint (so the
+// stalled solve's work survives to a restart), cancels the run and
+// reports ErrStalled.
+func (s *Session) supervise(tok *parallel.Token, base time.Duration, start time.Time) (stop func() error) {
+	sink := s.opt.CheckpointSink
+	interval := s.opt.CheckpointInterval
+	stallT := s.opt.StallTimeout
+	ckptOn := interval > 0 && sink != nil
+	if !ckptOn && stallT <= 0 {
+		return func() error { return nil }
+	}
+
+	done := make(chan struct{})
+	exited := make(chan struct{})
+	errCh := make(chan error, 1)
+	go func() {
+		defer close(exited)
+		var ckptC <-chan time.Time
+		if ckptOn {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			ckptC = t.C
+		}
+		var stallC <-chan time.Time
+		lastProg := int64(-1)
+		lastMove := time.Now()
+		if stallT > 0 {
+			poll := stallT / 8
+			if poll < time.Millisecond {
+				poll = time.Millisecond
+			}
+			t := time.NewTicker(poll)
+			defer t.Stop()
+			stallC = t.C
+		}
+		for {
+			select {
+			case <-done:
+				return
+			case <-ckptC:
+				sink(s.emitCheckpoint(base, start))
+			case <-stallC:
+				if p := s.solver.Progress(); p != lastProg {
+					lastProg, lastMove = p, time.Now()
+					continue
+				}
+				if time.Since(lastMove) < stallT {
+					continue
+				}
+				dump := s.solver.DumpState()
+				if sink != nil {
+					sink(s.emitCheckpoint(base, start))
+				}
+				errCh <- fmt.Errorf("%w: no relaxation progress for %v\n%s", ErrStalled, stallT, dump)
+				tok.Cancel()
+				return
+			}
+		}
+	}()
+	return func() error {
+		close(done)
+		<-exited
+		select {
+		case err := <-errCh:
+			return err
+		default:
+			return nil
+		}
+	}
 }
 
 // preCancelled builds the zero-work partial snapshot Run returns when

@@ -180,6 +180,42 @@ type Options struct {
 	// source itself is pendant or the graph is directed.
 	PendantPruning bool
 
+	// WarmStart, when non-nil, seeds the solve from a checkpoint of an
+	// earlier, interrupted solve of the same (graph, source) pair
+	// instead of starting from scratch: distances load as upper bounds
+	// and workers rebuild the frontier with a repair scan over violated
+	// triangle inequalities, converging to exactly the distances an
+	// uninterrupted run produces. AlgoWasp only, incompatible with
+	// PendantPruning; the checkpoint must match the graph (see
+	// Checkpoint.Matches) and the run's source must equal
+	// WarmStart.Source. Session users resume via Session.Resume
+	// instead of this field.
+	WarmStart *Checkpoint
+
+	// CheckpointInterval, with CheckpointSink, enables periodic
+	// checkpointing on a supervised Session: every interval the running
+	// solve's upper-bound state is snapshotted — workers keep running;
+	// the capture is a racy-but-valid atomic copy — and handed to the
+	// sink. Supervision requires the preallocated session path
+	// (AlgoWasp without PendantPruning); NewSession rejects other
+	// configurations. Ignored by one-shot Run/RunContext. Zero disables.
+	CheckpointInterval time.Duration
+
+	// CheckpointSink receives each periodic (and stall-forced)
+	// checkpoint, synchronously from the session's supervisor
+	// goroutine. The snapshot's Dist reuses one buffer per run: the
+	// sink must finish with it before returning — typically by calling
+	// SaveCheckpoint — or copy it.
+	CheckpointSink func(*Checkpoint)
+
+	// StallTimeout arms a stall watchdog on a supervised Session: if
+	// the solve makes no relaxation progress for this long, the
+	// watchdog dumps per-worker scheduler state, emits a final forced
+	// checkpoint to CheckpointSink (when set), cancels the run and
+	// fails it with an error wrapping ErrStalled. Zero disables.
+	// Ignored by one-shot Run/RunContext.
+	StallTimeout time.Duration
+
 	// CollectMetrics attaches per-worker counters to the Result.
 	CollectMetrics bool
 	// QueueTiming records time spent in shared-queue operations
@@ -316,11 +352,38 @@ func RunContext(ctx context.Context, g *Graph, source Vertex, opt Options) (*Res
 		return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", source, g.NumVertices())
 	}
 	opt = opt.withDefaults()
+	if err := validateWarmStart(g, source, opt); err != nil {
+		return nil, err
+	}
 	var m *metrics.Set
 	if opt.CollectMetrics || opt.QueueTiming {
 		m = metrics.NewSet(opt.Workers)
 	}
 	return runContext(ctx, g, source, opt, m)
+}
+
+// validateWarmStart checks the Options.WarmStart contract: Wasp only,
+// no pendant pruning (the pruned core is a different graph than the
+// one the snapshot describes), snapshot and graph shapes agree, and
+// the run resumes the snapshot's own source.
+func validateWarmStart(g *Graph, source Vertex, opt Options) error {
+	cp := opt.WarmStart
+	if cp == nil {
+		return nil
+	}
+	if opt.Algorithm != AlgoWasp {
+		return fmt.Errorf("wasp: WarmStart requires AlgoWasp, not %s", opt.Algorithm)
+	}
+	if opt.PendantPruning {
+		return fmt.Errorf("wasp: WarmStart is incompatible with PendantPruning")
+	}
+	if err := cp.Matches(g.NumVertices(), g.NumEdges(), g.Directed()); err != nil {
+		return err
+	}
+	if Vertex(cp.Source) != source {
+		return fmt.Errorf("wasp: resuming source %d from a checkpoint of source %d", source, cp.Source)
+	}
+	return nil
 }
 
 // runContext is RunContext after validation: opt has defaults applied
@@ -353,6 +416,10 @@ func runContext(ctx context.Context, g *Graph, source Vertex, opt Options, m *me
 
 	switch opt.Algorithm {
 	case AlgoWasp:
+		var warm []uint32
+		if opt.WarmStart != nil {
+			warm = opt.WarmStart.Dist
+		}
 		r := core.Run(g, source, core.Options{
 			Delta:           opt.Delta,
 			Workers:         opt.Workers,
@@ -364,6 +431,7 @@ func runContext(ctx context.Context, g *Graph, source Vertex, opt Options, m *me
 			NoBidirectional: opt.NoBidirectional,
 			Theta:           opt.Theta,
 			Metrics:         m,
+			WarmStart:       warm,
 			Cancel:          tok,
 		})
 		res.Dist = r.Dist
@@ -437,6 +505,11 @@ func runContext(ctx context.Context, g *Graph, source Vertex, opt Options, m *me
 		pruned.Restore(res.Dist)
 	}
 	res.Elapsed = time.Since(start)
+	if opt.WarmStart != nil {
+		// A resumed solve's clock continues from the checkpoint: Elapsed
+		// is the total paid for these distances, not just the tail.
+		res.Elapsed += opt.WarmStart.Elapsed
+	}
 	res.fillProgress(m)
 
 	if m != nil {
