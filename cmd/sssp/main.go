@@ -55,6 +55,7 @@ func main() {
 		metrics  = flag.Bool("metrics", false, "print work counters")
 		pathTo   = flag.Int("path", -1, "also print the shortest path to this vertex")
 		steal    = flag.String("steal", "wasp", "wasp steal policy: wasp, random or two-choice")
+		tracing  = flag.String("trace", "", "write the final trial's scheduler trace to this file (Chrome trace JSON, open in chrome://tracing or ui.perfetto.dev) and print a scheduler summary")
 
 		ckptPath   = flag.String("checkpoint", "", "periodically snapshot the in-flight solve to this file (wasp, -trials 1)")
 		ckptEvery  = flag.Duration("checkpoint-interval", 250*time.Millisecond, "interval between checkpoints")
@@ -143,6 +144,18 @@ func main() {
 		log.Fatal("-dump requires a single algorithm")
 	}
 
+	// -trace attaches an Observer to the session: scheduler events (wasp
+	// only) plus per-worker counters (every algorithm). The export after
+	// the trials covers the final trial — the observer resets per run.
+	var obs *wasp.Observer
+	if *tracing != "" {
+		if len(names) != 1 || *sources > 1 {
+			log.Fatal("-trace requires a single algorithm and a single source")
+		}
+		obs = wasp.NewObserver(wasp.ObserverConfig{Timing: *metrics})
+		opt.Observer = obs
+	}
+
 	var warm *wasp.Checkpoint
 	src := wasp.SourceInLargestComponent(g, *seed)
 	if *resume {
@@ -217,6 +230,13 @@ func main() {
 			last = res
 		}
 		if degraded {
+			// Export even after a degraded trial: the partial schedule is
+			// exactly what a latency investigation wants to see.
+			if obs != nil {
+				if err := exportTrace(obs, *tracing); err != nil {
+					log.Fatal(err)
+				}
+			}
 			continue // partial row already printed; exit stays 0
 		}
 		relax := "-"
@@ -225,6 +245,11 @@ func main() {
 		}
 		fmt.Printf("%-12s %12v %10d %14s\n", a, best, last.Reached(), relax)
 
+		if obs != nil {
+			if err := exportTrace(obs, *tracing); err != nil {
+				log.Fatal(err)
+			}
+		}
 		if *ckptPath != "" {
 			// The solve completed: the in-flight checkpoint is spent.
 			_ = os.Remove(*ckptPath)
@@ -315,6 +340,25 @@ func runBatch(ctx context.Context, g *wasp.Graph, names []string, nSources int, 
 		}
 		fmt.Printf("total solve time: %v\n\n", total)
 	}
+}
+
+// exportTrace writes the observer's final-trial Chrome trace to path
+// and prints the human-readable scheduler summary (per-worker work,
+// the near→far steal-tier breakdown, bucket-advance cadence) to stdout.
+func exportTrace(obs *wasp.Observer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("\nscheduler trace (final trial) written to %s\n", path)
+	return obs.WriteSummary(os.Stdout)
 }
 
 func loadGraph(name, file string, n int, seed uint64) (*wasp.Graph, error) {

@@ -59,6 +59,7 @@ type server struct {
 	pool     *wasp.Pool
 	g        *wasp.Graph
 	ckpt     *ckptTracker // nil when -checkpoint-dir is unset
+	prom     *promState   // /metrics state; initialized lazily by routes
 	retry    string       // Retry-After seconds sent with 429s
 	draining atomic.Bool
 }
@@ -181,10 +182,14 @@ func (s *server) recoverCheckpoints(ctx context.Context) {
 }
 
 func (s *server) routes() *http.ServeMux {
+	if s.prom == nil {
+		s.prom = newPromState(0)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sssp", s.handleSSSP)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -350,6 +355,10 @@ func main() {
 
 		ckptDir   = flag.String("checkpoint-dir", "", "persist in-flight query state here and resume it on restart")
 		ckptEvery = flag.Duration("checkpoint-interval", 2*time.Second, "interval between checkpoints of each in-flight solve")
+
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and /debug/traces on this address (off when empty; keep it private)")
+		slowTraceN = flag.Int("slow-traces", 8, "retain the scheduler traces of this many slowest solves for /debug/traces")
+		traceCap   = flag.Int("trace-capacity", 4096, "buffered scheduler events per worker per session (-1 disables tracing, counters stay on)")
 	)
 	flag.Parse()
 
@@ -371,11 +380,18 @@ func main() {
 		opt.CheckpointInterval = *ckptEvery
 		opt.CheckpointSink = tracker.sink
 	}
+	// Every session gets its own Observer (the counters cost a few
+	// cache lines; the trace buffer is bounded by -trace-capacity), so
+	// /metrics aggregates scheduler internals across the whole pool and
+	// the slowest solves keep their Chrome traces for /debug/traces.
+	prom := newPromState(*slowTraceN)
 	pool, err := wasp.NewPool(g, opt, wasp.PoolOptions{
 		Sessions:   *sessions,
 		QueueDepth: *queue,
 		QueueWait:  *queueWait,
 		Deadline:   *deadline,
+		Observe:    &wasp.ObserverConfig{TraceCapacity: *traceCap},
+		OnSolve:    prom.onSolve,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -385,8 +401,20 @@ func main() {
 	if retrySecs < 1 {
 		retrySecs = 1
 	}
-	s := &server{pool: pool, g: g, ckpt: tracker, retry: strconv.Itoa(retrySecs)}
+	s := &server{pool: pool, g: g, ckpt: tracker, prom: prom, retry: strconv.Itoa(retrySecs)}
 	srv := &http.Server{Addr: *addr, Handler: s.routes()}
+
+	// The debug surface (pprof, slow-solve traces) binds separately so
+	// the query port can face callers without leaking profiles.
+	if *debugAddr != "" {
+		dbg := &http.Server{Addr: *debugAddr, Handler: s.debugRoutes()}
+		go func() {
+			if err := dbg.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("debug server: %v", err)
+			}
+		}()
+		log.Printf("debug server (pprof, traces) on %s", *debugAddr)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(),
 		os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,383 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wasp"
+)
+
+// newObservedServer builds a server the way main does: per-session
+// observers, the OnSolve latency/trace hook, and a promState behind
+// /metrics.
+func newObservedServer(t *testing.T, slowN int) (*server, *httptest.Server) {
+	t.Helper()
+	g, err := wasp.GenerateWorkload("kron", wasp.WorkloadConfig{N: 4000, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom := newPromState(slowN)
+	pool, err := wasp.NewPool(g, wasp.Options{Workers: 2, Delta: 4}, wasp.PoolOptions{
+		Sessions: 2,
+		Observe:  &wasp.ObserverConfig{},
+		OnSolve:  prom.onSolve,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &server{pool: pool, g: g, prom: prom}
+	return s, newHTTPServer(t, s)
+}
+
+// --- a promtool-style lint for the text exposition format, in Go ---
+//
+// check(content) enforces the subset of the Prometheus text format
+// spec the daemon emits: metric/label name grammar, HELP/TYPE pairing
+// and ordering, float-parseable values, no duplicate series, and for
+// histograms the cumulative-bucket and +Inf == _count invariants.
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*$`)
+	sampleRe    = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+)
+
+type promFamily struct {
+	typ     string
+	hasHelp bool
+	samples map[string]float64 // full series (name{labels}) → value
+}
+
+func lintPromText(t *testing.T, body string) map[string]*promFamily {
+	t.Helper()
+	families, err := lintProm(body)
+	if err != nil {
+		t.Fatalf("prometheus text format lint: %v", err)
+	}
+	return families
+}
+
+func lintProm(body string) (map[string]*promFamily, error) {
+	families := map[string]*promFamily{}
+	fam := func(name string) *promFamily {
+		f, ok := families[name]
+		if !ok {
+			f = &promFamily{samples: map[string]float64{}}
+			families[name] = f
+		}
+		return f
+	}
+	// base strips the histogram suffixes so samples attach to the
+	// declared family.
+	base := func(name string) string {
+		for _, suf := range []string{"_bucket", "_sum", "_count"} {
+			if bn := strings.TrimSuffix(name, suf); bn != name && families[bn] != nil {
+				return bn
+			}
+		}
+		return name
+	}
+
+	for ln, line := range strings.Split(body, "\n") {
+		lineNo := ln + 1
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			parts := strings.SplitN(strings.TrimPrefix(line, "# HELP "), " ", 2)
+			if len(parts) != 2 || !promNameRe.MatchString(parts[0]) || parts[1] == "" {
+				return nil, fmt.Errorf("line %d: malformed HELP: %q", lineNo, line)
+			}
+			f := fam(parts[0])
+			if f.hasHelp {
+				return nil, fmt.Errorf("line %d: duplicate HELP for %s", lineNo, parts[0])
+			}
+			f.hasHelp = true
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(parts) != 2 || !promNameRe.MatchString(parts[0]) {
+				return nil, fmt.Errorf("line %d: malformed TYPE: %q", lineNo, line)
+			}
+			switch parts[1] {
+			case "counter", "gauge", "histogram", "summary", "untyped":
+			default:
+				return nil, fmt.Errorf("line %d: unknown type %q", lineNo, parts[1])
+			}
+			f := fam(parts[0])
+			if f.typ != "" {
+				return nil, fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, parts[0])
+			}
+			if len(f.samples) > 0 {
+				return nil, fmt.Errorf("line %d: TYPE for %s after its samples", lineNo, parts[0])
+			}
+			f.typ = parts[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue // free-form comment
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return nil, fmt.Errorf("line %d: unparseable sample: %q", lineNo, line)
+		}
+		name, labels, value := m[1], m[3], m[4]
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: value %q: %v", lineNo, value, err)
+		}
+		if labels != "" {
+			for _, pair := range strings.Split(labels, ",") {
+				k, lv, ok := strings.Cut(pair, "=")
+				if !ok || !promLabelRe.MatchString(k) ||
+					len(lv) < 2 || lv[0] != '"' || lv[len(lv)-1] != '"' {
+					return nil, fmt.Errorf("line %d: malformed label %q", lineNo, pair)
+				}
+			}
+		}
+		f := families[base(name)]
+		if f == nil || f.typ == "" {
+			return nil, fmt.Errorf("line %d: sample %s without a preceding TYPE", lineNo, name)
+		}
+		series := name
+		if labels != "" {
+			series += "{" + labels + "}"
+		}
+		if _, dup := f.samples[series]; dup {
+			return nil, fmt.Errorf("line %d: duplicate series %s", lineNo, series)
+		}
+		f.samples[series] = v
+	}
+
+	for name, f := range families {
+		if !f.hasHelp || f.typ == "" {
+			return nil, fmt.Errorf("family %s missing HELP or TYPE", name)
+		}
+		if f.typ == "histogram" {
+			if err := lintHistogram(name, f); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return families, nil
+}
+
+func lintHistogram(name string, f *promFamily) error {
+	count, okC := f.samples[name+"_count"]
+	_, okS := f.samples[name+"_sum"]
+	inf, okI := f.samples[name+`_bucket{le="+Inf"}`]
+	if !okC || !okS || !okI {
+		return fmt.Errorf("histogram %s missing _count/_sum/+Inf bucket", name)
+	}
+	if inf != count {
+		return fmt.Errorf("histogram %s: +Inf bucket %v != count %v", name, inf, count)
+	}
+	// Buckets must be cumulative: pairwise non-decreasing in le.
+	type b struct{ le, v float64 }
+	var bs []b
+	for series, v := range f.samples {
+		if !strings.HasPrefix(series, name+`_bucket{le="`) {
+			continue
+		}
+		le := strings.TrimSuffix(strings.TrimPrefix(series, name+`_bucket{le="`), `"}`)
+		if le == "+Inf" {
+			continue
+		}
+		fv, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			return fmt.Errorf("histogram %s: bad le %q", name, le)
+		}
+		bs = append(bs, b{fv, v})
+	}
+	for i := range bs {
+		for j := range bs {
+			if bs[i].le < bs[j].le && bs[i].v > bs[j].v {
+				return fmt.Errorf("histogram %s: bucket le=%v count %v exceeds le=%v count %v",
+					name, bs[i].le, bs[i].v, bs[j].le, bs[j].v)
+			}
+		}
+		if bs[i].v > count {
+			return fmt.Errorf("histogram %s: bucket %v exceeds count", name, bs[i].le)
+		}
+	}
+	return nil
+}
+
+// TestMetricsEndpoint: /metrics is lint-clean and its values reflect
+// the solves that actually ran — the latency histogram counts them,
+// the pool counters match /stats, and the scheduler counters aggregate
+// the per-session observers.
+func TestMetricsEndpoint(t *testing.T) {
+	s, ts := newObservedServer(t, 4)
+	defer s.pool.Close(t.Context())
+
+	const solves = 5
+	for i := 0; i < solves; i++ {
+		getJSON(t, fmt.Sprintf("%s/sssp?source=%d", ts.URL, i), http.StatusOK, nil)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	families := lintPromText(t, string(body))
+
+	get := func(series string) float64 {
+		t.Helper()
+		for _, f := range families {
+			if v, ok := f.samples[series]; ok {
+				return v
+			}
+		}
+		t.Fatalf("series %s not exported:\n%s", series, body)
+		return 0
+	}
+	if got := get("ssspd_solve_duration_seconds_count"); got != solves {
+		t.Fatalf("histogram count %v, want %d", got, solves)
+	}
+	if got := get("ssspd_solves_completed_total"); got != solves {
+		t.Fatalf("completed %v, want %d", got, solves)
+	}
+	if get("ssspd_scheduler_relaxations_total") <= 0 {
+		t.Fatal("scheduler relaxations not aggregated from session observers")
+	}
+	if got := get("ssspd_scheduler_solves_observed_total"); got != solves {
+		t.Fatalf("observed solves %v, want %d", got, solves)
+	}
+	if get("ssspd_sessions") != 2 {
+		t.Fatal("sessions gauge wrong")
+	}
+	for tier := 0; tier < wasp.MaxStealTiers; tier++ {
+		get(fmt.Sprintf(`ssspd_scheduler_steal_hits_total{tier="%d"}`, tier))
+	}
+	if get("ssspd_solve_duration_seconds_sum") <= 0 {
+		t.Fatal("latency sum empty")
+	}
+}
+
+// TestMetricsWithoutObservers: a bare server (no Observe config, the
+// tests' default) still serves lint-clean pool metrics — the scheduler
+// families are simply absent.
+func TestMetricsWithoutObservers(t *testing.T) {
+	s, ts := newTestServer(t, wasp.PoolOptions{Sessions: 1})
+	defer s.pool.Close(t.Context())
+	getJSON(t, ts.URL+"/sssp?source=0", http.StatusOK, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	families := lintPromText(t, string(body))
+	if _, ok := families["ssspd_scheduler_relaxations_total"]; ok {
+		t.Fatal("scheduler families exported without observers")
+	}
+	if _, ok := families["ssspd_sessions"]; !ok {
+		t.Fatal("pool gauges missing")
+	}
+}
+
+// TestSlowTraceCapture: the debug mux serves the slowest solves'
+// Chrome traces and summaries, index sorted slowest-first, and pprof
+// is mounted.
+func TestSlowTraceCapture(t *testing.T) {
+	s, _ := newObservedServer(t, 3)
+	defer s.pool.Close(t.Context())
+	dbg := httptest.NewServer(s.debugRoutes())
+	defer dbg.Close()
+
+	// Run more solves than the capture retains.
+	for i := 0; i < 6; i++ {
+		if _, err := s.pool.Run(t.Context(), wasp.Vertex(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var index []slowEntry
+	getJSON(t, dbg.URL+"/debug/traces", http.StatusOK, &index)
+	if len(index) != 3 {
+		t.Fatalf("index has %d entries, want 3", len(index))
+	}
+	for i := 1; i < len(index); i++ {
+		if index[i].ElapsedMS > index[i-1].ElapsedMS {
+			t.Fatalf("index not sorted slowest-first: %v then %v",
+				index[i-1].ElapsedMS, index[i].ElapsedMS)
+		}
+	}
+
+	resp, err := http.Get(dbg.URL + "/debug/traces/0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("trace 0: status %d", resp.StatusCode)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("trace 0 is not valid chrome JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace 0 has no events")
+	}
+
+	sresp, err := http.Get(dbg.URL + "/debug/traces/0/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	sum, _ := io.ReadAll(sresp.Body)
+	if !strings.Contains(string(sum), "scheduler summary") {
+		t.Fatalf("summary body: %q", sum)
+	}
+
+	if resp, err := http.Get(dbg.URL + "/debug/traces/9"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("out-of-range trace index: %v %v", resp.Status, err)
+	}
+	if resp, err := http.Get(dbg.URL + "/debug/pprof/cmdline"); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof not mounted: %v %v", resp.Status, err)
+	}
+}
+
+// TestLintRejectsMalformed: the lint itself must catch broken output —
+// run it against corrupted documents.
+func TestLintRejectsMalformed(t *testing.T) {
+	bad := []struct{ name, body string }{
+		{"sample-before-type", "ssspd_x_total 1\n"},
+		{"bad-value", "# HELP ssspd_x_total x.\n# TYPE ssspd_x_total counter\nssspd_x_total one\n"},
+		{"duplicate-series", "# HELP ssspd_x_total x.\n# TYPE ssspd_x_total counter\nssspd_x_total 1\nssspd_x_total 2\n"},
+		{"bad-type", "# HELP ssspd_x_total x.\n# TYPE ssspd_x_total countr\nssspd_x_total 1\n"},
+		{"bad-label", "# HELP ssspd_x_total x.\n# TYPE ssspd_x_total counter\nssspd_x_total{9tier=\"0\"} 1\n"},
+		{"histogram-no-inf", "# HELP ssspd_h h.\n# TYPE ssspd_h histogram\nssspd_h_bucket{le=\"1\"} 1\nssspd_h_sum 1\nssspd_h_count 1\n"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := lintProm(tc.body); err == nil {
+				t.Fatalf("lint accepted malformed input:\n%s", tc.body)
+			}
+		})
+	}
+}

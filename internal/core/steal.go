@@ -57,7 +57,7 @@ func (w *worker) stealRound(next uint64) []*chunk.Chunk {
 // first tier that yields anything.
 func (w *worker) stealWasp(next uint64) []*chunk.Chunk {
 	var stolen []*chunk.Chunk
-	for _, tier := range w.tiers {
+	for ti, tier := range w.tiers {
 		for _, t := range tier {
 			victim := w.workers[t]
 			if victim.curr.Load() > next {
@@ -70,6 +70,12 @@ func (w *worker) stealWasp(next uint64) []*chunk.Chunk {
 			}
 		}
 		if len(stolen) > 0 {
+			// ti is the proximity rank of the yielding tier (empty
+			// tiers are trimmed by numa.Tiers, so rank, not absolute
+			// distance) — the locality breakdown of §4.2.
+			if ti < len(w.m.TierHits) {
+				w.m.TierHits[ti] += int64(len(stolen))
+			}
 			return stolen
 		}
 	}

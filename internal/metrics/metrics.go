@@ -8,6 +8,11 @@ package metrics
 
 import "time"
 
+// MaxStealTiers bounds the per-tier steal breakdown: Wasp's NUMA
+// hierarchies expose at most three victim tiers (same node, same
+// socket, remote — numa.Topology.Tiers).
+const MaxStealTiers = 3
+
 // Worker holds one worker's counters. Workers update their own struct
 // without synchronization; aggregation happens after all workers join.
 type Worker struct {
@@ -23,6 +28,14 @@ type Worker struct {
 	BarrierNS      int64 // time blocked at barriers (Fig 1)
 	StealNS        int64 // time inside steal rounds (Wasp breakdown)
 	IdleNS         int64 // time idling at priority ∞ (Wasp breakdown)
+
+	// TierHits breaks StealHits down by the proximity rank of the tier
+	// the chunks came from: index 0 is the thief's nearest non-empty
+	// tier (same NUMA node on a full hierarchy), 2 the furthest. The
+	// paper's §4.2 locality argument is exactly that index 0 should
+	// dominate. Filled by PolicyWasp only — the random policies have no
+	// tier structure.
+	TierHits [MaxStealTiers]int64
 
 	_ [32]byte // pad to reduce false sharing between adjacent workers
 }
@@ -64,8 +77,21 @@ func (s *Set) Totals() Worker {
 		t.BarrierNS += w.BarrierNS
 		t.StealNS += w.StealNS
 		t.IdleNS += w.IdleNS
+		for i := range w.TierHits {
+			t.TierHits[i] += w.TierHits[i]
+		}
 	}
 	return t
+}
+
+// PerWorker returns a copy of every worker's counters — the breakdown
+// Totals flattens. Callers get owned storage: reading it is safe while
+// the set is later reset or reused (but not while workers are
+// concurrently updating, same as Totals).
+func (s *Set) PerWorker() []Worker {
+	out := make([]Worker, len(s.Workers))
+	copy(out, s.Workers)
+	return out
 }
 
 // QueueOpTime returns the summed shared-queue time.

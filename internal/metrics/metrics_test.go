@@ -65,3 +65,77 @@ func TestSetReset(t *testing.T) {
 		t.Fatalf("counters survive Reset: %+v", tot)
 	}
 }
+
+// TestPerWorkerSumsToTotals: the per-worker breakdown must be lossless —
+// summing every counter of every PerWorker entry reproduces Totals
+// exactly, including the per-tier steal split.
+func TestPerWorkerSumsToTotals(t *testing.T) {
+	s := NewSet(3)
+	for i := range s.Workers {
+		w := &s.Workers[i]
+		base := int64(i + 1)
+		w.Relaxations = 10 * base
+		w.Improvements = 20 * base
+		w.StaleSkips = 30 * base
+		w.StealAttempts = 40 * base
+		w.StealHits = 50 * base
+		w.StealRounds = 60 * base
+		w.ChunksDrained = 70 * base
+		w.BucketAdvances = 80 * base
+		w.QueueOpNS = 90 * base
+		w.BarrierNS = 100 * base
+		w.StealNS = 110 * base
+		w.IdleNS = 120 * base
+		for ti := range w.TierHits {
+			w.TierHits[ti] = base * int64(ti+1)
+		}
+	}
+
+	per := s.PerWorker()
+	if len(per) != 3 {
+		t.Fatalf("PerWorker returned %d entries, want 3", len(per))
+	}
+	var sum Worker
+	for _, w := range per {
+		sum.Relaxations += w.Relaxations
+		sum.Improvements += w.Improvements
+		sum.StaleSkips += w.StaleSkips
+		sum.StealAttempts += w.StealAttempts
+		sum.StealHits += w.StealHits
+		sum.StealRounds += w.StealRounds
+		sum.ChunksDrained += w.ChunksDrained
+		sum.BucketAdvances += w.BucketAdvances
+		sum.QueueOpNS += w.QueueOpNS
+		sum.BarrierNS += w.BarrierNS
+		sum.StealNS += w.StealNS
+		sum.IdleNS += w.IdleNS
+		for ti := range w.TierHits {
+			sum.TierHits[ti] += w.TierHits[ti]
+		}
+	}
+	if sum != s.Totals() {
+		t.Fatalf("per-worker sum != totals:\nsum    %+v\ntotals %+v", sum, s.Totals())
+	}
+
+	// PerWorker hands back owned storage: mutating it must not leak
+	// into the live set.
+	per[0].Relaxations = -1
+	if s.Workers[0].Relaxations == -1 {
+		t.Fatal("PerWorker aliases live set storage")
+	}
+}
+
+// TestTierHitsAggregated: Totals must not drop the tier breakdown.
+func TestTierHitsAggregated(t *testing.T) {
+	s := NewSet(2)
+	s.Workers[0].TierHits = [MaxStealTiers]int64{1, 2, 3}
+	s.Workers[1].TierHits = [MaxStealTiers]int64{10, 20, 30}
+	tot := s.Totals()
+	if tot.TierHits != ([MaxStealTiers]int64{11, 22, 33}) {
+		t.Fatalf("tier totals = %v", tot.TierHits)
+	}
+	s.Reset()
+	if s.Totals().TierHits != ([MaxStealTiers]int64{}) {
+		t.Fatal("tier counters survive Reset")
+	}
+}

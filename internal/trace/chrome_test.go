@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// TestChromeGolden pins the Chrome trace export format byte for byte:
+// chrome://tracing and Perfetto both parse this, and downstream
+// tooling may grep it, so format drift is a breaking change. Update
+// the golden only deliberately.
+func TestChromeGolden(t *testing.T) {
+	events := []Event{
+		{When: 1500 * time.Nanosecond, Worker: 0, Kind: BucketAdvance, A: 3, B: 0},
+		{When: 2 * time.Microsecond, Worker: 1, Kind: StealHit, A: 3, B: 2},
+		{When: 5 * time.Millisecond, Worker: 1, Kind: Terminate, A: 0, B: 0},
+	}
+	var buf bytes.Buffer
+	if err := writeChrome(&buf, events, 2, 7); err != nil {
+		t.Fatal(err)
+	}
+	const golden = `{"displayTimeUnit":"ms","otherData":{"droppedEvents":7},"traceEvents":[
+{"name":"thread_name","ph":"M","pid":1,"tid":0,"args":{"name":"worker 0"}},
+{"name":"thread_name","ph":"M","pid":1,"tid":1,"args":{"name":"worker 1"}},
+{"name":"advance","ph":"i","s":"t","pid":1,"tid":0,"ts":1.500,"args":{"a":3,"b":0}},
+{"name":"steal-hit","ph":"i","s":"t","pid":1,"tid":1,"ts":2.000,"args":{"a":3,"b":2}},
+{"name":"terminate","ph":"i","s":"t","pid":1,"tid":1,"ts":5000.000,"args":{"a":0,"b":0}}
+]}
+`
+	if buf.String() != golden {
+		t.Fatalf("chrome export drifted from golden:\ngot:\n%s\nwant:\n%s", buf.String(), golden)
+	}
+}
+
+// TestChromeIsValidJSON checks the export of a real (non-crafted) log
+// parses as JSON with the structure chrome://tracing expects.
+func TestChromeIsValidJSON(t *testing.T) {
+	l := NewCapped(2, 4)
+	for i := 0; i < 6; i++ { // overflow on purpose: drops must not corrupt
+		l.Add(0, BucketAdvance, uint64(i), 0)
+	}
+	l.Add(1, StealMiss, 9, 0)
+	l.Add(1, Terminate, 0, 0)
+	var buf bytes.Buffer
+	if err := l.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		OtherData       struct {
+			DroppedEvents uint64 `json:"droppedEvents"`
+		} `json:"otherData"`
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Ts   float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if doc.OtherData.DroppedEvents != 2 {
+		t.Fatalf("droppedEvents = %d, want 2", doc.OtherData.DroppedEvents)
+	}
+	// 2 thread_name metadata + 4 retained worker-0 + 2 worker-1 events.
+	if len(doc.TraceEvents) != 8 {
+		t.Fatalf("traceEvents = %d, want 8", len(doc.TraceEvents))
+	}
+	var lastTs float64 = -1
+	for _, e := range doc.TraceEvents[2:] {
+		if e.Ts < lastTs {
+			t.Fatalf("events out of order: ts %v after %v", e.Ts, lastTs)
+		}
+		lastTs = e.Ts
+	}
+}

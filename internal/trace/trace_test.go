@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestNilLogSafe(t *testing.T) {
@@ -54,5 +55,101 @@ func TestDump(t *testing.T) {
 	l.Dump(&buf)
 	if !strings.Contains(buf.String(), "terminate") {
 		t.Fatalf("dump = %q", buf.String())
+	}
+}
+
+func TestOverflowDropsOldestAndCounts(t *testing.T) {
+	const cap = 8
+	l := NewCapped(1, cap)
+	for i := 0; i < cap+5; i++ {
+		l.Add(0, BucketAdvance, uint64(i), 0)
+	}
+	if l.Len() != cap {
+		t.Fatalf("len = %d, want cap %d", l.Len(), cap)
+	}
+	if l.Dropped() != 5 {
+		t.Fatalf("dropped = %d, want 5", l.Dropped())
+	}
+	merged := l.Merged()
+	// The 5 oldest events (payloads 0..4) were overwritten: the
+	// retained stream is exactly payloads 5..12 in recording order.
+	for i, e := range merged {
+		if want := uint64(i + 5); e.A != want {
+			t.Fatalf("merged[%d].A = %d, want %d (oldest must be dropped)", i, e.A, want)
+		}
+	}
+	var buf bytes.Buffer
+	l.Dump(&buf)
+	if !strings.Contains(buf.String(), "5 older events dropped") {
+		t.Fatalf("dump does not surface drops: %q", buf.String())
+	}
+}
+
+func TestMergeDeterministicOnTimestampTies(t *testing.T) {
+	// Craft per-worker streams with colliding timestamps: merge order
+	// must be (When, Worker, recording order) — byte-stable across
+	// repeated merges.
+	l := NewCapped(3, 16)
+	tie := func(w int, when int64, a uint64) Event {
+		return Event{When: time.Duration(when), Worker: w, Kind: BucketAdvance, A: a}
+	}
+	l.buf[2].buf = append(l.buf[2].buf, tie(2, 100, 0), tie(2, 100, 1))
+	l.buf[0].buf = append(l.buf[0].buf, tie(0, 100, 2), tie(0, 200, 3))
+	l.buf[1].buf = append(l.buf[1].buf, tie(1, 100, 4), tie(1, 100, 5))
+
+	want := []uint64{2, 4, 5, 0, 1, 3}
+	for round := 0; round < 3; round++ {
+		merged := l.Merged()
+		if len(merged) != len(want) {
+			t.Fatalf("merged %d events, want %d", len(merged), len(want))
+		}
+		for i, e := range merged {
+			if e.A != want[i] {
+				t.Fatalf("round %d: merged[%d].A = %d, want %d (order %v)",
+					round, i, e.A, want[i], merged)
+			}
+		}
+	}
+}
+
+func TestResetKeepsCapacityDropsEvents(t *testing.T) {
+	l := NewCapped(2, 4)
+	for i := 0; i < 10; i++ {
+		l.Add(0, StealMiss, 0, 0)
+	}
+	l.Reset()
+	if l.Len() != 0 || l.Dropped() != 0 {
+		t.Fatalf("after Reset: len=%d dropped=%d", l.Len(), l.Dropped())
+	}
+	l.Add(0, Terminate, 0, 0)
+	if l.Len() != 1 {
+		t.Fatalf("len after post-reset add = %d", l.Len())
+	}
+	var nl *Log
+	nl.Reset() // nil-safe
+}
+
+func TestNilAddZeroAllocs(t *testing.T) {
+	var l *Log
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Add(0, StealHit, 1, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("nil-log Add allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestSteadyStateAddZeroAllocs(t *testing.T) {
+	// Once a worker's ring reached its cap, further Adds overwrite in
+	// place: the enabled path is allocation-free at steady state too.
+	l := NewCapped(1, 64)
+	for i := 0; i < 64; i++ {
+		l.Add(0, BucketAdvance, 0, 0)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		l.Add(0, StealHit, 1, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state Add allocates %.1f/op, want 0", allocs)
 	}
 }

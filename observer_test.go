@@ -1,0 +1,321 @@
+package wasp_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wasp"
+)
+
+// TestObserverOnSession: an observer bound to a session collects a
+// fresh trace and fresh counters per run, and its cumulative totals
+// accumulate across runs.
+func TestObserverOnSession(t *testing.T) {
+	g, err := wasp.GenerateWorkload("kron", wasp.WorkloadConfig{N: 3000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := wasp.NewObserver(wasp.ObserverConfig{})
+	sess, err := wasp.NewSession(g, wasp.Options{
+		Algorithm: wasp.AlgoWasp, Workers: 4, Delta: 4, Theta: 64,
+		Observer: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := wasp.SourceInLargestComponent(g, 1)
+
+	var runTotals []wasp.WorkerMetrics
+	for run := 0; run < 2; run++ {
+		res, err := sess.Run(context.Background(), src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Per-run trace: exactly one terminate per worker, every run.
+		term := 0
+		for _, e := range obs.Events() {
+			if e.Kind == wasp.TraceTerminate {
+				term++
+			}
+		}
+		if term != 4 {
+			t.Fatalf("run %d: %d terminate events, want 4 (trace must reset per run)", run, term)
+		}
+		// Per-worker counters sum to the aggregate Result.Metrics reports.
+		tot := obs.Totals()
+		var sum int64
+		for _, w := range obs.PerWorker() {
+			sum += w.Relaxations
+		}
+		if sum != tot.Relaxations {
+			t.Fatalf("run %d: per-worker relaxation sum %d != totals %d", run, sum, tot.Relaxations)
+		}
+		if res.Metrics == nil || res.Metrics.Relaxations != tot.Relaxations {
+			t.Fatalf("run %d: Result.Metrics disagrees with observer totals", run)
+		}
+		if tot.Relaxations == 0 {
+			t.Fatalf("run %d: no relaxations observed", run)
+		}
+		runTotals = append(runTotals, tot)
+	}
+
+	cum := obs.Cumulative()
+	if cum.Solves != 2 {
+		t.Fatalf("cumulative solves = %d, want 2", cum.Solves)
+	}
+	if want := runTotals[0].Relaxations + runTotals[1].Relaxations; cum.Metrics.Relaxations != want {
+		t.Fatalf("cumulative relaxations = %d, want %d (sum of runs)", cum.Metrics.Relaxations, want)
+	}
+}
+
+// TestObserverPerWorkerSumsToAggregate: every counter in the
+// per-worker breakdown must sum to the aggregate — the breakdown is
+// lossless.
+func TestObserverPerWorkerSumsToAggregate(t *testing.T) {
+	g, err := wasp.GenerateWorkload("road-usa", wasp.WorkloadConfig{N: 8000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := wasp.NewObserver(wasp.ObserverConfig{Timing: true})
+	res, err := wasp.Run(g, wasp.SourceInLargestComponent(g, 1), wasp.Options{
+		Algorithm: wasp.AlgoWasp, Workers: 3, Delta: 8, Observer: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := obs.Totals()
+	var sum wasp.WorkerMetrics
+	for _, w := range obs.PerWorker() {
+		sum.Relaxations += w.Relaxations
+		sum.Improvements += w.Improvements
+		sum.StaleSkips += w.StaleSkips
+		sum.StealAttempts += w.StealAttempts
+		sum.StealHits += w.StealHits
+		sum.StealRounds += w.StealRounds
+		sum.ChunksDrained += w.ChunksDrained
+		sum.BucketAdvances += w.BucketAdvances
+		sum.QueueOpNS += w.QueueOpNS
+		sum.BarrierNS += w.BarrierNS
+		sum.StealNS += w.StealNS
+		sum.IdleNS += w.IdleNS
+		for i := range w.TierHits {
+			sum.TierHits[i] += w.TierHits[i]
+		}
+	}
+	if sum != tot {
+		t.Fatalf("per-worker sum != aggregate:\nsum %+v\ntot %+v", sum, tot)
+	}
+	if res.Metrics.Relaxations != tot.Relaxations {
+		t.Fatalf("Result.Metrics.Relaxations = %d, observer totals %d",
+			res.Metrics.Relaxations, tot.Relaxations)
+	}
+	// Steal hits, when any occurred, must be fully attributed to tiers
+	// under the wasp policy.
+	var tiers int64
+	for _, h := range tot.TierHits {
+		tiers += h
+	}
+	if tiers != tot.StealHits {
+		t.Fatalf("tier hits %v sum to %d, want StealHits %d", tot.TierHits, tiers, tot.StealHits)
+	}
+}
+
+// TestObserverExclusiveBinding: a bound observer is rejected by a
+// second user instead of racing, and a one-shot Run releases it.
+func TestObserverExclusiveBinding(t *testing.T) {
+	g, err := wasp.GenerateWorkload("kron", wasp.WorkloadConfig{N: 500, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := wasp.NewObserver(wasp.ObserverConfig{})
+	sess, err := wasp.NewSession(g, wasp.Options{Workers: 2, Observer: obs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wasp.NewSession(g, wasp.Options{Workers: 2, Observer: obs}); err == nil {
+		t.Fatal("second session bound an already-bound observer")
+	}
+	if _, err := wasp.Run(g, 0, wasp.Options{Workers: 2, Observer: obs}); err == nil {
+		t.Fatal("one-shot run bound an already-bound observer")
+	}
+	_ = sess
+
+	free := wasp.NewObserver(wasp.ObserverConfig{})
+	if _, err := wasp.Run(g, 0, wasp.Options{Workers: 2, Observer: free}); err != nil {
+		t.Fatal(err)
+	}
+	// The one-shot run released it: a session can now bind it.
+	if _, err := wasp.NewSession(g, wasp.Options{Workers: 2, Observer: free}); err != nil {
+		t.Fatalf("observer not released after one-shot run: %v", err)
+	}
+}
+
+// TestObserverChromeTraceAndSummary: the exports parse and carry the
+// scheduler's story.
+func TestObserverChromeTraceAndSummary(t *testing.T) {
+	g, err := wasp.GenerateWorkload("road-usa", wasp.WorkloadConfig{N: 4000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := wasp.NewObserver(wasp.ObserverConfig{})
+	if _, err := wasp.Run(g, wasp.SourceInLargestComponent(g, 1), wasp.Options{
+		Algorithm: wasp.AlgoWasp, Workers: 4, Delta: 16, Observer: obs,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var trace bytes.Buffer
+	if err := obs.WriteChromeTrace(&trace); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(trace.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, e := range doc.TraceEvents {
+		names[e.Name] = true
+	}
+	for _, want := range []string{"thread_name", "terminate", "advance"} {
+		if !names[want] {
+			t.Fatalf("chrome trace missing %q events (have %v)", want, names)
+		}
+	}
+
+	var sum bytes.Buffer
+	if err := obs.WriteSummary(&sum); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"scheduler summary", "tier hits", "worker", "total"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum.String())
+		}
+	}
+}
+
+// TestObserverTraceDisabled: TraceCapacity < 0 collects counters only.
+func TestObserverTraceDisabled(t *testing.T) {
+	g, err := wasp.GenerateWorkload("kron", wasp.WorkloadConfig{N: 800, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := wasp.NewObserver(wasp.ObserverConfig{TraceCapacity: -1})
+	if _, err := wasp.Run(g, 0, wasp.Options{Workers: 2, Observer: obs}); err != nil {
+		t.Fatal(err)
+	}
+	if obs.Events() != nil {
+		t.Fatal("events collected with tracing disabled")
+	}
+	if obs.Totals().Relaxations == 0 {
+		t.Fatal("counters must still collect with tracing disabled")
+	}
+	if err := obs.WriteChromeTrace(&bytes.Buffer{}); err == nil {
+		t.Fatal("chrome export must error with tracing disabled")
+	}
+}
+
+// TestObserverOnBaselineAlgorithm: observers work (counters only) on
+// the non-Wasp paths too — the session fallback reuses the observer's
+// collectors per run.
+func TestObserverOnBaselineAlgorithm(t *testing.T) {
+	g, err := wasp.GenerateWorkload("kron", wasp.WorkloadConfig{N: 1000, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := wasp.NewObserver(wasp.ObserverConfig{})
+	sess, err := wasp.NewSession(g, wasp.Options{
+		Algorithm: wasp.AlgoGAP, Workers: 2, Delta: 8, Observer: obs,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sess.Run(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+		if obs.Totals().Relaxations == 0 {
+			t.Fatalf("run %d: no relaxations observed on baseline path", i)
+		}
+	}
+	if cum := obs.Cumulative(); cum.Solves != 2 {
+		t.Fatalf("cumulative solves = %d, want 2", cum.Solves)
+	}
+}
+
+// TestPoolObservers: per-session observers aggregate the pool's whole
+// history and reach the OnSolve hook quiescent.
+func TestPoolObservers(t *testing.T) {
+	g, err := wasp.GenerateWorkload("kron", wasp.WorkloadConfig{N: 2000, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hookCalls int
+	var hookHadObserver bool
+	pool, err := wasp.NewPool(g,
+		wasp.Options{Algorithm: wasp.AlgoWasp, Workers: 2, Delta: 4},
+		wasp.PoolOptions{
+			Sessions: 2,
+			Observe:  &wasp.ObserverConfig{},
+			OnSolve: func(o wasp.SolveObservation) {
+				hookCalls++
+				hookHadObserver = hookHadObserver || o.Observer != nil
+				if o.Observer != nil {
+					// The observer is quiescent here: exports must work.
+					_ = o.Observer.WriteSummary(&bytes.Buffer{})
+				}
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close(context.Background())
+
+	const solves = 6
+	for i := 0; i < solves; i++ {
+		if _, err := pool.Run(context.Background(), 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	obsList := pool.SessionObservers()
+	if len(obsList) != 2 {
+		t.Fatalf("SessionObservers = %d entries, want 2", len(obsList))
+	}
+	var totalSolves, totalRelax int64
+	for _, o := range obsList {
+		c := o.Cumulative()
+		totalSolves += c.Solves
+		totalRelax += c.Metrics.Relaxations
+	}
+	if totalSolves != solves {
+		t.Fatalf("observers absorbed %d solves, want %d", totalSolves, solves)
+	}
+	if totalRelax == 0 {
+		t.Fatal("observers saw no relaxations")
+	}
+	if hookCalls != solves || !hookHadObserver {
+		t.Fatalf("OnSolve: %d calls (want %d), observer seen: %v", hookCalls, solves, hookHadObserver)
+	}
+}
+
+// TestPoolObserveExclusiveWithOptionsObserver: the two ways of wiring
+// observers into a pool are mutually exclusive.
+func TestPoolObserveExclusiveWithOptionsObserver(t *testing.T) {
+	g, err := wasp.GenerateWorkload("kron", wasp.WorkloadConfig{N: 200, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = wasp.NewPool(g,
+		wasp.Options{Observer: wasp.NewObserver(wasp.ObserverConfig{})},
+		wasp.PoolOptions{Sessions: 2, Observe: &wasp.ObserverConfig{}})
+	if err == nil {
+		t.Fatal("NewPool accepted both Observe and Options.Observer")
+	}
+}

@@ -53,6 +53,37 @@ type PoolOptions struct {
 	// follows a quarantined (panicked) session, jittered to ±50%
 	// (default 2ms).
 	RetryBackoff time.Duration
+
+	// Observe, when non-nil, attaches a dedicated Observer (built from
+	// this config) to every session in the pool. Per-session observers
+	// never contend — concurrent solves write disjoint buffers — and
+	// survive quarantine rebuilds, so their Cumulative totals cover the
+	// slot's whole history. Read them via SessionObservers, or per
+	// solve through OnSolve. Options.Observer must be nil when this is
+	// set (one observer cannot serve K concurrent sessions).
+	Observe *ObserverConfig
+
+	// OnSolve, when non-nil, is called synchronously after every solve
+	// (completed, degraded, failed or cancelled — admission rejects
+	// never reach it), while the solve's session is still checked out
+	// of the pool. Inside the callback the session's Observer (nil
+	// unless Observe is set) is quiescent and safe to read or export;
+	// the moment the callback returns the session re-enters rotation.
+	// Keep it brief: it serializes with the session's next solve, not
+	// with the pool.
+	OnSolve func(SolveObservation)
+}
+
+// SolveObservation describes one finished pool solve to the OnSolve
+// hook.
+type SolveObservation struct {
+	Source   Vertex
+	Elapsed  time.Duration // wall time inside the solve (queue wait excluded)
+	Complete bool          // the solve ran to termination
+	Err      error         // as Pool.Run would return it (nil for degraded)
+	// Observer is the solving session's observer, quiescent for the
+	// duration of the callback. Nil unless PoolOptions.Observe is set.
+	Observer *Observer
 }
 
 // withDefaults returns a copy of o with defaults applied.
@@ -119,6 +150,8 @@ type Pool struct {
 	tickets chan struct{} // admission capacity: Sessions + QueueDepth
 	drain   chan struct{} // closed by Close: releases queued waiters
 
+	observers []*Observer // per-session observers; nil unless conf.Observe
+
 	mu     sync.Mutex // guards closed and the admission/wg ordering
 	closed bool
 	wg     sync.WaitGroup // admitted queries still inside Run
@@ -138,6 +171,9 @@ type Pool struct {
 // Run never allocates solver state.
 func NewPool(g *Graph, opt Options, conf PoolOptions) (*Pool, error) {
 	conf = conf.withDefaults()
+	if conf.Observe != nil && opt.Observer != nil {
+		return nil, fmt.Errorf("wasp: PoolOptions.Observe and Options.Observer are mutually exclusive (a pool needs one observer per session)")
+	}
 	p := &Pool{
 		g:       g,
 		conf:    conf,
@@ -146,7 +182,13 @@ func NewPool(g *Graph, opt Options, conf PoolOptions) (*Pool, error) {
 		drain:   make(chan struct{}),
 	}
 	for i := 0; i < conf.Sessions; i++ {
-		sess, err := NewSession(g, opt)
+		sopt := opt
+		if conf.Observe != nil {
+			obs := NewObserver(*conf.Observe)
+			sopt.Observer = obs
+			p.observers = append(p.observers, obs)
+		}
+		sess, err := NewSession(g, sopt)
 		if err != nil {
 			return nil, err
 		}
@@ -262,13 +304,30 @@ func (p *Pool) admitAndSolve(ctx context.Context, source Vertex, warm *Checkpoin
 	// caller grabs it, the session-owned distance array is theirs.
 	res = sess.detach(res)
 	p.inFlight.Add(-1)
+
+	degraded := errors.Is(err, ErrCancelled) && errors.Is(err, context.DeadlineExceeded) && res != nil
+	if p.conf.OnSolve != nil {
+		// The session is still checked out: its observer is quiescent
+		// for the duration of the callback.
+		hookErr := err
+		if degraded {
+			hookErr = nil
+		}
+		p.conf.OnSolve(SolveObservation{
+			Source:   source,
+			Elapsed:  elapsed,
+			Complete: res != nil && res.Complete,
+			Err:      hookErr,
+			Observer: sess.Observer(),
+		})
+	}
 	p.slots <- sess // sess may have been rebuilt by quarantine
 
 	switch {
 	case err == nil:
 		p.completed.Add(1)
 		p.lat.record(elapsed)
-	case errors.Is(err, ErrCancelled) && errors.Is(err, context.DeadlineExceeded) && res != nil:
+	case degraded:
 		// The latency budget expired — the pool's own Deadline or a
 		// deadline the caller set. Degrade: the partial upper-bound
 		// snapshot is the answer, not an error.
@@ -278,6 +337,14 @@ func (p *Pool) admitAndSolve(ctx context.Context, source Vertex, warm *Checkpoin
 	}
 	return res, err
 }
+
+// SessionObservers returns the pool's per-session observers, one per
+// configured session, or nil when PoolOptions.Observe was not set.
+// Observers survive quarantine rebuilds, so each entry's Cumulative
+// totals cover its slot's entire history; summing them across the
+// slice aggregates the whole pool (ssspd's /metrics does exactly
+// this). The slice is owned by the pool — do not modify it.
+func (p *Pool) SessionObservers() []*Observer { return p.observers }
 
 // solveOn runs one query on *sess, applying the deadline budget and
 // the quarantine-and-retry policy. On a panic the poisoned session is
@@ -306,9 +373,10 @@ func (p *Pool) solveOn(ctx context.Context, sess **Session, source Vertex, warm 
 	// Quarantine: the panicked session's preallocated state is
 	// discarded wholesale and a fresh session takes its slot. NewSession
 	// cannot fail here — the same (g, opt) pair was validated at
-	// NewPool.
+	// NewPool. The slot's observer (if any) moves to the fresh session:
+	// its cumulative totals span the rebuild.
 	p.quarantined.Add(1)
-	fresh, nerr := NewSession(p.g, p.opt)
+	fresh, nerr := p.rebuildSession(*sess)
 	if nerr != nil {
 		return nil, fmt.Errorf("wasp: rebuilding quarantined session: %w", nerr)
 	}
@@ -326,12 +394,24 @@ func (p *Pool) solveOn(ctx context.Context, sess **Session, source Vertex, warm 
 		// Second panic: quarantine again so the pool stays healthy,
 		// but surface the failure — retrying further would loop.
 		p.quarantined.Add(1)
-		if fresh, nerr := NewSession(p.g, p.opt); nerr == nil {
+		if fresh, nerr := p.rebuildSession(*sess); nerr == nil {
 			*sess = fresh
 		}
 		return nil, err
 	}
 	return res, err
+}
+
+// rebuildSession constructs a replacement for a quarantined session,
+// re-binding the dead session's observer (when the pool observes) so
+// per-slot cumulative counters survive the rebuild.
+func (p *Pool) rebuildSession(dead *Session) (*Session, error) {
+	opt := p.opt
+	if obs := dead.Observer(); obs != nil {
+		obs.release() // the dead session no longer runs; free the binding
+		opt.Observer = obs
+	}
+	return NewSession(p.g, opt)
 }
 
 // Close stops admission, releases queued waiters with ErrPoolClosed,

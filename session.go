@@ -11,6 +11,7 @@ import (
 	"wasp/internal/graph"
 	"wasp/internal/metrics"
 	"wasp/internal/parallel"
+	"wasp/internal/trace"
 )
 
 // ErrSessionBusy is returned by Session.Run when a solve is already in
@@ -49,6 +50,8 @@ type Session struct {
 	opt      Options      // defaults applied
 	solver   *core.Solver // non-nil on the preallocated Wasp path
 	m        *metrics.Set // session-owned, reset per run; nil unless collecting
+	obs      *Observer    // bound at NewSession; nil when not observing
+	tl       *trace.Log   // the observer's live event log (nil without one)
 	snapBuf  []uint32     // checkpoint destination, reused across captures
 	inFlight atomic.Bool
 }
@@ -73,7 +76,18 @@ func NewSession(g *Graph, opt Options) (*Session, error) {
 		return nil, fmt.Errorf("wasp: checkpoint/stall supervision requires AlgoWasp without PendantPruning")
 	}
 	s := &Session{g: g, opt: opt}
-	if opt.CollectMetrics || opt.QueueTiming {
+	if opt.Observer != nil {
+		// The observer is bound for the session's lifetime: every run
+		// on this session feeds it, and a second session (or one-shot
+		// run) trying to share it is rejected instead of racing.
+		if err := opt.Observer.bind(); err != nil {
+			return nil, err
+		}
+		s.obs = opt.Observer
+		var set *metrics.Set
+		s.tl, set = s.obs.attach(opt.Workers)
+		s.m = set
+	} else if opt.CollectMetrics || opt.QueueTiming {
 		s.m = metrics.NewSet(opt.Workers)
 	}
 	if opt.Algorithm == AlgoWasp && !opt.PendantPruning {
@@ -88,10 +102,16 @@ func NewSession(g *Graph, opt Options) (*Session, error) {
 			NoBidirectional: opt.NoBidirectional,
 			Theta:           opt.Theta,
 			Metrics:         s.m,
+			Trace:           s.tl,
+			Timing:          s.obs != nil && s.obs.cfg.Timing,
 		})
 	}
 	return s, nil
 }
+
+// Observer returns the Observer bound at NewSession, or nil. The pool
+// uses it to carry an observer across a quarantine rebuild.
+func (s *Session) Observer() *Observer { return s.obs }
 
 // Run solves SSSP from source on the session's graph, reusing the
 // preallocated state. The cancellation contract is RunContext's: when
@@ -148,24 +168,29 @@ func (s *Session) run(ctx context.Context, source Vertex, warm *Checkpoint) (*Re
 	if s.solver == nil {
 		// Configurations outside the preallocated Wasp path solve
 		// one-shot, with the same result contract, through the
-		// session-owned metrics set (reset per run) rather than a
-		// fresh allocation per call. (warm is nil here: Resume rejects
-		// the fallback path before reaching run.)
-		if s.m != nil {
+		// session-owned collectors (reset per run) rather than a fresh
+		// allocation per call. (warm is nil here: Resume rejects the
+		// fallback path before reaching run.) runContext absorbs the
+		// run into the observer when one is bound.
+		if s.obs != nil {
+			s.obs.resetRun()
+		} else if s.m != nil {
 			s.m.Reset()
 		}
-		return runContext(ctx, s.g, source, s.opt, s.m)
+		return runContext(ctx, s.g, source, s.opt, s.m, s.tl)
 	}
 
 	tok := new(parallel.Token)
 	stopWatch := parallel.WatchContext(ctx, tok)
 	defer stopWatch()
 
-	// Reset the solver's metrics set — s.m when the session collects,
-	// the solver-owned set otherwise — so Progress.Relaxations (and
-	// Result.Metrics) are per-run, not accumulated.
+	// Reset the solver's metrics set — s.m when the session collects or
+	// observes, the solver-owned set otherwise — so Progress.Relaxations
+	// (and Result.Metrics) are per-run, not accumulated. The observer's
+	// event log resets with it; its cumulative totals persist.
 	m := s.solver.Metrics()
 	m.Reset()
+	s.tl.Reset()
 	res := &Result{Algorithm: AlgoWasp}
 	var base time.Duration // wall time the warm checkpoint already paid
 	start := time.Now()
@@ -189,6 +214,11 @@ func (s *Session) run(ctx context.Context, source Vertex, warm *Checkpoint) (*Re
 	if s.m != nil {
 		t := s.m.Totals()
 		res.Metrics = &t
+	}
+	if s.obs != nil {
+		// Workers have joined: fold this run into the observer's
+		// cumulative totals (partial runs included — the work happened).
+		s.obs.absorb()
 	}
 	if pe := tok.Err(); pe != nil {
 		return nil, fmt.Errorf("wasp: %s solver panicked: %w", AlgoWasp, pe)

@@ -24,6 +24,7 @@ import (
 	"wasp/internal/parallel"
 	"wasp/internal/prune"
 	"wasp/internal/smq"
+	"wasp/internal/trace"
 	"wasp/internal/verify"
 )
 
@@ -216,6 +217,15 @@ type Options struct {
 	// Ignored by one-shot Run/RunContext.
 	StallTimeout time.Duration
 
+	// Observer, when non-nil, collects the solve's scheduler internals:
+	// per-worker work counters on every algorithm, plus the event trace
+	// (bucket advances, steal outcomes per NUMA tier, idle transitions)
+	// on AlgoWasp. The absent-observer hot path stays a nil check — no
+	// interface dispatch, no allocation. One Observer serves one solve
+	// at a time: NewSession binds it for the session's lifetime, Run
+	// binds it per call, and a second concurrent user is rejected.
+	Observer *Observer
+
 	// CollectMetrics attaches per-worker counters to the Result.
 	CollectMetrics bool
 	// QueueTiming records time spent in shared-queue operations
@@ -356,10 +366,19 @@ func RunContext(ctx context.Context, g *Graph, source Vertex, opt Options) (*Res
 		return nil, err
 	}
 	var m *metrics.Set
-	if opt.CollectMetrics || opt.QueueTiming {
+	var tl *trace.Log
+	if opt.Observer != nil {
+		// The observer is bound for the duration of this call so two
+		// concurrent runs cannot race on its buffers.
+		if err := opt.Observer.bind(); err != nil {
+			return nil, err
+		}
+		defer opt.Observer.release()
+		tl, m = opt.Observer.attach(opt.Workers)
+	} else if opt.CollectMetrics || opt.QueueTiming {
 		m = metrics.NewSet(opt.Workers)
 	}
-	return runContext(ctx, g, source, opt, m)
+	return runContext(ctx, g, source, opt, m, tl)
 }
 
 // validateWarmStart checks the Options.WarmStart contract: Wasp only,
@@ -386,11 +405,15 @@ func validateWarmStart(g *Graph, source Vertex, opt Options) error {
 	return nil
 }
 
-// runContext is RunContext after validation: opt has defaults applied
-// and m is the caller-owned metrics set (nil when not collecting).
-// Session.Run's fallback path enters here directly so a session-owned
-// set is reused per call instead of reallocated.
-func runContext(ctx context.Context, g *Graph, source Vertex, opt Options, m *metrics.Set) (*Result, error) {
+// runContext is RunContext after validation: opt has defaults applied,
+// m is the caller-owned metrics set (nil when not collecting) and tl
+// the caller-owned trace log (nil when not tracing; AlgoWasp only).
+// Session.Run's fallback path enters here directly so session-owned
+// collectors are reused per call instead of reallocated. When
+// opt.Observer is set, the caller has already attached it (m and tl
+// are its collectors) and the finished run is absorbed into its
+// cumulative totals here.
+func runContext(ctx context.Context, g *Graph, source Vertex, opt Options, m *metrics.Set, tl *trace.Log) (*Result, error) {
 	// One token per solve: the context watcher trips it, worker panics
 	// trip it, and every solver loop polls it.
 	tok := new(parallel.Token)
@@ -431,6 +454,8 @@ func runContext(ctx context.Context, g *Graph, source Vertex, opt Options, m *me
 			NoBidirectional: opt.NoBidirectional,
 			Theta:           opt.Theta,
 			Metrics:         m,
+			Trace:           tl,
+			Timing:          opt.Observer != nil && opt.Observer.cfg.Timing,
 			WarmStart:       warm,
 			Cancel:          tok,
 		})
@@ -515,6 +540,12 @@ func runContext(ctx context.Context, g *Graph, source Vertex, opt Options, m *me
 	if m != nil {
 		t := m.Totals()
 		res.Metrics = &t
+	}
+	if opt.Observer != nil {
+		// Workers have joined: fold this run's counters into the
+		// observer's cumulative totals (even for partial runs — the
+		// work happened).
+		opt.Observer.absorb()
 	}
 	if pe := tok.Err(); pe != nil {
 		return nil, fmt.Errorf("wasp: %s solver panicked: %w", opt.Algorithm, pe)
