@@ -1,0 +1,34 @@
+package wasp
+
+import (
+	"io"
+
+	"wasp/internal/bundle"
+)
+
+// Bundle is the on-disk deployment unit the Registry serves from: a
+// manifest naming and versioning a graph, the graph itself, and
+// optional warm-start checkpoints and a locality relabeling
+// permutation — each section length-framed and CRC-checked so a torn
+// or corrupted file is rejected as a whole rather than partially
+// applied. See internal/bundle for the format specification.
+type Bundle = bundle.Bundle
+
+// BundleManifest names, versions and shape-fingerprints a bundle.
+type BundleManifest = bundle.Manifest
+
+// ReadBundle decodes and fully validates a bundle from r. A bundle
+// that decodes without error is safe to deploy: checksums verified,
+// structure validated, artifacts bound to the graph's fingerprint.
+func ReadBundle(r io.Reader) (*Bundle, error) { return bundle.Read(r) }
+
+// WriteBundle validates and encodes b to w. Zero manifest shape
+// fields are filled from the graph.
+func WriteBundle(w io.Writer, b *Bundle) error { return bundle.Write(w, b) }
+
+// LoadBundle reads and validates the bundle file at path.
+func LoadBundle(path string) (*Bundle, error) { return bundle.Load(path) }
+
+// SaveBundle writes b to path atomically (temp file, fsync, rename),
+// so a registry rescanning the directory never observes a torn write.
+func SaveBundle(path string, b *Bundle) error { return bundle.Save(path, b) }

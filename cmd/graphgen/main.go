@@ -7,6 +7,7 @@
 //	graphgen -list
 //	graphgen -graph road-usa -n 65536 -seed 42 -o road.wspg
 //	graphgen -graph kron -n 32768 -format text -o kron.txt
+//	graphgen -graph kron -format bundle -bundle-version 2 -o kron.wspb
 //	graphgen -all -n 16384 -dir graphs/
 package main
 
@@ -32,9 +33,12 @@ func main() {
 		degree   = flag.Int("degree", 0, "average degree override (0: per-class default)")
 		seed     = flag.Uint64("seed", 1, "generator seed")
 		weights  = flag.String("weights", "uniform", "weight scheme: uniform | unit | normal")
-		format   = flag.String("format", "binary", "output format: binary | text")
-		out      = flag.String("o", "", "output file (default <graph>.wspg / .txt)")
+		format   = flag.String("format", "binary", "output format: binary | text | bundle")
+		out      = flag.String("o", "", "output file (default <graph>.wspg / .txt / .wspb)")
 		dir      = flag.String("dir", ".", "output directory for -all")
+		bname    = flag.String("bundle-name", "", "with -format bundle: registry name (default the workload name)")
+		bversion = flag.Uint64("bundle-version", 1, "with -format bundle: manifest version")
+		brelabel = flag.Bool("bundle-relabel", false, "with -format bundle: store the graph degree-relabeled with its permutation")
 	)
 	flag.Parse()
 
@@ -51,11 +55,12 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := wasp.WorkloadConfig{N: *n, Degree: *degree, Seed: *seed, Weight: scheme}
+	bcfg := bundleConfig{name: *bname, version: *bversion, relabel: *brelabel}
 
 	if *all {
 		for _, w := range wasp.Workloads(*appendix) {
 			path := filepath.Join(*dir, w+ext(*format))
-			if err := generate(w, cfg, *format, path); err != nil {
+			if err := generate(w, cfg, *format, bcfg, path); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -68,7 +73,7 @@ func main() {
 	if path == "" {
 		path = *name + ext(*format)
 	}
-	if err := generate(*name, cfg, *format, path); err != nil {
+	if err := generate(*name, cfg, *format, bcfg, path); err != nil {
 		log.Fatal(err)
 	}
 }
@@ -87,16 +92,28 @@ func parseScheme(s string) (wasp.WeightScheme, error) {
 }
 
 func ext(format string) string {
-	if format == "text" {
+	switch format {
+	case "text":
 		return ".txt"
+	case "bundle":
+		return ".wspb"
 	}
 	return ".wspg"
 }
 
-func generate(name string, cfg wasp.WorkloadConfig, format, path string) error {
+type bundleConfig struct {
+	name    string
+	version uint64
+	relabel bool
+}
+
+func generate(name string, cfg wasp.WorkloadConfig, format string, bcfg bundleConfig, path string) error {
 	g, err := wasp.GenerateWorkload(name, cfg)
 	if err != nil {
 		return err
+	}
+	if format == "bundle" {
+		return writeBundle(name, g, bcfg, path)
 	}
 	f, err := os.Create(path)
 	if err != nil {
@@ -118,5 +135,25 @@ func generate(name string, cfg wasp.WorkloadConfig, format, path string) error {
 		return err
 	}
 	fmt.Printf("%-16s %s  %v\n", name, path, wasp.Stats(g))
+	return nil
+}
+
+// writeBundle wraps the generated graph in a deployable registry
+// bundle. SaveBundle writes atomically, so the output can land
+// directly in a live ssspd -graphs directory.
+func writeBundle(workload string, g *wasp.Graph, bcfg bundleConfig, path string) error {
+	b := &wasp.Bundle{Graph: g}
+	b.Manifest.Name = bcfg.name
+	if b.Manifest.Name == "" {
+		b.Manifest.Name = workload
+	}
+	b.Manifest.Version = bcfg.version
+	if bcfg.relabel {
+		b.Graph, b.Relabel = wasp.RelabelByDegree(g)
+	}
+	if err := wasp.SaveBundle(path, b); err != nil {
+		return err
+	}
+	fmt.Printf("%-16s %s  v%d  %v\n", workload, path, b.Manifest.Version, wasp.Stats(b.Graph))
 	return nil
 }

@@ -44,81 +44,142 @@ func TestCheckpointTrackerLifecycle(t *testing.T) {
 	}
 
 	cp := testCheckpoint(g)
-	c.sink(cp)
+	c.sinkFor("test")(cp)
 	if c.writes.Load() != 1 {
 		t.Fatalf("writes = %d, want 1", c.writes.Load())
 	}
 	if age := c.ageMS(); age < 0 {
 		t.Fatalf("ageMS after a write = %v, want >= 0", age)
 	}
-	if _, err := os.Stat(c.path(0)); err != nil {
+	if _, err := os.Stat(c.path("test", 0)); err != nil {
 		t.Fatalf("sink wrote no file: %v", err)
 	}
-	got, err := wasp.LoadCheckpoint(c.path(0))
+	got, err := wasp.LoadCheckpoint(c.path("test", 0))
 	if err != nil || got.Settled() != 2 {
 		t.Fatalf("persisted checkpoint unreadable or wrong: %v, %+v", err, got)
 	}
 
 	// Two queries share source 0: the first completed release must not
 	// remove the file while the second is still in flight.
-	c.acquire(0)
-	c.acquire(0)
-	c.release(0, true)
-	if _, err := os.Stat(c.path(0)); err != nil {
+	c.acquire("test", 0)
+	c.acquire("test", 0)
+	c.release("test", 0, true)
+	if _, err := os.Stat(c.path("test", 0)); err != nil {
 		t.Fatal("file removed while a query was still in flight")
 	}
-	c.release(0, true)
-	if _, err := os.Stat(c.path(0)); !os.IsNotExist(err) {
+	c.release("test", 0, true)
+	if _, err := os.Stat(c.path("test", 0)); !os.IsNotExist(err) {
 		t.Fatalf("spent file not removed after last completed release: %v", err)
 	}
 
+	// The same source on a DIFFERENT graph is a distinct key: releasing
+	// one graph's query must not delete the other's file.
+	c.sinkFor("test")(cp)
+	c.sinkFor("other")(cp)
+	c.acquire("test", 0)
+	c.acquire("other", 0)
+	c.release("other", 0, true)
+	if _, err := os.Stat(c.path("test", 0)); err != nil {
+		t.Fatal("other graph's release removed this graph's file")
+	}
+
 	// An incomplete exit keeps the file for restart recovery.
-	c.sink(cp)
-	c.acquire(0)
-	c.release(0, false)
-	if _, err := os.Stat(c.path(0)); err != nil {
+	c.release("test", 0, false)
+	if _, err := os.Stat(c.path("test", 0)); err != nil {
 		t.Fatal("incomplete release must keep the checkpoint file")
 	}
 }
 
+// TestParseCkptName: both file layouts parse, garbage does not.
+func TestParseCkptName(t *testing.T) {
+	for _, tc := range []struct {
+		base  string
+		graph string
+		src   uint32
+		ok    bool
+	}{
+		{"ckpt-road-usa-17.wsck", "road-usa", 17, true},
+		{"ckpt-g-0.wsck", "g", 0, true},
+		{"ckpt-42.wsck", "", 42, true}, // pre-registry layout
+		{"ckpt-road-usa-.wsck", "", 0, false},
+		{"ckpt-.wsck", "", 0, false},
+		{"other-1.wsck", "", 0, false},
+		{"ckpt-1.txt", "", 0, false},
+	} {
+		graph, src, ok := parseCkptName(tc.base)
+		if graph != tc.graph || src != tc.src || ok != tc.ok {
+			t.Errorf("parseCkptName(%q) = (%q, %d, %v), want (%q, %d, %v)",
+				tc.base, graph, src, ok, tc.graph, tc.src, tc.ok)
+		}
+	}
+}
+
 // TestRecoverCheckpoints: a restarted server resumes valid leftover
-// files through the pool and deletes them; corrupt files are removed,
-// not retried forever. /stats reflects both.
+// files through the registry and deletes them; corrupt files, files
+// for unregistered graphs and fingerprint-mismatched files are removed
+// — logged and counted, never a daemon failure. Legacy graph-less
+// files are adopted by the unique fingerprint match. /stats reflects
+// all of it.
 func TestRecoverCheckpoints(t *testing.T) {
 	g := testGraph()
 	dir := t.TempDir()
 	tracker := newCkptTracker(dir)
-	pool, err := wasp.NewPool(g, wasp.Options{Workers: 2}, wasp.PoolOptions{Sessions: 1})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer pool.Close(context.Background())
-	s := &server{pool: pool, g: g, ckpt: tracker}
+	reg := newRegistry(t, "test", g, wasp.RegistryOptions{
+		Options: wasp.Options{Workers: 2},
+		Pool:    wasp.PoolOptions{Sessions: 1},
+	})
+	s := &server{reg: reg, ckpt: tracker}
 
-	if err := wasp.SaveCheckpoint(tracker.path(0), testCheckpoint(g)); err != nil {
+	// Resumable: the current layout and a legacy graph-less file.
+	if err := wasp.SaveCheckpoint(tracker.path("test", 0), testCheckpoint(g)); err != nil {
 		t.Fatal(err)
 	}
+	legacy := testCheckpoint(g)
+	legacy.Source = 1
+	legacy.Dist = []uint32{wasp.Infinity, 0, wasp.Infinity, wasp.Infinity}
+	if err := wasp.SaveCheckpoint(filepath.Join(dir, "ckpt-1.wsck"), legacy); err != nil {
+		t.Fatal(err)
+	}
+	// Droppable: corrupt bytes, an unregistered graph, and a
+	// fingerprint that no longer matches the graph's deployed shape.
 	corrupt := filepath.Join(dir, "ckpt-2.wsck")
 	if err := os.WriteFile(corrupt, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ghost := tracker.path("ghost", 0)
+	if err := wasp.SaveCheckpoint(ghost, testCheckpoint(g)); err != nil {
+		t.Fatal(err)
+	}
+	stale := testCheckpoint(g)
+	stale.GraphVertices = 5
+	stale.Dist = []uint32{0, 1, wasp.Infinity, wasp.Infinity, wasp.Infinity}
+	mismatched := tracker.path("test", 3)
+	stale.Source = 3
+	if err := wasp.SaveCheckpoint(mismatched, stale); err != nil {
 		t.Fatal(err)
 	}
 
 	s.recoverCheckpoints(context.Background())
 
-	if n := tracker.recovered.Load(); n != 1 {
-		t.Fatalf("recovered = %d, want 1", n)
+	if n := tracker.recovered.Load(); n != 2 {
+		t.Fatalf("recovered = %d, want 2", n)
 	}
-	if _, err := os.Stat(tracker.path(0)); !os.IsNotExist(err) {
-		t.Error("recovered checkpoint not removed")
+	if n := tracker.skipped.Load(); n != 2 {
+		t.Fatalf("skipped = %d, want 2 (ghost graph + stale fingerprint)", n)
 	}
-	if _, err := os.Stat(corrupt); !os.IsNotExist(err) {
-		t.Error("corrupt checkpoint not removed")
+	for _, f := range []string{
+		tracker.path("test", 0), filepath.Join(dir, "ckpt-1.wsck"),
+		corrupt, ghost, mismatched,
+	} {
+		if _, err := os.Stat(f); !os.IsNotExist(err) {
+			t.Errorf("%s not removed after recovery", f)
+		}
 	}
 
 	ts := newHTTPServer(t, s)
 	var st statsResponse
 	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
-	if st.Recovered != 1 || st.Completed != 1 {
+	if st.Recovered != 2 || st.RecoverySkipped != 2 || st.Completed != 2 {
 		t.Fatalf("stats after recovery = %+v", st)
 	}
 }
@@ -128,13 +189,11 @@ func TestRecoverCheckpoints(t *testing.T) {
 // second query's rejection is deterministic, not a race.
 func TestOverloadRetryAfter(t *testing.T) {
 	g := testGraph()
-	pool, err := wasp.NewPool(g, wasp.Options{Workers: 2},
-		wasp.PoolOptions{Sessions: 1, QueueDepth: 0})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer pool.Close(context.Background())
-	s := &server{pool: pool, g: g, retry: "7"}
+	reg := newRegistry(t, "test", g, wasp.RegistryOptions{
+		Options: wasp.Options{Workers: 2},
+		Pool:    wasp.PoolOptions{Sessions: 1, QueueDepth: 0},
+	})
+	s := &server{reg: reg, retry: "7"}
 	ts := newHTTPServer(t, s)
 
 	plan := fault.NewPlan(fault.Config{Seed: 1, BlockOnHit: 1, BlockPoint: fault.SolveStart})

@@ -1,15 +1,32 @@
-// Command ssspd serves SSSP queries over one in-memory graph — the
-// overload-safe front end to the solver: a fixed pool of preallocated
-// sessions behind a bounded admission queue, per-query latency budgets
-// with graceful degradation (an expired budget returns the partial
-// upper-bound snapshot, flagged degraded, instead of an error), and
-// SIGTERM graceful drain.
+// Command ssspd serves SSSP queries over named, versioned in-memory
+// graphs — the overload-safe front end to the solver: each graph gets
+// a fixed pool of preallocated sessions behind a bounded admission
+// queue, per-query latency budgets with graceful degradation (an
+// expired budget returns the partial upper-bound snapshot, flagged
+// degraded, instead of an error), and SIGTERM graceful drain.
+//
+// Graphs come from either a single -graph/-file (served under
+// -graph-name) or a -graphs directory of .wspb bundle files, rescanned
+// every -rescan interval: a changed bundle is fully loaded, validated
+// and smoke-solved before it atomically replaces the serving version —
+// in-flight queries finish on the old version, a corrupt or invalid
+// bundle is rejected with the last good version still serving, and the
+// bounded version history supports explicit rollback.
 //
 // Endpoints:
 //
-//	/sssp?source=N[&target=M]  solve from N; optionally report d(M)
-//	/healthz                   200 while serving, 503 while draining
-//	/stats                     pool depth, shed/degraded counts, p50/p99
+//	/sssp?source=N[&target=M][&graph=G]  solve from N on G; d(M) optional
+//	/healthz                 readiness: 200 while serving, 503 otherwise
+//	/healthz/live            liveness: 200 while the process runs
+//	/healthz/ready           readiness with per-graph lifecycle states
+//	/stats[?graph=G]         pool depth, shed/degraded counts, p50/p99
+//	/metrics                 Prometheus text exposition
+//
+// The -debug-addr mux additionally serves pprof, /debug/traces, and
+// the reload admin surface:
+//
+//	POST /admin/reload[?path=F]   rescan -graphs (or load one file)
+//	POST /admin/rollback?graph=G  roll G back to its previous version
 //
 // Overload returns 429 with a Retry-After hint (configurable via
 // -retry-after); a degraded (deadline) response is 200 with
@@ -17,18 +34,19 @@
 // whether a partial answer is good enough.
 //
 // With -checkpoint-dir the daemon is crash-recoverable: every
-// in-flight solve is snapshotted to a per-source file on a
+// in-flight solve is snapshotted to a per-(graph, source) file on a
 // -checkpoint-interval cadence, and a restarted daemon resumes those
 // solves in the background — from the last published upper-bound
 // state, converging to exact distances — while serving fresh queries.
-// /stats reports checkpoint_writes, last_checkpoint_age_ms and the
-// recovered count.
+// A checkpoint whose fingerprint no longer matches its graph (the
+// graph was redeployed with a different shape while the daemon was
+// down) is skipped and removed, never a startup failure.
 //
 // Usage:
 //
 //	ssspd -graph kron -n 65536 -workers 4 -sessions 2 -deadline 50ms
 //	ssspd -file road.wspg -addr :9090 -queue 16 -queue-wait 100ms
-//	ssspd -graph road-usa -n 1048576 -checkpoint-dir /var/lib/ssspd
+//	ssspd -graphs /var/lib/ssspd/bundles -rescan 5s -debug-addr :6060
 package main
 
 import (
@@ -53,14 +71,14 @@ import (
 	"wasp"
 )
 
-// server is the HTTP front end over one Pool. It is constructed by
-// main and by the tests; every handler is safe for concurrent use.
+// server is the HTTP front end over a wasp.Registry. It is constructed
+// by main and by the tests; every handler is safe for concurrent use.
 type server struct {
-	pool     *wasp.Pool
-	g        *wasp.Graph
-	ckpt     *ckptTracker // nil when -checkpoint-dir is unset
-	prom     *promState   // /metrics state; initialized lazily by routes
-	retry    string       // Retry-After seconds sent with 429s
+	reg      *wasp.Registry
+	ckpt     *ckptTracker   // nil when -checkpoint-dir is unset
+	scan     *bundleScanner // nil when -graphs is unset
+	prom     *promState     // /metrics state; initialized lazily by routes
+	retry    string         // Retry-After seconds sent with 429s
 	draining atomic.Bool
 }
 
@@ -73,9 +91,56 @@ func (s *server) retryAfter() string {
 	return s.retry
 }
 
+// resolveGraph picks the graph a request addresses: the explicit
+// ?graph= value, or — the single-graph deployment convenience — the
+// only registered graph when exactly one exists.
+func (s *server) resolveGraph(r *http.Request) (string, error) {
+	if name := r.URL.Query().Get("graph"); name != "" {
+		return name, nil
+	}
+	names := s.reg.Graphs()
+	switch len(names) {
+	case 1:
+		return names[0], nil
+	case 0:
+		return "", fmt.Errorf("no graphs loaded")
+	default:
+		return "", fmt.Errorf("multiple graphs loaded; pass graph= (one of %s)",
+			strings.Join(names, ", "))
+	}
+}
+
+// poolStats sums the per-graph pool counters — the aggregate the
+// single-graph /stats and /metrics consumers always saw.
+func (s *server) poolStats() wasp.PoolStats {
+	var agg wasp.PoolStats
+	for _, name := range s.reg.Graphs() {
+		st, ok := s.reg.Stats(name)
+		if !ok {
+			continue
+		}
+		agg.Sessions += st.Sessions
+		agg.Idle += st.Idle
+		agg.InFlight += st.InFlight
+		agg.Queued += st.Queued
+		agg.Completed += st.Completed
+		agg.Degraded += st.Degraded
+		agg.Shed += st.Shed
+		agg.Quarantined += st.Quarantined
+		// Latency quantiles don't sum; report the worst serving graph.
+		if st.P50 > agg.P50 {
+			agg.P50 = st.P50
+		}
+		if st.P99 > agg.P99 {
+			agg.P99 = st.P99
+		}
+	}
+	return agg
+}
+
 // ckptTracker owns the daemon's checkpoint directory: the periodic
-// sink writes per-source files (ckpt-<source>.wsck, atomically
-// replaced), a refcount of in-flight queries per source decides when a
+// sink writes per-(graph, source) files (ckpt-<graph>-<source>.wsck,
+// atomically replaced), a refcount of in-flight queries decides when a
 // completed solve's file is spent and removed, and startup recovery
 // resumes whatever files a previous process left behind. All methods
 // are safe for concurrent use — distinct sessions checkpoint
@@ -84,57 +149,91 @@ type ckptTracker struct {
 	dir string
 
 	mu       sync.Mutex
-	inflight map[uint32]int
+	inflight map[ckptKey]int
 
 	writes    atomic.Int64
 	lastWrite atomic.Int64 // unix nanos of the last successful write; 0 = never
 	recovered atomic.Int64
+	skipped   atomic.Int64 // recovery files dropped for fingerprint mismatch
+}
+
+type ckptKey struct {
+	graph string
+	src   uint32
 }
 
 func newCkptTracker(dir string) *ckptTracker {
-	return &ckptTracker{dir: dir, inflight: make(map[uint32]int)}
+	return &ckptTracker{dir: dir, inflight: make(map[ckptKey]int)}
 }
 
-func (c *ckptTracker) path(src uint32) string {
-	return filepath.Join(c.dir, fmt.Sprintf("ckpt-%d.wsck", src))
+func (c *ckptTracker) path(graph string, src uint32) string {
+	return filepath.Join(c.dir, fmt.Sprintf("ckpt-%s-%d.wsck", graph, src))
 }
 
-// sink is the pool sessions' CheckpointSink: persist the snapshot
-// under its source's file. Called synchronously from each session's
-// supervisor goroutine; the atomic write-then-rename in SaveCheckpoint
-// makes concurrent same-source writers harmless (last complete file
-// wins, never a torn one).
-func (c *ckptTracker) sink(cp *wasp.Checkpoint) {
-	if err := wasp.SaveCheckpoint(c.path(cp.Source), cp); err != nil {
-		log.Printf("checkpoint %d: %v", cp.Source, err)
-		return
+// parseCkptName inverts path: ckpt-<graph>-<source>.wsck. The graph
+// name may itself contain dashes, so the source is the suffix after
+// the LAST dash.
+func parseCkptName(base string) (graph string, src uint32, ok bool) {
+	stem, found := strings.CutSuffix(base, ".wsck")
+	if !found {
+		return "", 0, false
 	}
-	c.writes.Add(1)
-	c.lastWrite.Store(time.Now().UnixNano())
+	stem, found = strings.CutPrefix(stem, "ckpt-")
+	if !found {
+		return "", 0, false
+	}
+	i := strings.LastIndexByte(stem, '-')
+	if i < 0 {
+		// Pre-registry layout: ckpt-<source>.wsck, no graph name.
+		n, err := strconv.ParseUint(stem, 10, 32)
+		return "", uint32(n), err == nil
+	}
+	n, err := strconv.ParseUint(stem[i+1:], 10, 32)
+	if err != nil {
+		return "", 0, false
+	}
+	return stem[:i], uint32(n), true
 }
 
-// acquire registers an in-flight query for src.
-func (c *ckptTracker) acquire(src uint32) {
+// sinkFor returns the CheckpointSink bound to one graph: persist the
+// snapshot under the (graph, source) file. Called synchronously from
+// each session's supervisor goroutine; the atomic write-then-rename in
+// SaveCheckpoint makes concurrent same-source writers harmless (last
+// complete file wins, never a torn one).
+func (c *ckptTracker) sinkFor(graph string) func(*wasp.Checkpoint) {
+	return func(cp *wasp.Checkpoint) {
+		if err := wasp.SaveCheckpoint(c.path(graph, cp.Source), cp); err != nil {
+			log.Printf("checkpoint %s/%d: %v", graph, cp.Source, err)
+			return
+		}
+		c.writes.Add(1)
+		c.lastWrite.Store(time.Now().UnixNano())
+	}
+}
+
+// acquire registers an in-flight query for (graph, src).
+func (c *ckptTracker) acquire(graph string, src uint32) {
 	c.mu.Lock()
-	c.inflight[src]++
+	c.inflight[ckptKey{graph, src}]++
 	c.mu.Unlock()
 }
 
 // release unregisters a query. When it was the last one in flight for
-// src and the solve ran to completion, the checkpoint file is spent —
-// resuming finished distances is pointless — and removed. Incomplete
-// exits (degraded, cancelled, crashed later) keep the file so a
-// restart can pick the work back up.
-func (c *ckptTracker) release(src uint32, completed bool) {
+// (graph, src) and the solve ran to completion, the checkpoint file is
+// spent — resuming finished distances is pointless — and removed.
+// Incomplete exits (degraded, cancelled, crashed later) keep the file
+// so a restart can pick the work back up.
+func (c *ckptTracker) release(graph string, src uint32, completed bool) {
+	k := ckptKey{graph, src}
 	c.mu.Lock()
-	c.inflight[src]--
-	last := c.inflight[src] <= 0
+	c.inflight[k]--
+	last := c.inflight[k] <= 0
 	if last {
-		delete(c.inflight, src)
+		delete(c.inflight, k)
 	}
 	c.mu.Unlock()
 	if last && completed {
-		_ = os.Remove(c.path(src))
+		_ = os.Remove(c.path(graph, src))
 	}
 }
 
@@ -148,12 +247,20 @@ func (c *ckptTracker) ageMS() float64 {
 	return float64(time.Since(time.Unix(0, ns))) / float64(time.Millisecond)
 }
 
-// recover resumes every checkpoint file a previous process left in the
-// directory, sequentially, through the pool's normal admission path.
-// Unreadable or corrupt files (a kill can land mid-write of the
-// temporary, never of the published file — but disks lie) are logged
-// and removed rather than retried forever. Completed recoveries remove
-// their spent file; failed ones keep it for the next restart.
+// recoverCheckpoints resumes every checkpoint file a previous process
+// left in the directory, sequentially, through the registry's normal
+// admission path. Three classes of file are dropped rather than
+// retried forever, and none of them fails the daemon:
+//
+//   - unreadable/corrupt files (a kill can land mid-write of the
+//     temporary, never of the published file — but disks lie);
+//   - files naming a graph that is no longer registered;
+//   - files whose fingerprint mismatches their graph's current shape —
+//     the graph was redeployed as a different version while the daemon
+//     was down, and resuming old distances onto it would be garbage.
+//
+// Completed recoveries remove their spent file; failed resumes keep it
+// for the next restart.
 func (s *server) recoverCheckpoints(ctx context.Context) {
 	files, err := filepath.Glob(filepath.Join(s.ckpt.dir, "ckpt-*.wsck"))
 	if err != nil || len(files) == 0 {
@@ -161,24 +268,75 @@ func (s *server) recoverCheckpoints(ctx context.Context) {
 	}
 	log.Printf("recovery: %d checkpoint(s) found", len(files))
 	for _, f := range files {
+		graph, _, ok := parseCkptName(filepath.Base(f))
+		if !ok {
+			log.Printf("recovery: removing %s: unrecognized checkpoint file name", f)
+			_ = os.Remove(f)
+			continue
+		}
 		cp, err := wasp.LoadCheckpoint(f)
 		if err != nil {
 			log.Printf("recovery: removing %s: %v", f, err)
 			_ = os.Remove(f)
 			continue
 		}
-		s.ckpt.acquire(cp.Source)
-		res, err := s.pool.Resume(ctx, cp)
+		if graph == "" {
+			// Legacy single-graph file: adopt it if exactly one
+			// registered graph matches its fingerprint.
+			graph = s.adoptCheckpoint(cp)
+		}
+		if err := s.matchCheckpoint(graph, cp); err != nil {
+			log.Printf("recovery: skipping %s: %v", f, err)
+			_ = os.Remove(f)
+			s.ckpt.skipped.Add(1)
+			continue
+		}
+		s.ckpt.acquire(graph, cp.Source)
+		res, err := s.reg.Resume(ctx, graph, cp)
 		completed := err == nil && res != nil && res.Complete
-		s.ckpt.release(cp.Source, completed)
+		s.ckpt.release(graph, cp.Source, completed)
+		if completed {
+			// release removed the canonical (graph, source) file; a
+			// legacy-named file needs removing under its own name.
+			if canon := s.ckpt.path(graph, cp.Source); canon != f {
+				_ = os.Remove(f)
+			}
+		}
 		if err != nil {
-			log.Printf("recovery: source %d: %v", cp.Source, err)
+			log.Printf("recovery: %s source %d: %v", graph, cp.Source, err)
 			continue
 		}
 		s.ckpt.recovered.Add(1)
-		log.Printf("recovery: source %d resumed from %d/%d settled, finished in %v (total %v)",
-			cp.Source, cp.Settled(), len(cp.Dist), res.Elapsed-cp.Elapsed, res.Elapsed)
+		log.Printf("recovery: %s source %d resumed from %d/%d settled, finished in %v (total %v)",
+			graph, cp.Source, cp.Settled(), len(cp.Dist), res.Elapsed-cp.Elapsed, res.Elapsed)
 	}
+}
+
+// matchCheckpoint verifies cp's fingerprint against the named graph's
+// currently served shape.
+func (s *server) matchCheckpoint(graph string, cp *wasp.Checkpoint) error {
+	st, ok := s.reg.Status(graph)
+	if !ok || graph == "" {
+		return fmt.Errorf("graph %q is not registered", graph)
+	}
+	return cp.Matches(st.Vertices, st.Edges, st.Directed)
+}
+
+// adoptCheckpoint finds the registered graph a graph-less legacy
+// checkpoint belongs to: the unique fingerprint match, or "" when the
+// match is absent or ambiguous.
+func (s *server) adoptCheckpoint(cp *wasp.Checkpoint) string {
+	var match string
+	for _, name := range s.reg.Graphs() {
+		st, ok := s.reg.Status(name)
+		if ok && cp.Matches(st.Vertices, st.Edges, st.Directed) == nil {
+			if match != "" {
+				return "" // ambiguous
+			}
+			match = name
+		}
+	}
+	return match
 }
 
 func (s *server) routes() *http.ServeMux {
@@ -188,6 +346,8 @@ func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sssp", s.handleSSSP)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/healthz/live", s.handleLive)
+	mux.HandleFunc("/healthz/ready", s.handleReady)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -196,6 +356,7 @@ func (s *server) routes() *http.ServeMux {
 // queryResponse is the JSON body of a /sssp answer. Distance uses
 // wasp.Infinity (4294967295) for an unreachable target.
 type queryResponse struct {
+	Graph       string  `json:"graph"`
 	Source      int     `json:"source"`
 	Complete    bool    `json:"complete"`
 	Degraded    bool    `json:"degraded"`
@@ -212,32 +373,45 @@ func (s *server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	name, err := s.resolveGraph(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	st, ok := s.reg.Status(name)
+	if !ok {
+		http.Error(w, fmt.Sprintf("unknown graph %q", name), http.StatusNotFound)
+		return
+	}
 	src, err := strconv.Atoi(r.URL.Query().Get("source"))
-	if err != nil || src < 0 || src >= s.g.NumVertices() {
-		http.Error(w, fmt.Sprintf("source must be in [0, %d)", s.g.NumVertices()), http.StatusBadRequest)
+	if err != nil || src < 0 || src >= st.Vertices {
+		http.Error(w, fmt.Sprintf("source must be in [0, %d)", st.Vertices), http.StatusBadRequest)
 		return
 	}
 	var target *int
 	if tq := r.URL.Query().Get("target"); tq != "" {
 		tv, err := strconv.Atoi(tq)
-		if err != nil || tv < 0 || tv >= s.g.NumVertices() {
-			http.Error(w, fmt.Sprintf("target must be in [0, %d)", s.g.NumVertices()), http.StatusBadRequest)
+		if err != nil || tv < 0 || tv >= st.Vertices {
+			http.Error(w, fmt.Sprintf("target must be in [0, %d)", st.Vertices), http.StatusBadRequest)
 			return
 		}
 		target = &tv
 	}
 
 	if s.ckpt != nil {
-		s.ckpt.acquire(uint32(src))
+		s.ckpt.acquire(name, uint32(src))
 	}
-	res, err := s.pool.Run(r.Context(), wasp.Vertex(src))
+	res, err := s.reg.Run(r.Context(), name, wasp.Vertex(src))
 	if s.ckpt != nil {
-		s.ckpt.release(uint32(src), err == nil && res != nil && res.Complete)
+		s.ckpt.release(name, uint32(src), err == nil && res != nil && res.Complete)
 	}
 	switch {
 	case errors.Is(err, wasp.ErrOverloaded):
 		w.Header().Set("Retry-After", s.retryAfter())
 		http.Error(w, "overloaded", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, wasp.ErrNoSuchGraph):
+		http.Error(w, fmt.Sprintf("unknown graph %q", name), http.StatusNotFound)
 		return
 	case errors.Is(err, wasp.ErrPoolClosed):
 		http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -252,6 +426,7 @@ func (s *server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := queryResponse{
+		Graph:       name,
 		Source:      src,
 		Complete:    res.Complete,
 		Degraded:    !res.Complete,
@@ -267,15 +442,70 @@ func (s *server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// handleHealthz is the back-compat readiness probe: 200 while at least
+// one graph is servable, 503 while draining or empty.
 func (s *server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	if s.draining.Load() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
+	if !s.reg.Servable() {
+		http.Error(w, "no graph servable", http.StatusServiceUnavailable)
+		return
+	}
 	fmt.Fprintln(w, "ok")
 }
 
-// statsResponse flattens wasp.PoolStats for JSON, durations in ms.
+// handleLive is the liveness probe: the process is up and handling
+// HTTP. It stays 200 through drains and reloads — restarting the
+// daemon cannot help either.
+func (s *server) handleLive(w http.ResponseWriter, _ *http.Request) {
+	fmt.Fprintln(w, "ok")
+}
+
+// readyResponse is the /healthz/ready body: overall readiness plus the
+// per-graph lifecycle states, so an operator can tell "down" from
+// "reloading graph X behind last-good serving".
+type readyResponse struct {
+	Ready    bool                      `json:"ready"`
+	Draining bool                      `json:"draining"`
+	Graphs   map[string]graphReadiness `json:"graphs"`
+}
+
+type graphReadiness struct {
+	Version   uint64 `json:"version"`
+	State     string `json:"state"`
+	LastError string `json:"last_error,omitempty"`
+}
+
+// handleReady reports readiness with per-graph detail. The status is
+// 503 only when NOTHING is servable — a graph mid-reload or degraded
+// to last-good still answers queries, so it must not fail the probe.
+func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
+	resp := readyResponse{
+		Draining: s.draining.Load(),
+		Graphs:   map[string]graphReadiness{},
+	}
+	for _, name := range s.reg.Graphs() {
+		st, ok := s.reg.Status(name)
+		if !ok {
+			continue
+		}
+		resp.Graphs[name] = graphReadiness{
+			Version:   st.Version,
+			State:     string(st.State),
+			LastError: st.LastError,
+		}
+	}
+	resp.Ready = !resp.Draining && s.reg.Servable()
+	if !resp.Ready {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}
+	writeJSON(w, resp)
+}
+
+// statsResponse flattens the aggregate pool counters for JSON,
+// durations in ms, plus the per-graph lifecycle/counter breakdown.
 type statsResponse struct {
 	Sessions    int     `json:"sessions"`
 	Idle        int     `json:"idle"`
@@ -293,10 +523,68 @@ type statsResponse struct {
 	CheckpointWrites    int64   `json:"checkpoint_writes"`
 	LastCheckpointAgeMS float64 `json:"last_checkpoint_age_ms"` // -1: never
 	Recovered           int64   `json:"recovered"`
+	RecoverySkipped     int64   `json:"recovery_skipped"`
+
+	Reloads wasp.RegistryReloadStats `json:"reloads"`
+	Graphs  map[string]graphStats    `json:"graphs"`
 }
 
-func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
-	st := s.pool.Stats()
+// graphStats is one graph's slice of /stats.
+type graphStats struct {
+	wasp.GraphStatus
+	Pool poolStatsJSON `json:"pool"`
+}
+
+type poolStatsJSON struct {
+	Sessions    int     `json:"sessions"`
+	Idle        int     `json:"idle"`
+	InFlight    int     `json:"in_flight"`
+	Queued      int     `json:"queued"`
+	Completed   int64   `json:"completed"`
+	Degraded    int64   `json:"degraded"`
+	Shed        int64   `json:"shed"`
+	Quarantined int64   `json:"quarantined"`
+	P50MS       float64 `json:"p50_ms"`
+	P99MS       float64 `json:"p99_ms"`
+}
+
+func flattenPool(st wasp.PoolStats) poolStatsJSON {
+	return poolStatsJSON{
+		Sessions:    st.Sessions,
+		Idle:        st.Idle,
+		InFlight:    st.InFlight,
+		Queued:      st.Queued,
+		Completed:   st.Completed,
+		Degraded:    st.Degraded,
+		Shed:        st.Shed,
+		Quarantined: st.Quarantined,
+		P50MS:       float64(st.P50) / float64(time.Millisecond),
+		P99MS:       float64(st.P99) / float64(time.Millisecond),
+	}
+}
+
+func (s *server) graphStats(name string) (graphStats, bool) {
+	st, ok := s.reg.Status(name)
+	if !ok {
+		return graphStats{}, false
+	}
+	ps, _ := s.reg.Stats(name)
+	return graphStats{GraphStatus: st, Pool: flattenPool(ps)}, true
+}
+
+// handleStats serves the aggregate (no parameter) or one graph's
+// breakdown (?graph=name).
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("graph"); name != "" {
+		gs, ok := s.graphStats(name)
+		if !ok {
+			http.Error(w, fmt.Sprintf("unknown graph %q", name), http.StatusNotFound)
+			return
+		}
+		writeJSON(w, gs)
+		return
+	}
+	st := s.poolStats()
 	resp := statsResponse{
 		Sessions:            st.Sessions,
 		Idle:                st.Idle,
@@ -310,11 +598,19 @@ func (s *server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		P99MS:               float64(st.P99) / float64(time.Millisecond),
 		Draining:            s.draining.Load(),
 		LastCheckpointAgeMS: -1,
+		Reloads:             s.reg.ReloadStats(),
+		Graphs:              map[string]graphStats{},
 	}
 	if s.ckpt != nil {
 		resp.CheckpointWrites = s.ckpt.writes.Load()
 		resp.LastCheckpointAgeMS = s.ckpt.ageMS()
 		resp.Recovered = s.ckpt.recovered.Load()
+		resp.RecoverySkipped = s.ckpt.skipped.Load()
+	}
+	for _, name := range s.reg.Graphs() {
+		if gs, ok := s.graphStats(name); ok {
+			resp.Graphs[name] = gs
+		}
 	}
 	writeJSON(w, resp)
 }
@@ -327,46 +623,47 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 // drain flips the server to draining (healthz 503, no new queries) and
-// closes the pool within ctx: in-flight solves finish or deadline out.
+// closes the registry within ctx: in-flight solves finish or deadline
+// out.
 func (s *server) drain(ctx context.Context) error {
 	s.draining.Store(true)
-	return s.pool.Close(ctx)
+	return s.reg.Close(ctx)
 }
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("ssspd: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address")
-		name    = flag.String("graph", "", "workload to generate (see graphgen -list)")
-		file    = flag.String("file", "", "graph file to load (.wspg binary or text edge list)")
-		n       = flag.Int("n", 1<<15, "vertex count for generated workloads")
-		seed    = flag.Uint64("seed", 1, "generator seed")
-		algo    = flag.String("algo", "wasp", "algorithm name")
-		workers = flag.Int("workers", runtime.GOMAXPROCS(0), "workers per session")
-		delta   = flag.Uint("delta", 1, "Δ-coarsening factor")
+		addr      = flag.String("addr", ":8080", "listen address")
+		name      = flag.String("graph", "", "workload to generate (see graphgen -list)")
+		file      = flag.String("file", "", "graph file to load (.wspg binary or text edge list)")
+		graphName = flag.String("graph-name", "default", "registry name for the -graph/-file graph")
+		bundleDir = flag.String("graphs", "", "directory of .wspb bundles to serve and hot-reload")
+		rescan    = flag.Duration("rescan", 5*time.Second, "interval between -graphs directory rescans (0 = startup scan only)")
+		n         = flag.Int("n", 1<<15, "vertex count for generated workloads")
+		seed      = flag.Uint64("seed", 1, "generator seed")
+		algo      = flag.String("algo", "wasp", "algorithm name")
+		workers   = flag.Int("workers", runtime.GOMAXPROCS(0), "workers per session")
+		delta     = flag.Uint("delta", 1, "Δ-coarsening factor")
 
-		sessions  = flag.Int("sessions", 2, "concurrent solver sessions (pool size)")
+		sessions  = flag.Int("sessions", 2, "concurrent solver sessions per graph (pool size)")
 		queue     = flag.Int("queue", 8, "admission queue depth beyond the executing solves")
 		queueWait = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a free session before shedding (0 = unbounded)")
 		deadline  = flag.Duration("deadline", 0, "per-solve latency budget; expired budgets return degraded partial results (0 = none)")
 		drainWait = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight solves on SIGTERM")
 		retryIn   = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 overload responses (rounded up to whole seconds)")
+		history   = flag.Int("history", 2, "retired graph versions retained per graph for rollback")
 
 		ckptDir   = flag.String("checkpoint-dir", "", "persist in-flight query state here and resume it on restart")
 		ckptEvery = flag.Duration("checkpoint-interval", 2*time.Second, "interval between checkpoints of each in-flight solve")
 
-		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof and /debug/traces on this address (off when empty; keep it private)")
+		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof, /debug/traces and /admin on this address (off when empty; keep it private)")
 		slowTraceN = flag.Int("slow-traces", 8, "retain the scheduler traces of this many slowest solves for /debug/traces")
 		traceCap   = flag.Int("trace-capacity", 4096, "buffered scheduler events per worker per session (-1 disables tracing, counters stay on)")
 	)
 	flag.Parse()
 
 	a, err := wasp.ParseAlgorithm(*algo)
-	if err != nil {
-		log.Fatal(err)
-	}
-	g, err := loadGraph(*name, *file, *n, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -378,34 +675,77 @@ func main() {
 		}
 		tracker = newCkptTracker(*ckptDir)
 		opt.CheckpointInterval = *ckptEvery
-		opt.CheckpointSink = tracker.sink
 	}
 	// Every session gets its own Observer (the counters cost a few
 	// cache lines; the trace buffer is bounded by -trace-capacity), so
-	// /metrics aggregates scheduler internals across the whole pool and
-	// the slowest solves keep their Chrome traces for /debug/traces.
+	// /metrics aggregates scheduler internals across the whole registry
+	// and the slowest solves keep their Chrome traces for /debug/traces.
 	prom := newPromState(*slowTraceN)
-	pool, err := wasp.NewPool(g, opt, wasp.PoolOptions{
-		Sessions:   *sessions,
-		QueueDepth: *queue,
-		QueueWait:  *queueWait,
-		Deadline:   *deadline,
-		Observe:    &wasp.ObserverConfig{TraceCapacity: *traceCap},
-		OnSolve:    prom.onSolve,
+	reg := wasp.NewRegistry(wasp.RegistryOptions{
+		Options: opt,
+		Pool: wasp.PoolOptions{
+			Sessions:   *sessions,
+			QueueDepth: *queue,
+			QueueWait:  *queueWait,
+			Deadline:   *deadline,
+			Observe:    &wasp.ObserverConfig{TraceCapacity: *traceCap},
+			OnSolve:    prom.onSolve,
+		},
+		History:      *history,
+		DrainTimeout: *drainWait,
+		ConfigureOptions: func(graph string, _ uint64, o wasp.Options) wasp.Options {
+			if tracker != nil {
+				o.CheckpointSink = tracker.sinkFor(graph)
+			}
+			return o
+		},
+		OnEvent: func(ev wasp.RegistryEvent) {
+			if ev.Err != nil {
+				log.Printf("registry: %s v%d %s: %v", ev.Graph, ev.Version, ev.Kind, ev.Err)
+				return
+			}
+			log.Printf("registry: %s v%d %s", ev.Graph, ev.Version, ev.Kind)
+		},
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
+
+	ctx, stop := signal.NotifyContext(context.Background(),
+		os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	retrySecs := int((*retryIn + time.Second - 1) / time.Second)
 	if retrySecs < 1 {
 		retrySecs = 1
 	}
-	s := &server{pool: pool, g: g, ckpt: tracker, prom: prom, retry: strconv.Itoa(retrySecs)}
+	s := &server{reg: reg, ckpt: tracker, prom: prom, retry: strconv.Itoa(retrySecs)}
+
+	// Seed the registry: an explicit single graph, a bundle directory,
+	// or both (the single graph serves alongside the directory's).
+	if *name != "" || *file != "" {
+		g, err := loadGraph(*name, *file, *n, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := reg.LoadGraph(ctx, *graphName, g); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if *bundleDir != "" {
+		s.scan = newBundleScanner(reg, *bundleDir)
+		loaded, rejected := s.scan.rescan(ctx)
+		log.Printf("bundle scan of %s: %d loaded, %d rejected", *bundleDir, loaded, rejected)
+		if *rescan > 0 {
+			go s.scan.run(ctx, *rescan)
+		}
+	}
+	if !reg.Servable() {
+		log.Fatal("no graph loaded: need -graph, -file, or a -graphs directory with a valid bundle")
+	}
+
 	srv := &http.Server{Addr: *addr, Handler: s.routes()}
 
-	// The debug surface (pprof, slow-solve traces) binds separately so
-	// the query port can face callers without leaking profiles.
+	// The debug surface (pprof, slow-solve traces, reload admin) binds
+	// separately so the query port can face callers without leaking
+	// profiles or accepting admin calls.
 	if *debugAddr != "" {
 		dbg := &http.Server{Addr: *debugAddr, Handler: s.debugRoutes()}
 		go func() {
@@ -413,12 +753,8 @@ func main() {
 				log.Printf("debug server: %v", err)
 			}
 		}()
-		log.Printf("debug server (pprof, traces) on %s", *debugAddr)
+		log.Printf("debug server (pprof, traces, admin) on %s", *debugAddr)
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(),
-		os.Interrupt, syscall.SIGTERM)
-	defer stop()
 
 	// Resume solves a previous process left checkpointed, in the
 	// background and through the normal admission path, while the
@@ -429,8 +765,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("serving %v on %s (%d sessions × %d workers, queue %d, deadline %v)",
-		wasp.Stats(g), *addr, *sessions, *workers, *queue, *deadline)
+	log.Printf("serving %d graph(s) %v on %s (%d sessions × %d workers each, queue %d, deadline %v)",
+		len(reg.Graphs()), reg.Graphs(), *addr, *sessions, *workers, *queue, *deadline)
 
 	select {
 	case err := <-errc:
@@ -446,13 +782,13 @@ func main() {
 	dctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	s.draining.Store(true)
+	st := s.poolStats()
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := pool.Close(dctx); err != nil {
-		log.Printf("pool drain: %v", err)
+	if err := reg.Close(dctx); err != nil {
+		log.Printf("registry drain: %v", err)
 	}
-	st := pool.Stats()
 	log.Printf("drained: %d completed, %d degraded, %d shed, %d quarantined",
 		st.Completed, st.Degraded, st.Shed, st.Quarantined)
 }

@@ -12,16 +12,32 @@ import (
 	"wasp"
 )
 
+// newRegistry builds a single-graph registry the way main does, with
+// the graph served under the given name.
+func newRegistry(t *testing.T, name string, g *wasp.Graph, ropt wasp.RegistryOptions) *wasp.Registry {
+	t.Helper()
+	reg := wasp.NewRegistry(ropt)
+	if err := reg.LoadGraph(context.Background(), name, g); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = reg.Close(ctx)
+	})
+	return reg
+}
+
 func newTestServer(t *testing.T, popt wasp.PoolOptions) (*server, *httptest.Server) {
 	t.Helper()
 	g := wasp.FromEdges(4, true, []wasp.Edge{
 		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 2},
 	})
-	pool, err := wasp.NewPool(g, wasp.Options{Workers: 2}, popt)
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := &server{pool: pool, g: g}
+	reg := newRegistry(t, "test", g, wasp.RegistryOptions{
+		Options: wasp.Options{Workers: 2},
+		Pool:    popt,
+	})
+	s := &server{reg: reg}
 	return s, newHTTPServer(t, s)
 }
 
@@ -52,8 +68,7 @@ func getJSON(t *testing.T, url string, wantStatus int, out any) {
 // TestServeQuery: the happy path — a complete solve with a target
 // distance, reflected in /stats.
 func TestServeQuery(t *testing.T) {
-	s, ts := newTestServer(t, wasp.PoolOptions{Sessions: 1})
-	defer s.pool.Close(context.Background())
+	_, ts := newTestServer(t, wasp.PoolOptions{Sessions: 1})
 
 	var q queryResponse
 	getJSON(t, ts.URL+"/sssp?source=0&target=2", http.StatusOK, &q)
@@ -78,14 +93,15 @@ func TestServeQuery(t *testing.T) {
 // never solver work.
 func TestServeBadArgs(t *testing.T) {
 	s, ts := newTestServer(t, wasp.PoolOptions{Sessions: 1})
-	defer s.pool.Close(context.Background())
 	for _, path := range []string{
 		"/sssp", "/sssp?source=abc", "/sssp?source=-1",
 		"/sssp?source=99", "/sssp?source=0&target=99",
 	} {
 		getJSON(t, ts.URL+path, http.StatusBadRequest, nil)
 	}
-	if st := s.pool.Stats(); st.Completed+st.Shed != 0 {
+	// An unknown graph name is a 404, not solver work.
+	getJSON(t, ts.URL+"/sssp?source=0&graph=nope", http.StatusNotFound, nil)
+	if st := s.poolStats(); st.Completed+st.Shed != 0 {
 		t.Fatalf("bad args reached the pool: %+v", st)
 	}
 }

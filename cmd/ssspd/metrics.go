@@ -71,30 +71,48 @@ type promSnapshot struct {
 	stats    wasp.PoolStats
 	draining bool
 
+	graphs  []graphSample
+	reloads wasp.RegistryReloadStats
+
 	ckptWrites    int64
 	ckptAgeSec    float64 // -1: never
 	ckptRecovered int64
+	ckptSkipped   int64
 	hasCkpt       bool
 
 	observed  wasp.ObserverTotals // summed over every session observer
 	observers int
 }
 
+// graphSample is one graph's labeled gauge values.
+type graphSample struct {
+	name    string
+	version uint64
+}
+
 func (s *server) snapshot() promSnapshot {
 	snap := promSnapshot{
-		stats:      s.pool.Stats(),
+		stats:      s.poolStats(),
 		draining:   s.draining.Load(),
+		reloads:    s.reg.ReloadStats(),
 		ckptAgeSec: -1,
 	}
+	for _, name := range s.reg.Graphs() {
+		if st, ok := s.reg.Status(name); ok {
+			snap.graphs = append(snap.graphs, graphSample{name: name, version: st.Version})
+		}
+	}
+	sort.Slice(snap.graphs, func(i, j int) bool { return snap.graphs[i].name < snap.graphs[j].name })
 	if s.ckpt != nil {
 		snap.hasCkpt = true
 		snap.ckptWrites = s.ckpt.writes.Load()
 		snap.ckptRecovered = s.ckpt.recovered.Load()
+		snap.ckptSkipped = s.ckpt.skipped.Load()
 		if ms := s.ckpt.ageMS(); ms >= 0 {
 			snap.ckptAgeSec = ms / 1000
 		}
 	}
-	for _, obs := range s.pool.SessionObservers() {
+	for _, obs := range s.reg.Observers() {
 		c := obs.Cumulative()
 		snap.observers++
 		snap.observed.Solves += c.Solves
@@ -173,6 +191,19 @@ func writeProm(w io.Writer, snap promSnapshot) {
 	}
 	gauge(w, "ssspd_draining", "1 while the daemon is draining for shutdown.", drain)
 
+	gauge(w, "ssspd_graphs", "Graphs currently registered.", float64(len(snap.graphs)))
+	if len(snap.graphs) > 0 {
+		family(w, "ssspd_graph_version", "Version of each graph's actively serving deployment.", "gauge")
+		for _, g := range snap.graphs {
+			fmt.Fprintf(w, "ssspd_graph_version{graph=%q} %d\n", g.name, g.version)
+		}
+	}
+	family(w, "ssspd_reloads_total", "Graph reload attempts by outcome.", "counter")
+	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"loaded\"} %d\n", snap.reloads.Loaded)
+	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"rejected\"} %d\n", snap.reloads.Rejected)
+	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"rolled_back\"} %d\n", snap.reloads.RolledBack)
+	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"noop\"} %d\n", snap.reloads.Noop)
+
 	counter(w, "ssspd_solves_completed_total", "Solves that ran to full completion.", st.Completed)
 	counter(w, "ssspd_solves_degraded_total", "Solves that returned a partial result at deadline.", st.Degraded)
 	counter(w, "ssspd_requests_shed_total", "Queries rejected by admission control.", st.Shed)
@@ -181,6 +212,7 @@ func writeProm(w io.Writer, snap promSnapshot) {
 	if snap.hasCkpt {
 		counter(w, "ssspd_checkpoint_writes_total", "Checkpoint files successfully written.", snap.ckptWrites)
 		counter(w, "ssspd_checkpoints_recovered_total", "Interrupted solves resumed at startup.", snap.ckptRecovered)
+		counter(w, "ssspd_checkpoints_skipped_total", "Startup checkpoints dropped for fingerprint mismatch.", snap.ckptSkipped)
 		gauge(w, "ssspd_checkpoint_last_age_seconds", "Seconds since the last checkpoint write (-1: never).", snap.ckptAgeSec)
 	}
 
@@ -312,9 +344,10 @@ func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// debugRoutes builds the -debug-addr mux: pprof plus the slow-solve
-// trace captures. Kept off the serving address so an exposed query
-// port never leaks profiles.
+// debugRoutes builds the -debug-addr mux: pprof, the slow-solve trace
+// captures, and the reload admin surface. Kept off the serving address
+// so an exposed query port never leaks profiles or accepts admin
+// calls.
 func (s *server) debugRoutes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -324,5 +357,7 @@ func (s *server) debugRoutes() *http.ServeMux {
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.HandleFunc("/debug/traces", s.handleTraces)
 	mux.HandleFunc("/debug/traces/", s.handleTraces)
+	mux.HandleFunc("/admin/reload", s.handleAdminReload)
+	mux.HandleFunc("/admin/rollback", s.handleAdminRollback)
 	return mux
 }

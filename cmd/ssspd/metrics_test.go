@@ -24,15 +24,15 @@ func newObservedServer(t *testing.T, slowN int) (*server, *httptest.Server) {
 		t.Fatal(err)
 	}
 	prom := newPromState(slowN)
-	pool, err := wasp.NewPool(g, wasp.Options{Workers: 2, Delta: 4}, wasp.PoolOptions{
-		Sessions: 2,
-		Observe:  &wasp.ObserverConfig{},
-		OnSolve:  prom.onSolve,
+	reg := newRegistry(t, "kron", g, wasp.RegistryOptions{
+		Options: wasp.Options{Workers: 2, Delta: 4},
+		Pool: wasp.PoolOptions{
+			Sessions: 2,
+			Observe:  &wasp.ObserverConfig{},
+			OnSolve:  prom.onSolve,
+		},
 	})
-	if err != nil {
-		t.Fatal(err)
-	}
-	s := &server{pool: pool, g: g, prom: prom}
+	s := &server{reg: reg, prom: prom}
 	return s, newHTTPServer(t, s)
 }
 
@@ -216,8 +216,7 @@ func lintHistogram(name string, f *promFamily) error {
 // the pool counters match /stats, and the scheduler counters aggregate
 // the per-session observers.
 func TestMetricsEndpoint(t *testing.T) {
-	s, ts := newObservedServer(t, 4)
-	defer s.pool.Close(t.Context())
+	_, ts := newObservedServer(t, 4)
 
 	const solves = 5
 	for i := 0; i < solves; i++ {
@@ -273,14 +272,22 @@ func TestMetricsEndpoint(t *testing.T) {
 	if get("ssspd_solve_duration_seconds_sum") <= 0 {
 		t.Fatal("latency sum empty")
 	}
+	if got := get(`ssspd_graph_version{graph="kron"}`); got != 1 {
+		t.Fatalf("graph version gauge %v, want 1", got)
+	}
+	if got := get(`ssspd_reloads_total{outcome="loaded"}`); got != 1 {
+		t.Fatalf("reloads loaded %v, want 1", got)
+	}
+	if got := get(`ssspd_reloads_total{outcome="rejected"}`); got != 0 {
+		t.Fatalf("reloads rejected %v, want 0", got)
+	}
 }
 
 // TestMetricsWithoutObservers: a bare server (no Observe config, the
 // tests' default) still serves lint-clean pool metrics — the scheduler
 // families are simply absent.
 func TestMetricsWithoutObservers(t *testing.T) {
-	s, ts := newTestServer(t, wasp.PoolOptions{Sessions: 1})
-	defer s.pool.Close(t.Context())
+	_, ts := newTestServer(t, wasp.PoolOptions{Sessions: 1})
 	getJSON(t, ts.URL+"/sssp?source=0", http.StatusOK, nil)
 
 	resp, err := http.Get(ts.URL + "/metrics")
@@ -303,13 +310,12 @@ func TestMetricsWithoutObservers(t *testing.T) {
 // is mounted.
 func TestSlowTraceCapture(t *testing.T) {
 	s, _ := newObservedServer(t, 3)
-	defer s.pool.Close(t.Context())
 	dbg := httptest.NewServer(s.debugRoutes())
 	defer dbg.Close()
 
 	// Run more solves than the capture retains.
 	for i := 0; i < 6; i++ {
-		if _, err := s.pool.Run(t.Context(), wasp.Vertex(i)); err != nil {
+		if _, err := s.reg.Run(t.Context(), "kron", wasp.Vertex(i)); err != nil {
 			t.Fatal(err)
 		}
 	}

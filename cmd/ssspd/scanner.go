@@ -1,0 +1,167 @@
+package main
+
+import (
+	"context"
+	"log"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"wasp"
+)
+
+// bundleScanner watches a directory of .wspb bundles and feeds changed
+// files to the registry. There is deliberately no inotify dependency —
+// a periodic stat-based rescan is portable, cheap at the scale of a
+// bundle directory, and composes with the atomic rename producers use
+// to publish bundles (a rescan only ever sees complete files).
+//
+// A file is re-attempted only when its (size, mtime) stamp changes: a
+// rejected bundle is not retried every tick, but republishing the file
+// (even with identical bytes — rename updates mtime) triggers a fresh
+// attempt. The registry's own version check turns redundant loads of
+// an unchanged bundle into no-ops.
+type bundleScanner struct {
+	reg *wasp.Registry
+	dir string
+
+	mu      sync.Mutex
+	seen    map[string]fileStamp
+	lastErr map[string]string // last rejection per path, cleared on success
+}
+
+type fileStamp struct {
+	size  int64
+	mtime time.Time
+}
+
+func newBundleScanner(reg *wasp.Registry, dir string) *bundleScanner {
+	return &bundleScanner{
+		reg:     reg,
+		dir:     dir,
+		seen:    make(map[string]fileStamp),
+		lastErr: make(map[string]string),
+	}
+}
+
+// rescan walks the directory once, loading every new or changed
+// bundle. Rejections are recorded and logged, never fatal: the
+// registry keeps serving whatever was last good.
+func (sc *bundleScanner) rescan(ctx context.Context) (loaded, rejected int) {
+	files, err := filepath.Glob(filepath.Join(sc.dir, "*.wspb"))
+	if err != nil {
+		log.Printf("bundle scan: %v", err)
+		return 0, 0
+	}
+	for _, f := range files {
+		fi, err := os.Stat(f)
+		if err != nil {
+			continue // racing a producer's rename; next tick sees it
+		}
+		stamp := fileStamp{size: fi.Size(), mtime: fi.ModTime()}
+		sc.mu.Lock()
+		unchanged := sc.seen[f] == stamp
+		sc.seen[f] = stamp
+		sc.mu.Unlock()
+		if unchanged {
+			continue
+		}
+		name, version, err := sc.reg.LoadFile(ctx, f)
+		sc.mu.Lock()
+		if err != nil {
+			sc.lastErr[f] = err.Error()
+			rejected++
+		} else {
+			delete(sc.lastErr, f)
+			loaded++
+		}
+		sc.mu.Unlock()
+		if err != nil {
+			log.Printf("bundle %s rejected: %v", f, err)
+		} else {
+			log.Printf("bundle %s: %s v%d", f, name, version)
+		}
+	}
+	return loaded, rejected
+}
+
+// run rescans every interval until ctx is cancelled.
+func (sc *bundleScanner) run(ctx context.Context, interval time.Duration) {
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			sc.rescan(ctx)
+		}
+	}
+}
+
+// errors snapshots the per-path rejection messages.
+func (sc *bundleScanner) errors() map[string]string {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	out := make(map[string]string, len(sc.lastErr))
+	for k, v := range sc.lastErr {
+		out[k] = v
+	}
+	return out
+}
+
+// handleAdminReload serves POST /admin/reload: with ?path= it loads
+// that one bundle file; without, it rescans the -graphs directory.
+// The response reports what happened; a rejected bundle is a 422 with
+// the validation error, and the last good version keeps serving.
+func (s *server) handleAdminReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	if path := r.URL.Query().Get("path"); path != "" {
+		name, version, err := s.reg.LoadFile(r.Context(), path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+			return
+		}
+		writeJSON(w, map[string]any{"graph": name, "version": version})
+		return
+	}
+	if s.scan == nil {
+		http.Error(w, "no -graphs directory configured; pass path=", http.StatusBadRequest)
+		return
+	}
+	loaded, rejected := s.scan.rescan(r.Context())
+	writeJSON(w, map[string]any{
+		"loaded":   loaded,
+		"rejected": rejected,
+		"errors":   s.scan.errors(),
+	})
+}
+
+// handleAdminRollback serves POST /admin/rollback?graph=G: re-activate
+// G's most recently retired version.
+func (s *server) handleAdminRollback(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("graph")
+	if name == "" {
+		http.Error(w, "graph parameter required", http.StatusBadRequest)
+		return
+	}
+	version, err := s.reg.Rollback(r.Context(), name)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if _, ok := s.reg.Status(name); !ok {
+			status = http.StatusNotFound
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	writeJSON(w, map[string]any{"graph": name, "version": version})
+}

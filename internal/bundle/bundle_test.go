@@ -1,0 +1,255 @@
+package bundle
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"wasp/internal/checkpoint"
+	"wasp/internal/graph"
+)
+
+// testGraph builds a small directed diamond.
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	return graph.FromEdges(4, true, []graph.Edge{
+		{From: 0, To: 1, W: 1}, {From: 0, To: 2, W: 4},
+		{From: 1, To: 2, W: 1}, {From: 2, To: 3, W: 2},
+	})
+}
+
+// testBundle assembles a full-featured bundle: graph, manifest, one
+// checkpoint and a relabel permutation.
+func testBundle(t *testing.T) *Bundle {
+	t.Helper()
+	g := testGraph(t)
+	cp := &checkpoint.Snapshot{
+		Source:        0,
+		GraphVertices: g.NumVertices(),
+		GraphEdges:    g.NumEdges(),
+		Directed:      g.Directed(),
+		Dist:          []uint32{0, 1, 2, 4},
+	}
+	return &Bundle{
+		Manifest:    Manifest{Name: "diamond", Version: 3, Description: "test"},
+		Graph:       g,
+		Checkpoints: []*checkpoint.Snapshot{cp},
+		Relabel:     []graph.Vertex{0, 1, 2, 3},
+	}
+}
+
+func encode(t *testing.T, b *Bundle) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, b); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRoundTrip: Write∘Read preserves the manifest, graph shape,
+// checkpoints and permutation.
+func TestRoundTrip(t *testing.T) {
+	b := testBundle(t)
+	got, err := Read(bytes.NewReader(encode(t, b)))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Manifest != b.Manifest {
+		t.Fatalf("manifest round-trip: got %+v, want %+v", got.Manifest, b.Manifest)
+	}
+	if got.Graph.NumVertices() != 4 || got.Graph.NumEdges() != 4 || !got.Graph.Directed() {
+		t.Fatalf("graph shape round-trip: %v", got.Graph)
+	}
+	if len(got.Checkpoints) != 1 || got.Checkpoints[0].Source != 0 ||
+		len(got.Checkpoints[0].Dist) != 4 {
+		t.Fatalf("checkpoints round-trip: %+v", got.Checkpoints)
+	}
+	if len(got.Relabel) != 4 {
+		t.Fatalf("relabel round-trip: %v", got.Relabel)
+	}
+	// The graph must be deployable: edges intact.
+	dst, w := got.Graph.OutNeighbors(0)
+	if len(dst) != 2 || dst[0] != 1 || w[0] != 1 {
+		t.Fatalf("graph edges corrupted: %v %v", dst, w)
+	}
+}
+
+// TestWriteFillsFingerprint: a writer may leave the manifest shape
+// fields zero; Write derives them from the graph.
+func TestWriteFillsFingerprint(t *testing.T) {
+	b := &Bundle{Manifest: Manifest{Name: "g", Version: 1}, Graph: testGraph(t)}
+	got, err := Read(bytes.NewReader(encode(t, b)))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Manifest.Vertices != 4 || got.Manifest.Edges != 4 || !got.Manifest.Directed {
+		t.Fatalf("fingerprint not filled: %+v", got.Manifest)
+	}
+}
+
+// TestRejectTruncation: every strict prefix of a valid bundle fails
+// with a decode error, never a panic or a silent partial bundle.
+func TestRejectTruncation(t *testing.T) {
+	valid := encode(t, testBundle(t))
+	for cut := 0; cut < len(valid); cut += 7 {
+		if _, err := Read(bytes.NewReader(valid[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d bytes accepted", cut, len(valid))
+		}
+	}
+}
+
+// TestRejectCorruption: flipping any single byte after the magic is
+// caught — by a section CRC, a structural check, or a validation error.
+func TestRejectCorruption(t *testing.T) {
+	valid := encode(t, testBundle(t))
+	for i := 4; i < len(valid); i += 11 {
+		mut := bytes.Clone(valid)
+		mut[i] ^= 0x40
+		if _, err := Read(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flipped byte %d accepted", i)
+		}
+	}
+}
+
+// TestRejectWrongFingerprint: a manifest whose shape disagrees with the
+// graph section is rejected even when both sections checksum clean.
+func TestRejectWrongFingerprint(t *testing.T) {
+	b := testBundle(t)
+	b.Manifest.Vertices = 5
+	var buf bytes.Buffer
+	if err := Write(&buf, b); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("Write with wrong fingerprint: %v, want ErrInvalid", err)
+	}
+}
+
+// TestRejectForeignCheckpoint: a checkpoint from another graph cannot
+// ride in the bundle.
+func TestRejectForeignCheckpoint(t *testing.T) {
+	b := testBundle(t)
+	b.Checkpoints[0].GraphEdges = 99
+	b.Checkpoints[0].Dist = []uint32{0, 1, 2, 4}
+	var buf bytes.Buffer
+	if err := Write(&buf, b); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("Write with foreign checkpoint: %v, want ErrInvalid", err)
+	}
+}
+
+// TestRejectBadPermutation: non-bijective or wrong-length permutations
+// are rejected.
+func TestRejectBadPermutation(t *testing.T) {
+	for _, perm := range [][]graph.Vertex{
+		{0, 1, 2},       // short
+		{0, 1, 2, 2},    // duplicate
+		{0, 1, 2, 9},    // out of range
+		{0, 1, 2, 3, 0}, // long
+	} {
+		b := testBundle(t)
+		b.Checkpoints = nil
+		b.Relabel = perm
+		var buf bytes.Buffer
+		if err := Write(&buf, b); !errors.Is(err, ErrInvalid) {
+			t.Fatalf("permutation %v: %v, want ErrInvalid", perm, err)
+		}
+	}
+}
+
+// TestRejectBadWeights: a graph section whose weights reach Infinity is
+// structurally invalid — a hand-built WSPG payload must not smuggle the
+// "unreachable" sentinel past the loader as an edge weight. The bundle
+// is framed by hand (valid CRCs, valid manifest) so that only the
+// structural validation layer can object.
+func TestRejectBadWeights(t *testing.T) {
+	g := graph.FromEdges(2, true, []graph.Edge{{From: 0, To: 1, W: 1}})
+	gbad := graph.FromEdges(2, true, []graph.Edge{{From: 0, To: 1, W: 7}})
+	var bufGood, bufBad bytes.Buffer
+	if err := graph.WriteBinary(&bufGood, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.WriteBinary(&bufBad, gbad); err != nil {
+		t.Fatal(err)
+	}
+	// The two dumps differ only in the weight word's low byte; saturate
+	// the whole little-endian word to Infinity (0xffffffff).
+	payload := bytes.Clone(bufGood.Bytes())
+	j := -1
+	for i := range payload {
+		if payload[i] != bufBad.Bytes()[i] {
+			j = i
+			break
+		}
+	}
+	if j < 0 {
+		t.Fatal("weight byte not located")
+	}
+	for k := 0; k < 4; k++ {
+		payload[j+k] = 0xff
+	}
+
+	manifest := []byte(`{"name":"bad","version":1,"vertices":2,"edges":1,"directed":true}`)
+	var data bytes.Buffer
+	var hdr [12]byte
+	copy(hdr[0:4], Magic)
+	hdr[4] = Version
+	hdr[8] = 2 // two sections
+	data.Write(hdr[:])
+	if err := writeSection(&data, secManifest, manifest); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSection(&data, secGraph, payload); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(data.Bytes())); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("saturated weight: %v, want ErrInvalid", err)
+	}
+}
+
+// TestSaveLoadAtomic: Save publishes a complete file (no temp leftovers
+// on success) and Load round-trips it.
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.wspb")
+	b := testBundle(t)
+	if err := Save(path, b); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Manifest != b.Manifest {
+		t.Fatalf("Load manifest = %+v, want %+v", got.Manifest, b.Manifest)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("directory has %d entries after Save, want 1 (temp leaked?)", len(ents))
+	}
+}
+
+// TestRejectUnknownSection: an unrecognized section kind fails the
+// whole bundle — skipping unvalidated payloads is not an option for a
+// format that replaces live serving state.
+func TestRejectUnknownSection(t *testing.T) {
+	var buf bytes.Buffer
+	b := &Bundle{Manifest: Manifest{Name: "g", Version: 1}, Graph: testGraph(t)}
+	if err := Write(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Bump the section count and append a well-framed section of an
+	// unknown kind.
+	data[8]++
+	var extra bytes.Buffer
+	if err := writeSection(&extra, 99, []byte("mystery")); err != nil {
+		t.Fatal(err)
+	}
+	data = append(data, extra.Bytes()...)
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("unknown section: %v, want ErrMalformed", err)
+	}
+}

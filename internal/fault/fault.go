@@ -56,6 +56,19 @@ const (
 	// run against. The worker argument at this site is the block index,
 	// not a worker id.
 	CheckpointWindow
+	// BundleSection fires once per section as a graph bundle decodes,
+	// before the section's payload is read. The worker argument is the
+	// section index. Stalling here stretches the load window a reload
+	// races against; PanicOnHit here kills a load mid-decode — the
+	// "process died while reading the bundle" crash the registry's
+	// rejection path must survive.
+	BundleSection
+	// RegistrySwap fires after a new graph version is fully loaded,
+	// validated and smoke-solved, immediately before the registry
+	// commits the swap. PanicOnHit here is the mid-swap crash: the new
+	// version is viable but never activated, and a restart must come
+	// back on a consistent (last-good) version.
+	RegistrySwap
 
 	numPoints
 )
@@ -73,6 +86,10 @@ func (p Point) String() string {
 		return "solve-start"
 	case CheckpointWindow:
 		return "checkpoint-window"
+	case BundleSection:
+		return "bundle-section"
+	case RegistrySwap:
+		return "registry-swap"
 	default:
 		return fmt.Sprintf("point(%d)", int(p))
 	}
@@ -95,6 +112,10 @@ type Config struct {
 	// CheckpointWindow hit, stretching the racy snapshot copy across
 	// more concurrent relaxations.
 	CheckpointStall int
+	// BundleStall is the permille chance of a yield burst at a
+	// BundleSection hit, stretching a bundle load across more
+	// concurrent queries and reloads.
+	BundleStall int
 
 	// MaxYields bounds the runtime.Gosched burst per injection
 	// (default 4).
@@ -161,6 +182,7 @@ func NewPlan(cfg Config) *Plan {
 	p.threshold[PrePublish] = permille(cfg.PrePublish)
 	p.threshold[TermScan] = permille(cfg.TermScan)
 	p.threshold[CheckpointWindow] = permille(cfg.CheckpointStall)
+	p.threshold[BundleSection] = permille(cfg.BundleStall)
 	for i := range p.workers {
 		s := splitmix(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
 		if s == 0 {

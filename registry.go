@@ -1,0 +1,711 @@
+package wasp
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wasp/internal/bundle"
+	"wasp/internal/fault"
+)
+
+// ErrNoSuchGraph is returned by Registry.Run (and friends) when the
+// named graph has never been loaded, or has been removed.
+var ErrNoSuchGraph = errors.New("wasp: no such graph")
+
+// ErrRegistryClosed is returned once Registry.Close has begun.
+var ErrRegistryClosed = errors.New("wasp: registry closed")
+
+// GraphState describes a served graph's position in the reload
+// lifecycle. Individual versions move loading → validating → active →
+// draining → retired; the per-graph state is what a readiness probe
+// wants: is the name servable, and is its most recent deployment
+// healthy?
+type GraphState string
+
+const (
+	// GraphServing: the latest accepted version is active and admitting
+	// queries.
+	GraphServing GraphState = "serving"
+	// GraphReloading: a new version is loading or validating. The
+	// previous version (if any) keeps serving throughout.
+	GraphReloading GraphState = "reloading"
+	// GraphDegradedLastGood: the most recent load or rollback was
+	// rejected; the last good version is still serving. Not an outage —
+	// a signal that the newest bundle never activated.
+	GraphDegradedLastGood GraphState = "degraded-last-good"
+)
+
+// RegistryOptions configures a Registry. The zero value serves with
+// single-session pools, keeps 2 rollback versions, and smoke-solves
+// each candidate with a 5s budget.
+type RegistryOptions struct {
+	// Options configures the sessions of every per-graph pool.
+	Options Options
+	// Pool configures every per-graph pool's admission behavior.
+	Pool PoolOptions
+	// ConfigureOptions, when non-nil, customizes Options per deployment
+	// — called once while building each candidate version's pool, before
+	// the smoke solve. The canonical use is binding per-graph sinks
+	// (checkpoint files keyed by graph name) without a second registry.
+	ConfigureOptions func(name string, version uint64, opt Options) Options
+	// History is how many retired versions each graph retains for
+	// explicit rollback (default 2). Retired versions hold their graph
+	// and artifacts but no pool; rollback rebuilds one.
+	History int
+	// SmokeTimeout bounds the validation solve a candidate version must
+	// pass before it can activate (default 5s).
+	SmokeTimeout time.Duration
+	// DrainTimeout bounds how long a replaced version's pool may spend
+	// draining in-flight queries in the background (default 30s); past
+	// it the drain goroutine abandons the wait (solves still finish,
+	// nothing is interrupted — the bound only stops the bookkeeping
+	// goroutine from waiting forever on a wedged solve).
+	DrainTimeout time.Duration
+	// OnEvent, when non-nil, observes every lifecycle transition —
+	// loads, rejections, rollbacks, removals — synchronously with the
+	// transition. Keep it brief; it runs inside the reload path (never
+	// inside the query path).
+	OnEvent func(RegistryEvent)
+}
+
+// RegistryEvent describes one lifecycle transition for logging/metrics.
+type RegistryEvent struct {
+	Graph   string
+	Version uint64
+	Kind    RegistryEventKind
+	Err     error // non-nil for EventRejected
+}
+
+// RegistryEventKind enumerates lifecycle transitions.
+type RegistryEventKind string
+
+const (
+	// EventLoaded: a new version was validated and activated.
+	EventLoaded RegistryEventKind = "loaded"
+	// EventRejected: a candidate failed validation or activation; the
+	// last good version keeps serving.
+	EventRejected RegistryEventKind = "rejected"
+	// EventRolledBack: an explicit rollback re-activated a retired
+	// version.
+	EventRolledBack RegistryEventKind = "rolled-back"
+	// EventRemoved: the graph was removed from the registry.
+	EventRemoved RegistryEventKind = "removed"
+	// EventNoop: a load carried the version already active.
+	EventNoop RegistryEventKind = "noop"
+)
+
+// GraphStatus is a point-in-time description of one served graph.
+type GraphStatus struct {
+	Name    string     `json:"name"`
+	Version uint64     `json:"version"`
+	State   GraphState `json:"state"`
+
+	Vertices int   `json:"vertices"`
+	Edges    int64 `json:"edges"`
+	Directed bool  `json:"directed"`
+	// Relabeled reports whether the active version serves through a
+	// locality relabeling permutation (queries are translated in and
+	// results translated back automatically).
+	Relabeled bool `json:"relabeled"`
+	// WarmSources is the number of bundle-provided warm-start
+	// checkpoints the active version answers from.
+	WarmSources int `json:"warm_sources"`
+
+	// LastError is the most recent rejection's message, empty after a
+	// successful load.
+	LastError string `json:"last_error,omitempty"`
+	// History lists the retired versions available to Rollback, newest
+	// first.
+	History []uint64 `json:"history,omitempty"`
+}
+
+// RegistryReloadStats counts reload outcomes across all graphs.
+type RegistryReloadStats struct {
+	Loaded     int64 `json:"loaded"`
+	Rejected   int64 `json:"rejected"`
+	RolledBack int64 `json:"rolled_back"`
+	Noop       int64 `json:"noop"`
+}
+
+// graphVersion is one immutable deployment of one graph. While active
+// it owns a Pool; once retired the pool is drained and dropped (under
+// the registry lock) but the graph and artifacts stay, so Rollback can
+// rebuild a pool without re-reading the bundle.
+type graphVersion struct {
+	version uint64
+	g       *Graph
+	pool    *Pool                  // guarded by Registry.mu; nil once retired
+	perm    []Vertex               // old→new relabeling; nil when identity
+	warm    map[uint32]*Checkpoint // bundle checkpoints by (relabeled) source
+}
+
+// graphEntry is the mutable per-name record: the active version, the
+// bounded rollback history, and the reload state machine.
+type graphEntry struct {
+	name string
+	// loadMu serializes loads/rollbacks/removals of this graph without
+	// blocking other graphs or any query.
+	loadMu sync.Mutex
+
+	active  *graphVersion
+	history []*graphVersion // retired, oldest first
+	state   GraphState
+	lastErr error
+}
+
+// Registry is a set of named, versioned graphs, each served by its own
+// Pool, with crash-safe atomic hot-reload: a new version of a graph is
+// fully loaded, validated (structure, fingerprints, artifacts) and
+// smoke-solved before it atomically replaces the old one; in-flight
+// queries drain on the old pool while new admissions route to the new
+// one; and any failure along the way rejects the candidate with the
+// last good version still serving. A bounded per-graph history enables
+// explicit rollback.
+//
+// The Registry is the embeddable SDK front door to multi-graph serving
+// — cmd/ssspd is one consumer, wiring it to an on-disk bundle
+// directory, but nothing in the API assumes a daemon.
+type Registry struct {
+	conf RegistryOptions
+
+	mu     sync.RWMutex
+	graphs map[string]*graphEntry
+	closed bool
+
+	loaded     atomic.Int64
+	rejected   atomic.Int64
+	rolledBack atomic.Int64
+	noop       atomic.Int64
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry(conf RegistryOptions) *Registry {
+	if conf.History <= 0 {
+		conf.History = 2
+	}
+	if conf.SmokeTimeout <= 0 {
+		conf.SmokeTimeout = 5 * time.Second
+	}
+	if conf.DrainTimeout <= 0 {
+		conf.DrainTimeout = 30 * time.Second
+	}
+	return &Registry{conf: conf, graphs: make(map[string]*graphEntry)}
+}
+
+func (r *Registry) event(ev RegistryEvent) {
+	if r.conf.OnEvent != nil {
+		r.conf.OnEvent(ev)
+	}
+}
+
+// Load validates b and atomically activates it as the new version of
+// its graph. On any failure — manifest, structure, artifact binding,
+// pool construction, smoke solve — the bundle is rejected, the error
+// returned, and the previously active version (if any) keeps serving
+// untouched. A bundle carrying the already-active version is a no-op.
+func (r *Registry) Load(ctx context.Context, b *Bundle) error {
+	if b == nil {
+		return fmt.Errorf("wasp: Load of nil bundle")
+	}
+	b.Normalize()
+	if err := b.Validate(); err != nil {
+		// No entry to degrade: a bundle that cannot even name itself
+		// consistently never reaches a graphEntry.
+		r.rejected.Add(1)
+		r.event(RegistryEvent{Graph: b.Manifest.Name, Version: b.Manifest.Version, Kind: EventRejected, Err: err})
+		return err
+	}
+	name, version := b.Manifest.Name, b.Manifest.Version
+
+	e, err := r.entry(name, true)
+	if err != nil {
+		return err
+	}
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+
+	r.mu.Lock()
+	if e.active != nil && e.active.version == version {
+		r.mu.Unlock()
+		r.noop.Add(1)
+		r.event(RegistryEvent{Graph: name, Version: version, Kind: EventNoop})
+		return nil
+	}
+	prevState := e.state
+	e.state = GraphReloading
+	r.mu.Unlock()
+
+	v, err := r.buildVersion(ctx, b)
+	if err != nil {
+		r.mu.Lock()
+		e.lastErr = err
+		if e.active != nil {
+			e.state = GraphDegradedLastGood
+		} else {
+			e.state = prevState
+		}
+		r.mu.Unlock()
+		r.rejected.Add(1)
+		r.event(RegistryEvent{Graph: name, Version: version, Kind: EventRejected, Err: err})
+		return fmt.Errorf("wasp: bundle %q v%d rejected: %w", name, version, err)
+	}
+
+	// The candidate is viable. A crash from here to the swap must leave
+	// a restarted process on a consistent version — which it does,
+	// because activation is in-memory only: the bundle file the caller
+	// loaded is already durably in place, and a restart either loads it
+	// (crash after the producer's rename) or the previous one. The
+	// injection point lets the stress suite kill the process exactly
+	// here.
+	fault.Inject(fault.RegistrySwap, 0)
+
+	r.activate(e, v, EventLoaded)
+	r.loaded.Add(1)
+	return nil
+}
+
+// LoadFile reads, validates and activates the bundle at path.
+func (r *Registry) LoadFile(ctx context.Context, path string) (name string, version uint64, err error) {
+	b, err := bundle.Load(path)
+	if err != nil {
+		r.rejected.Add(1)
+		r.event(RegistryEvent{Kind: EventRejected, Err: err})
+		return "", 0, err
+	}
+	return b.Manifest.Name, b.Manifest.Version, r.Load(ctx, b)
+}
+
+// LoadGraph activates g under name without an on-disk bundle — the
+// single-graph and testing convenience. The version is one past the
+// currently active one (1 for a new name).
+func (r *Registry) LoadGraph(ctx context.Context, name string, g *Graph) error {
+	version := uint64(1)
+	r.mu.RLock()
+	if e := r.graphs[name]; e != nil && e.active != nil {
+		version = e.active.version + 1
+	}
+	r.mu.RUnlock()
+	return r.Load(ctx, &Bundle{Manifest: BundleManifest{Name: name, Version: version}, Graph: g})
+}
+
+// entry returns (creating, when create is set) the record for name.
+func (r *Registry) entry(name string, create bool) (*graphEntry, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return nil, ErrRegistryClosed
+	}
+	e := r.graphs[name]
+	if e == nil {
+		if !create {
+			return nil, fmt.Errorf("%w: %q", ErrNoSuchGraph, name)
+		}
+		e = &graphEntry{name: name, state: GraphReloading}
+		r.graphs[name] = e
+	}
+	return e, nil
+}
+
+// buildVersion constructs and proves out a candidate version: pool
+// construction plus a bounded smoke solve. The smoke runs as a
+// one-shot direct solve rather than through the candidate pool, so a
+// deployment never pollutes the pool's operator-facing counters,
+// latency histograms or checkpoint files with synthetic work; pool
+// construction itself (NewPool preallocates and validates every
+// session) covers the admission machinery.
+func (r *Registry) buildVersion(ctx context.Context, b *Bundle) (*graphVersion, error) {
+	opt := r.conf.Options
+	if r.conf.ConfigureOptions != nil {
+		opt = r.conf.ConfigureOptions(b.Manifest.Name, b.Manifest.Version, opt)
+	}
+	pool, err := NewPool(b.Graph, opt, r.conf.Pool)
+	if err != nil {
+		return nil, fmt.Errorf("building pool: %w", err)
+	}
+	smokeOpt := opt
+	smokeOpt.CheckpointSink = nil
+	smokeOpt.CheckpointInterval = 0
+	sctx, cancel := context.WithTimeout(ctx, r.conf.SmokeTimeout)
+	res, err := RunContext(sctx, b.Graph, 0, smokeOpt)
+	cancel()
+	if err != nil || res == nil {
+		dctx, dcancel := context.WithTimeout(context.Background(), r.conf.DrainTimeout)
+		_ = pool.Close(dctx)
+		dcancel()
+		return nil, fmt.Errorf("smoke solve: %w", err)
+	}
+
+	v := &graphVersion{
+		version: b.Manifest.Version,
+		g:       b.Graph,
+		pool:    pool,
+	}
+	if len(b.Relabel) > 0 {
+		v.perm = b.Relabel
+	}
+	if len(b.Checkpoints) > 0 {
+		v.warm = make(map[uint32]*Checkpoint, len(b.Checkpoints))
+		for _, cp := range b.Checkpoints {
+			v.warm[cp.Source] = cp
+		}
+	}
+	return v, nil
+}
+
+// activate commits v as e's active version (the atomic swap): new
+// admissions route to v immediately, the replaced version drains in
+// the background and is retired into the bounded history. The retired
+// version's pool pointer is severed under the registry lock — a query
+// that captured it before the swap finishes (or gets ErrPoolClosed and
+// retries); a query routing after the swap only ever sees v.
+func (r *Registry) activate(e *graphEntry, v *graphVersion, kind RegistryEventKind) {
+	r.mu.Lock()
+	old := e.active
+	var oldPool *Pool
+	e.active = v
+	e.state = GraphServing
+	e.lastErr = nil
+	if old != nil {
+		oldPool, old.pool = old.pool, nil
+		e.history = append(e.history, old)
+		if drop := len(e.history) - r.conf.History; drop > 0 {
+			e.history = append([]*graphVersion(nil), e.history[drop:]...)
+		}
+	}
+	r.mu.Unlock()
+
+	if oldPool != nil {
+		// Drain in the background: in-flight queries finish on the old
+		// pool (Pool.Close waits for them); the bound only stops this
+		// goroutine from waiting forever on a wedged solve.
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), r.conf.DrainTimeout)
+			defer cancel()
+			_ = oldPool.Close(ctx)
+		}()
+	}
+	r.event(RegistryEvent{Graph: e.name, Version: v.version, Kind: kind})
+}
+
+// Rollback re-activates the most recently retired version of name: a
+// fresh pool is built from the retained graph and artifacts, smoke-
+// solved, and swapped in exactly like a load. The rolled-back-from
+// version enters the history, so rolling forward again is possible.
+// Returns the version now serving.
+func (r *Registry) Rollback(ctx context.Context, name string) (uint64, error) {
+	e, err := r.entry(name, false)
+	if err != nil {
+		return 0, err
+	}
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+
+	r.mu.Lock()
+	if len(e.history) == 0 {
+		cur := uint64(0)
+		if e.active != nil {
+			cur = e.active.version
+		}
+		r.mu.Unlock()
+		return cur, fmt.Errorf("wasp: graph %q has no retired version to roll back to", name)
+	}
+	target := e.history[len(e.history)-1]
+	e.state = GraphReloading
+	r.mu.Unlock()
+
+	// Rebuild a pool for the retired version. Reuse the bundle
+	// validation/smoke machinery by reconstituting the equivalent
+	// bundle from the retained artifacts.
+	b := &Bundle{
+		Manifest: BundleManifest{
+			Name:     name,
+			Version:  target.version,
+			Vertices: int64(target.g.NumVertices()),
+			Edges:    target.g.NumEdges(),
+			Directed: target.g.Directed(),
+		},
+		Graph:   target.g,
+		Relabel: target.perm,
+	}
+	for _, cp := range target.warm {
+		b.Checkpoints = append(b.Checkpoints, cp)
+	}
+	v, err := r.buildVersion(ctx, b)
+	if err != nil {
+		r.mu.Lock()
+		e.lastErr = err
+		e.state = GraphDegradedLastGood
+		r.mu.Unlock()
+		r.rejected.Add(1)
+		r.event(RegistryEvent{Graph: name, Version: target.version, Kind: EventRejected, Err: err})
+		return 0, fmt.Errorf("wasp: rollback of %q to v%d rejected: %w", name, target.version, err)
+	}
+
+	r.mu.Lock()
+	// Pop the target from history now that its replacement pool exists.
+	e.history = e.history[:len(e.history)-1]
+	r.mu.Unlock()
+
+	r.activate(e, v, EventRolledBack)
+	r.rolledBack.Add(1)
+	return v.version, nil
+}
+
+// Remove drains and drops name. Queries racing the removal get
+// ErrPoolClosed (if already admitted to the draining pool they finish
+// normally); subsequent queries get ErrNoSuchGraph.
+func (r *Registry) Remove(ctx context.Context, name string) error {
+	e, err := r.entry(name, false)
+	if err != nil {
+		return err
+	}
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+
+	r.mu.Lock()
+	active := e.active
+	var pool *Pool
+	version := uint64(0)
+	if active != nil {
+		pool, active.pool = active.pool, nil
+		version = active.version
+	}
+	e.active = nil
+	e.history = nil
+	delete(r.graphs, name)
+	r.mu.Unlock()
+
+	if pool != nil {
+		if err := pool.Close(ctx); err != nil {
+			return err
+		}
+	}
+	r.event(RegistryEvent{Graph: name, Version: version, Kind: EventRemoved})
+	return nil
+}
+
+// activeVersion resolves name to its currently serving version and
+// that version's pool, read together under the lock (the pool pointer
+// is severed under the same lock on retirement).
+func (r *Registry) activeVersion(name string) (*graphVersion, *Pool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e := r.graphs[name]
+	if e == nil || e.active == nil {
+		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchGraph, name)
+	}
+	return e.active, e.active.pool, nil
+}
+
+// closedOr translates the ErrPoolClosed a query hits on a
+// closed-but-still-attached pool into ErrRegistryClosed after Close
+// (pools stay attached so Stats keeps reporting final counters), and
+// passes err through otherwise.
+func (r *Registry) closedOr(err error) error {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return ErrRegistryClosed
+	}
+	return err
+}
+
+// Run solves SSSP on the named graph's active version, in original
+// vertex ids: when the version serves a relabeled graph the source is
+// translated in and the distance array translated back, and when the
+// bundle shipped a warm-start checkpoint for the source the solve
+// resumes from it instead of starting cold. All Pool semantics pass
+// through — ErrOverloaded fail-fast, deadline-degraded partials,
+// quarantine-and-retry.
+//
+// A query that loses the race with a hot swap (its pool closed between
+// routing and admission) is transparently re-routed to the new active
+// version: a reload never surfaces ErrPoolClosed to a Run caller while
+// the graph stays registered.
+func (r *Registry) Run(ctx context.Context, name string, source Vertex) (*Result, error) {
+	for {
+		v, pool, err := r.activeVersion(name)
+		if err != nil {
+			return nil, err
+		}
+		res, err := r.runOn(ctx, v, pool, source)
+		if errors.Is(err, ErrPoolClosed) {
+			if cur, _, cerr := r.activeVersion(name); cerr == nil && cur != v {
+				continue // swapped under us; retry on the new version
+			}
+			return nil, r.closedOr(err)
+		}
+		return res, err
+	}
+}
+
+// runOn executes one query on a specific version, handling relabeling
+// and warm-start artifacts.
+func (r *Registry) runOn(ctx context.Context, v *graphVersion, pool *Pool, source Vertex) (*Result, error) {
+	if int(source) >= v.g.NumVertices() {
+		return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", source, v.g.NumVertices())
+	}
+	if pool == nil {
+		return nil, ErrPoolClosed // retired while routing; Run retries
+	}
+	mapped := source
+	if v.perm != nil {
+		mapped = v.perm[source]
+	}
+	var res *Result
+	var err error
+	if cp, ok := v.warm[uint32(mapped)]; ok {
+		res, err = pool.Resume(ctx, cp)
+	} else {
+		res, err = pool.Run(ctx, mapped)
+	}
+	if res != nil && v.perm != nil && res.Dist != nil {
+		res.Dist = ApplyPermutation(res.Dist, v.perm)
+	}
+	return res, err
+}
+
+// Resume routes a checkpointed solve to the named graph, the
+// registry-level Pool.Resume: the checkpoint must match the active
+// version's graph shape (Checkpoint.Matches runs inside the pool), so
+// a checkpoint taken against a version that has since been replaced by
+// a differently-shaped graph fails fast instead of converging to
+// garbage. Results are translated to original ids like Run.
+func (r *Registry) Resume(ctx context.Context, name string, cp *Checkpoint) (*Result, error) {
+	for {
+		v, pool, err := r.activeVersion(name)
+		if err != nil {
+			return nil, err
+		}
+		if pool == nil {
+			return nil, ErrPoolClosed
+		}
+		res, err := pool.Resume(ctx, cp)
+		if errors.Is(err, ErrPoolClosed) {
+			if cur, _, cerr := r.activeVersion(name); cerr == nil && cur != v {
+				continue
+			}
+			return nil, r.closedOr(err)
+		}
+		if res != nil && v.perm != nil && res.Dist != nil {
+			res.Dist = ApplyPermutation(res.Dist, v.perm)
+		}
+		return res, err
+	}
+}
+
+// Graphs returns the registered graph names, unordered.
+func (r *Registry) Graphs() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.graphs))
+	for name := range r.graphs {
+		names = append(names, name)
+	}
+	return names
+}
+
+// Status reports the named graph's lifecycle state.
+func (r *Registry) Status(name string) (GraphStatus, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e := r.graphs[name]
+	if e == nil {
+		return GraphStatus{}, false
+	}
+	st := GraphStatus{Name: name, State: e.state}
+	if e.lastErr != nil {
+		st.LastError = e.lastErr.Error()
+	}
+	if v := e.active; v != nil {
+		st.Version = v.version
+		st.Vertices = v.g.NumVertices()
+		st.Edges = v.g.NumEdges()
+		st.Directed = v.g.Directed()
+		st.Relabeled = v.perm != nil
+		st.WarmSources = len(v.warm)
+	}
+	for i := len(e.history) - 1; i >= 0; i-- {
+		st.History = append(st.History, e.history[i].version)
+	}
+	return st, true
+}
+
+// Stats snapshots the named graph's active pool counters.
+func (r *Registry) Stats(name string) (PoolStats, bool) {
+	_, pool, err := r.activeVersion(name)
+	if err != nil || pool == nil {
+		return PoolStats{}, false
+	}
+	return pool.Stats(), true
+}
+
+// Observers returns the session observers of every active version (nil
+// entries never occur; graphs without PoolOptions.Observe contribute
+// nothing). Pools retire on reload, so cumulative scheduler counters
+// restart per deployment — standard Prometheus counter-reset semantics.
+func (r *Registry) Observers() []*Observer {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var all []*Observer
+	for _, e := range r.graphs {
+		if e.active != nil && e.active.pool != nil {
+			all = append(all, e.active.pool.SessionObservers()...)
+		}
+	}
+	return all
+}
+
+// ReloadStats counts reload outcomes since construction.
+func (r *Registry) ReloadStats() RegistryReloadStats {
+	return RegistryReloadStats{
+		Loaded:     r.loaded.Load(),
+		Rejected:   r.rejected.Load(),
+		RolledBack: r.rolledBack.Load(),
+		Noop:       r.noop.Load(),
+	}
+}
+
+// Servable reports whether at least one graph is currently admitting
+// queries — the readiness criterion: an orchestrator should only kill
+// a registry-backed server when nothing is servable.
+func (r *Registry) Servable() bool {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.closed {
+		return false
+	}
+	for _, e := range r.graphs {
+		if e.active != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// Close drains every graph's active pool and stops the registry: all
+// subsequent Loads fail with ErrRegistryClosed and Runs with
+// ErrPoolClosed (the pools are closed, but stay attached so Stats and
+// Status keep reporting the final counters through shutdown).
+func (r *Registry) Close(ctx context.Context) error {
+	r.mu.Lock()
+	r.closed = true
+	var pools []*Pool
+	for _, e := range r.graphs {
+		if e.active != nil && e.active.pool != nil {
+			pools = append(pools, e.active.pool)
+		}
+	}
+	r.mu.Unlock()
+	var firstErr error
+	for _, p := range pools {
+		if err := p.Close(ctx); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

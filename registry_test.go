@@ -1,0 +1,620 @@
+package wasp
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wasp/internal/fault"
+)
+
+// chain builds a directed path 0→1→…→n-1 with uniform weight w, so
+// dist[n-1] = (n-1)*w distinguishes which version answered a query.
+func chain(n int, w Weight) *Graph {
+	edges := make([]Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, Edge{From: Vertex(i), To: Vertex(i + 1), W: w})
+	}
+	return FromEdges(n, true, edges)
+}
+
+func chainBundle(name string, version uint64, n int, w Weight) *Bundle {
+	return &Bundle{
+		Manifest: BundleManifest{Name: name, Version: version},
+		Graph:    chain(n, w),
+	}
+}
+
+func testRegistry(t *testing.T) *Registry {
+	t.Helper()
+	r := NewRegistry(RegistryOptions{
+		Pool:         PoolOptions{Sessions: 2, QueueDepth: 64, QueueWait: 5 * time.Second},
+		SmokeTimeout: 5 * time.Second,
+		DrainTimeout: 10 * time.Second,
+	})
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = r.Close(ctx)
+	})
+	return r
+}
+
+// TestRegistryServeAndStatus: the basic load → query → introspect loop.
+func TestRegistryServeAndStatus(t *testing.T) {
+	r := testRegistry(t)
+	ctx := context.Background()
+	if err := r.Load(ctx, chainBundle("line", 1, 16, 3)); err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	res, err := r.Run(ctx, "line", 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := res.Dist[15]; got != 45 {
+		t.Fatalf("dist[15] = %d, want 45", got)
+	}
+	st, ok := r.Status("line")
+	if !ok {
+		t.Fatal("Status: graph missing")
+	}
+	if st.Version != 1 || st.State != GraphServing || st.Vertices != 16 || st.Edges != 15 {
+		t.Fatalf("Status = %+v", st)
+	}
+	if _, err := r.Run(ctx, "nope", 0); !errors.Is(err, ErrNoSuchGraph) {
+		t.Fatalf("Run on unknown graph: %v, want ErrNoSuchGraph", err)
+	}
+	if _, err := r.Run(ctx, "line", 16); err == nil {
+		t.Fatal("Run with out-of-range source accepted")
+	}
+	if names := r.Graphs(); len(names) != 1 || names[0] != "line" {
+		t.Fatalf("Graphs() = %v", names)
+	}
+	if !r.Servable() {
+		t.Fatal("Servable() = false with an active graph")
+	}
+}
+
+// TestRegistryHotSwap: a new version atomically replaces the old one,
+// the old version enters the rollback history, and queries after the
+// swap answer from the new graph.
+func TestRegistryHotSwap(t *testing.T) {
+	r := testRegistry(t)
+	ctx := context.Background()
+	var events []RegistryEventKind
+	r.conf.OnEvent = func(ev RegistryEvent) { events = append(events, ev.Kind) }
+
+	if err := r.Load(ctx, chainBundle("g", 1, 8, 1)); err != nil {
+		t.Fatalf("Load v1: %v", err)
+	}
+	if err := r.Load(ctx, chainBundle("g", 2, 8, 5)); err != nil {
+		t.Fatalf("Load v2: %v", err)
+	}
+	res, err := r.Run(ctx, "g", 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if res.Dist[7] != 35 {
+		t.Fatalf("dist[7] = %d, want 35 (v2 weights)", res.Dist[7])
+	}
+	st, _ := r.Status("g")
+	if st.Version != 2 || len(st.History) != 1 || st.History[0] != 1 {
+		t.Fatalf("Status after swap = %+v", st)
+	}
+	stats := r.ReloadStats()
+	if stats.Loaded != 2 || stats.Rejected != 0 {
+		t.Fatalf("ReloadStats = %+v", stats)
+	}
+	if len(events) != 2 || events[0] != EventLoaded || events[1] != EventLoaded {
+		t.Fatalf("events = %v", events)
+	}
+}
+
+// TestRegistryLoadNoop: re-loading the active version changes nothing.
+func TestRegistryLoadNoop(t *testing.T) {
+	r := testRegistry(t)
+	ctx := context.Background()
+	if err := r.Load(ctx, chainBundle("g", 1, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Load(ctx, chainBundle("g", 1, 8, 9)); err != nil {
+		t.Fatalf("noop Load: %v", err)
+	}
+	res, err := r.Run(ctx, "g", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[7] != 7 {
+		t.Fatalf("noop load replaced the graph: dist[7] = %d", res.Dist[7])
+	}
+	if stats := r.ReloadStats(); stats.Noop != 1 || stats.Loaded != 1 {
+		t.Fatalf("ReloadStats = %+v", stats)
+	}
+}
+
+// TestRegistryHistoryBounded: the rollback history keeps the newest
+// RegistryOptions.History versions only.
+func TestRegistryHistoryBounded(t *testing.T) {
+	r := testRegistry(t) // History defaults to 2
+	ctx := context.Background()
+	for v := uint64(1); v <= 5; v++ {
+		if err := r.Load(ctx, chainBundle("g", v, 8, Weight(v))); err != nil {
+			t.Fatalf("Load v%d: %v", v, err)
+		}
+	}
+	st, _ := r.Status("g")
+	if st.Version != 5 || len(st.History) != 2 || st.History[0] != 4 || st.History[1] != 3 {
+		t.Fatalf("Status = %+v, want version 5 with history [4 3]", st)
+	}
+}
+
+// TestRegistryRejectCorruptFile: a corrupted bundle file is rejected by
+// LoadFile, the counter increments, and the last good version serves.
+func TestRegistryRejectCorruptFile(t *testing.T) {
+	r := testRegistry(t)
+	ctx := context.Background()
+	if err := r.Load(ctx, chainBundle("g", 1, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	good := filepath.Join(dir, "g.wspb")
+	if err := SaveBundle(good, chainBundle("g", 2, 8, 9)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, mut := range map[string][]byte{
+		"truncated": data[:len(data)/2],
+		"crc-flip":  append(bytes.Clone(data[:len(data)-1]), data[len(data)-1]^0xff),
+	} {
+		bad := filepath.Join(dir, name+".wspb")
+		if err := os.WriteFile(bad, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.LoadFile(ctx, bad); err == nil {
+			t.Fatalf("%s bundle accepted", name)
+		}
+	}
+
+	// Last good keeps serving.
+	res, err := r.Run(ctx, "g", 0)
+	if err != nil {
+		t.Fatalf("Run after rejections: %v", err)
+	}
+	if res.Dist[7] != 14 {
+		t.Fatalf("dist[7] = %d, want 14 (v1 still serving)", res.Dist[7])
+	}
+	if stats := r.ReloadStats(); stats.Rejected != 2 || stats.Loaded != 1 {
+		t.Fatalf("ReloadStats = %+v", stats)
+	}
+
+	// The intact file then loads fine.
+	if _, _, err := r.LoadFile(ctx, good); err != nil {
+		t.Fatalf("LoadFile(good): %v", err)
+	}
+	res, err = r.Run(ctx, "g", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[7] != 63 {
+		t.Fatalf("dist[7] = %d, want 63 (v2)", res.Dist[7])
+	}
+}
+
+// TestRegistryRejectInvalidBundle: a bundle failing structural
+// validation (manifest fingerprint disagreeing with the graph) never
+// reaches the serving path.
+func TestRegistryRejectInvalidBundle(t *testing.T) {
+	r := testRegistry(t)
+	ctx := context.Background()
+	if err := r.Load(ctx, chainBundle("g", 1, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	bad := chainBundle("g", 2, 8, 3)
+	bad.Manifest.Vertices = 999
+	if err := r.Load(ctx, bad); err == nil {
+		t.Fatal("fingerprint-mismatched bundle accepted")
+	}
+	st, _ := r.Status("g")
+	if st.Version != 1 || st.State != GraphServing {
+		t.Fatalf("Status after pre-entry rejection = %+v", st)
+	}
+	if _, err := r.Run(ctx, "g", 0); err != nil {
+		t.Fatalf("Run after rejection: %v", err)
+	}
+}
+
+// TestRegistryRollback: rolling back re-activates the previous version
+// with a fresh pool; rolling back again moves forward through history.
+func TestRegistryRollback(t *testing.T) {
+	r := testRegistry(t)
+	ctx := context.Background()
+	if err := r.Load(ctx, chainBundle("g", 1, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Load(ctx, chainBundle("g", 2, 8, 5)); err != nil {
+		t.Fatal(err)
+	}
+	v, err := r.Rollback(ctx, "g")
+	if err != nil {
+		t.Fatalf("Rollback: %v", err)
+	}
+	if v != 1 {
+		t.Fatalf("Rollback landed on v%d, want v1", v)
+	}
+	res, err := r.Run(ctx, "g", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[7] != 7 {
+		t.Fatalf("dist[7] = %d, want 7 (v1 weights)", res.Dist[7])
+	}
+	st, _ := r.Status("g")
+	if st.Version != 1 || len(st.History) != 1 || st.History[0] != 2 {
+		t.Fatalf("Status after rollback = %+v", st)
+	}
+	// The rolled-back-from version is itself in history: roll forward.
+	if v, err = r.Rollback(ctx, "g"); err != nil || v != 2 {
+		t.Fatalf("roll-forward: v%d, %v", v, err)
+	}
+	if stats := r.ReloadStats(); stats.RolledBack != 2 {
+		t.Fatalf("ReloadStats = %+v", stats)
+	}
+	// Unknown graph and exhausted history are errors.
+	if _, err := r.Rollback(ctx, "nope"); !errors.Is(err, ErrNoSuchGraph) {
+		t.Fatalf("Rollback unknown: %v", err)
+	}
+}
+
+// TestRegistryRollbackEmptyHistory: a graph with no retired versions
+// cannot roll back.
+func TestRegistryRollbackEmptyHistory(t *testing.T) {
+	r := testRegistry(t)
+	ctx := context.Background()
+	if err := r.Load(ctx, chainBundle("g", 1, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Rollback(ctx, "g"); err == nil {
+		t.Fatal("Rollback with empty history succeeded")
+	}
+}
+
+// TestRegistryRelabeledBundle: a bundle shipping a relabeled graph and
+// its permutation serves queries in original vertex ids — the source is
+// translated in, the distance array translated back.
+func TestRegistryRelabeledBundle(t *testing.T) {
+	// A graph with skewed degrees so RelabelByDegree actually permutes.
+	g := FromEdges(6, true, []Edge{
+		{From: 0, To: 1, W: 2}, {From: 0, To: 2, W: 7}, {From: 1, To: 2, W: 3},
+		{From: 2, To: 3, W: 1}, {From: 3, To: 4, W: 4}, {From: 4, To: 5, W: 1},
+		{From: 1, To: 4, W: 20}, {From: 2, To: 5, W: 30},
+	})
+	rg, perm := RelabelByDegree(g)
+
+	r := testRegistry(t)
+	ctx := context.Background()
+	err := r.Load(ctx, &Bundle{
+		Manifest: BundleManifest{Name: "g", Version: 1},
+		Graph:    rg,
+		Relabel:  perm,
+	})
+	if err != nil {
+		t.Fatalf("Load relabeled: %v", err)
+	}
+	st, _ := r.Status("g")
+	if !st.Relabeled {
+		t.Fatalf("Status.Relabeled = false: %+v", st)
+	}
+
+	want, err := Run(g, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.Run(ctx, "g", 0)
+	if err != nil {
+		t.Fatalf("registry Run: %v", err)
+	}
+	for v := 0; v < 6; v++ {
+		if got.Dist[v] != want.Dist[v] {
+			t.Fatalf("dist[%d] = %d, want %d (original-id space)", v, got.Dist[v], want.Dist[v])
+		}
+	}
+}
+
+// TestRegistryWarmStart: a bundle-carried checkpoint answers its source
+// via warm resume, including concurrently (the seed is shared
+// read-only), and produces the same distances as a cold solve.
+func TestRegistryWarmStart(t *testing.T) {
+	g := chain(32, 3)
+	cold, err := Run(g, 0, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A genuine partial checkpoint: first half settled.
+	dist := make([]uint32, 32)
+	for i := range dist {
+		if i < 16 {
+			dist[i] = uint32(i) * 3
+		} else {
+			dist[i] = Infinity
+		}
+	}
+	cp := &Checkpoint{
+		Source: 0, GraphVertices: 32, GraphEdges: 31, Directed: true, Dist: dist,
+	}
+	r := testRegistry(t)
+	ctx := context.Background()
+	err = r.Load(ctx, &Bundle{
+		Manifest:    BundleManifest{Name: "g", Version: 1},
+		Graph:       g,
+		Checkpoints: []*Checkpoint{cp},
+	})
+	if err != nil {
+		t.Fatalf("Load with checkpoint: %v", err)
+	}
+	if st, _ := r.Status("g"); st.WarmSources != 1 {
+		t.Fatalf("WarmSources = %d, want 1", st.WarmSources)
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := r.Run(ctx, "g", 0)
+			if err != nil {
+				t.Errorf("warm Run: %v", err)
+				return
+			}
+			for v := range cold.Dist {
+				if res.Dist[v] != cold.Dist[v] {
+					t.Errorf("dist[%d] = %d, want %d", v, res.Dist[v], cold.Dist[v])
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// The shared seed must not have been mutated by the resumes.
+	if cp.Dist[31] != Infinity || cp.Dist[15] != 45 {
+		t.Fatalf("bundle checkpoint mutated by serving: %v", cp.Dist[14:])
+	}
+}
+
+// TestRegistryRemoveAndClose: removal drains and unregisters; Close
+// stops everything.
+func TestRegistryRemoveAndClose(t *testing.T) {
+	r := NewRegistry(RegistryOptions{})
+	ctx := context.Background()
+	if err := r.Load(ctx, chainBundle("a", 1, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Load(ctx, chainBundle("b", 1, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove(ctx, "a"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if _, err := r.Run(ctx, "a", 0); !errors.Is(err, ErrNoSuchGraph) {
+		t.Fatalf("Run after Remove: %v", err)
+	}
+	if err := r.Close(ctx); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := r.Load(ctx, chainBundle("c", 1, 8, 1)); !errors.Is(err, ErrRegistryClosed) {
+		t.Fatalf("Load after Close: %v", err)
+	}
+	// Queries after Close fail with the registry's own error, not the
+	// leaked ErrPoolClosed of the still-attached (for Stats) pools.
+	if _, err := r.Run(ctx, "b", 0); !errors.Is(err, ErrRegistryClosed) {
+		t.Fatalf("Run after Close: %v", err)
+	}
+	if r.Servable() {
+		t.Fatal("Servable() = true: closed registry still claims a servable graph")
+	}
+}
+
+// TestRegistryMidSwapCrash: a crash between validation and the swap
+// (the RegistrySwap injection point) leaves the old version serving,
+// and a "restarted" registry rebuilt from the bundle directory comes
+// back on a consistent version.
+func TestRegistryMidSwapCrash(t *testing.T) {
+	dir := t.TempDir()
+	v1 := filepath.Join(dir, "g-1.wspb")
+	v2 := filepath.Join(dir, "g-2.wspb")
+	if err := SaveBundle(v1, chainBundle("g", 1, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveBundle(v2, chainBundle("g", 2, 8, 9)); err != nil {
+		t.Fatal(err)
+	}
+
+	r := testRegistry(t)
+	ctx := context.Background()
+	if _, _, err := r.LoadFile(ctx, v1); err != nil {
+		t.Fatal(err)
+	}
+
+	fault.Activate(fault.NewPlan(fault.Config{
+		Seed: 11, PanicOnHit: 1, PanicPoint: fault.RegistrySwap,
+	}))
+	defer fault.Deactivate()
+	crashed := func() (c bool) {
+		defer func() { c = recover() != nil }()
+		_, _, _ = r.LoadFile(ctx, v2)
+		return false
+	}()
+	fault.Deactivate()
+	if !crashed {
+		t.Fatal("RegistrySwap injection did not fire")
+	}
+
+	// The crashing load never activated: v1 still serves.
+	res, err := r.Run(ctx, "g", 0)
+	if err != nil {
+		t.Fatalf("Run after mid-swap crash: %v", err)
+	}
+	if res.Dist[7] != 14 {
+		t.Fatalf("dist[7] = %d, want 14 (v1)", res.Dist[7])
+	}
+
+	// "Restart": a fresh registry loading everything the directory
+	// holds converges on the newest intact bundle.
+	r2 := testRegistry(t)
+	for _, p := range []string{v1, v2} {
+		if _, _, err := r2.LoadFile(ctx, p); err != nil {
+			t.Fatalf("restart LoadFile(%s): %v", p, err)
+		}
+	}
+	st, _ := r2.Status("g")
+	if st.Version != 2 || st.State != GraphServing {
+		t.Fatalf("restart Status = %+v, want v2 serving", st)
+	}
+}
+
+// TestRegistryReloadUnderFire is the acceptance stress: two graphs
+// under continuous query load while a reloader hot-swaps good bundles,
+// throws corrupt ones at the registry, and rolls back — with the
+// BundleSection stall hook stretching every load window. No query may
+// fail for a reload-attributable reason, every answer must be
+// consistent with some deployed version, and the registry must end on
+// the last good version of each graph.
+func TestRegistryReloadUnderFire(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test")
+	}
+	const (
+		n       = 64
+		clients = 3
+		reloads = 12
+	)
+	fault.Activate(fault.NewPlan(fault.Config{Seed: 42, BundleStall: 500, MaxYields: 8}))
+	defer fault.Deactivate()
+
+	r := NewRegistry(RegistryOptions{
+		Pool:         PoolOptions{Sessions: 2, QueueDepth: 256, QueueWait: 30 * time.Second},
+		History:      3,
+		SmokeTimeout: 10 * time.Second,
+		DrainTimeout: 30 * time.Second,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = r.Close(ctx)
+	}()
+
+	ctx := context.Background()
+	dir := t.TempDir()
+	graphs := []string{"alpha", "beta"}
+	lastGood := map[string]uint64{}
+	for _, name := range graphs {
+		if err := r.Load(ctx, chainBundle(name, 1, n, 1)); err != nil {
+			t.Fatal(err)
+		}
+		lastGood[name] = 1
+	}
+
+	var stop atomic.Bool
+	var queries, failures atomic.Int64
+	var wg sync.WaitGroup
+	for _, name := range graphs {
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				for !stop.Load() {
+					res, err := r.Run(ctx, name, 0)
+					queries.Add(1)
+					if err != nil {
+						failures.Add(1)
+						t.Errorf("query on %q failed: %v", name, err)
+						return
+					}
+					// dist[n-1] = (n-1)*w where w is some version's
+					// weight — any answer must be one whole version's.
+					d := res.Dist[n-1]
+					if d == 0 || d%uint32(n-1) != 0 || d/uint32(n-1) > reloads+1 {
+						failures.Add(1)
+						t.Errorf("query on %q returned torn distances: dist[%d]=%d", name, n-1, d)
+						return
+					}
+				}
+			}(name)
+		}
+	}
+
+	// The reloader: good swaps, corrupt files, the occasional rollback.
+	for i := 0; i < reloads && !t.Failed(); i++ {
+		name := graphs[i%len(graphs)]
+		version := lastGood[name] + 1
+		path := filepath.Join(dir, fmt.Sprintf("%s-%d.wspb", name, version))
+		if err := SaveBundle(path, chainBundle(name, version, n, Weight(version))); err != nil {
+			t.Fatal(err)
+		}
+		switch i % 3 {
+		case 0, 1:
+			if _, _, err := r.LoadFile(ctx, path); err != nil {
+				t.Fatalf("reload %d (%s v%d): %v", i, name, version, err)
+			}
+			lastGood[name] = version
+		case 2:
+			// Corrupt the bundle on disk before loading: must reject.
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)/2] ^= 0x20
+			bad := path + ".bad"
+			if err := os.WriteFile(bad, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, err := r.LoadFile(ctx, bad); err == nil {
+				t.Fatalf("reload %d: corrupt bundle accepted", i)
+			}
+			// And an occasional rollback of the other graph.
+			other := graphs[(i+1)%len(graphs)]
+			if st, _ := r.Status(other); len(st.History) > 0 {
+				v, err := r.Rollback(ctx, other)
+				if err != nil {
+					t.Fatalf("rollback of %q: %v", other, err)
+				}
+				lastGood[other] = v
+			}
+		}
+	}
+
+	stop.Store(true)
+	wg.Wait()
+
+	if failures.Load() != 0 {
+		t.Fatalf("%d of %d queries failed under reload fire", failures.Load(), queries.Load())
+	}
+	if queries.Load() == 0 {
+		t.Fatal("stress ran zero queries")
+	}
+	for _, name := range graphs {
+		st, ok := r.Status(name)
+		if !ok || st.Version != lastGood[name] || st.State != GraphServing {
+			t.Fatalf("%s final status = %+v, want v%d serving", name, st, lastGood[name])
+		}
+		res, err := r.Run(ctx, name, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint32(n-1) * uint32(lastGood[name]); res.Dist[n-1] != want {
+			t.Fatalf("%s final dist = %d, want %d", name, res.Dist[n-1], want)
+		}
+	}
+	t.Logf("reload-under-fire: %d queries, %d reloads, stats %+v",
+		queries.Load(), reloads, r.ReloadStats())
+}
