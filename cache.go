@@ -1,0 +1,479 @@
+package wasp
+
+import (
+	"container/list"
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// CacheOptions configures a Cache. The zero value caches up to 256 MiB
+// of distance arrays with nearest-source warm starts enabled.
+type CacheOptions struct {
+	// MaxBytes is the memory budget for cached distance arrays
+	// (default 256 MiB). The least-recently-used entry is evicted when
+	// an insert would exceed it; a single result larger than the whole
+	// budget is served but never stored.
+	MaxBytes int64
+	// DisableWarm turns off nearest-source warm seeding: misses always
+	// solve cold. Exact-hit serving and singleflight are unaffected.
+	DisableWarm bool
+}
+
+// defaultCacheBytes is CacheOptions.MaxBytes when unset.
+const defaultCacheBytes = 256 << 20
+
+// Cache is a pool-level result-reuse layer: completed distance arrays
+// are retained as compact in-memory WSCK checkpoints (the
+// internal/checkpoint snapshot form — ~4 bytes per vertex) keyed by
+// (scope, graph content fingerprint, source) with LRU eviction under
+// MaxBytes. One Cache may serve many pools — and, through
+// RegistryOptions.Cache, every versioned pool of a Registry.
+//
+// Three mechanisms stack, cheapest first:
+//
+//   - Exact hit: a query whose (graph, source) pair was already solved
+//     returns a detached copy of the cached distances without touching
+//     a session — no admission ticket, no solver work, microseconds.
+//   - Singleflight: concurrent identical queries coalesce onto one
+//     in-flight solve; followers wait and share the leader's result
+//     (including deadline-degraded partials) instead of computing it
+//     K times. A failed leader releases the followers to retry, one of
+//     which becomes the new leader.
+//   - Nearest-source warm start: a miss on an undirected graph seeds
+//     the solve from the cached entry A minimizing distA[B] for new
+//     source B — seed[v] = distA[v] + distA[B] is a valid upper bound
+//     via the path B→A→v, and the Wasp repair scan (PrepareWarm)
+//     converges it to exact distances. Seeding is attempted only when
+//     warm starts are compatible with the pool's options (see
+//     Options.WarmStart); incompatible configurations fall back to a
+//     cold solve instead of erroring. Directed graphs always solve
+//     cold: distA[B] bounds the A→B direction, not B→A.
+//
+// Staleness is impossible by construction: keys embed the graph's
+// weight-covering content fingerprint (Graph.WeightFingerprint), so a
+// hot-reloaded version — even one identical in shape — can never
+// observe a predecessor's entries. InvalidateScope additionally frees
+// a retired version's memory promptly and marks its in-flight solves
+// do-not-store; the Registry calls it on every reload, rollback and
+// removal.
+//
+// All methods are safe for concurrent use.
+type Cache struct {
+	conf CacheOptions
+
+	mu      sync.Mutex
+	lru     *list.List // of *cacheEntry, most recent at front
+	entries map[cacheKey]*list.Element
+	flights map[cacheKey]*flight
+	bytes   int64
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	coalesced  atomic.Int64
+	evicted    atomic.Int64
+	warmStarts atomic.Int64
+	coldStarts atomic.Int64
+
+	hitLat histogram
+}
+
+// cacheKey identifies one cached result. The scope partitions entries
+// by deployment (the Registry uses "name@version"); the graphFP pins
+// the exact graph content so two scopes — or two graphs behind bare
+// pools sharing one cache — can never alias each other's results
+// unless the graphs are bit-identical, in which case sharing is
+// correct.
+type cacheKey struct {
+	scope  string
+	fp     graphFP
+	source uint32
+}
+
+// graphFP is the cache's graph identity: the shape triple plus the
+// weight-covering content fingerprint.
+type graphFP struct {
+	vertices int
+	edges    int64
+	directed bool
+	weights  uint64
+}
+
+func fingerprintOf(g *Graph) graphFP {
+	return graphFP{
+		vertices: g.NumVertices(),
+		edges:    g.NumEdges(),
+		directed: g.Directed(),
+		weights:  g.WeightFingerprint(),
+	}
+}
+
+// cacheEntry is one stored result. Immutable after insert — hits and
+// warm-start scans read it without holding the cache lock.
+type cacheEntry struct {
+	key   cacheKey
+	cp    *Checkpoint // complete exact distances; Elapsed is the cumulative solve cost
+	algo  Algorithm
+	steps int64
+	prog  Progress
+	size  int64
+}
+
+// entryOverhead approximates per-entry bookkeeping (entry struct,
+// checkpoint header, list element, map slot) charged against MaxBytes
+// on top of the distance array.
+const entryOverhead = 160
+
+// flight is one in-flight solve under singleflight. res and err are
+// written by the leader before close(done) and read by followers after
+// <-done (the channel close publishes them).
+type flight struct {
+	done    chan struct{}
+	res     *Result
+	err     error
+	noStore atomic.Bool // set by InvalidateScope: the scope retired mid-solve
+}
+
+// NewCache returns an empty cache with opt applied.
+func NewCache(opt CacheOptions) *Cache {
+	if opt.MaxBytes <= 0 {
+		opt.MaxBytes = defaultCacheBytes
+	}
+	return &Cache{
+		conf:    opt,
+		lru:     list.New(),
+		entries: make(map[cacheKey]*list.Element),
+		flights: make(map[cacheKey]*flight),
+	}
+}
+
+// getOrSolve is the cache's front door, called by Pool.Run and
+// Pool.Resume when the pool is cache-backed. callerWarm, when non-nil,
+// is the caller's own validated checkpoint (Pool.Resume); it seeds the
+// solve on a miss in place of the nearest-source scan.
+func (c *Cache) getOrSolve(ctx context.Context, p *Pool, source Vertex, callerWarm *Checkpoint) (*Result, error) {
+	key := cacheKey{scope: p.cacheScope, fp: p.fp, source: uint32(source)}
+	for {
+		c.mu.Lock()
+		if el, ok := c.entries[key]; ok {
+			ent := el.Value.(*cacheEntry)
+			c.lru.MoveToFront(el)
+			c.mu.Unlock()
+			c.hits.Add(1)
+			start := time.Now()
+			res := ent.result()
+			c.hitLat.record(time.Since(start))
+			return res, nil
+		}
+		if f, ok := c.flights[key]; ok {
+			c.mu.Unlock()
+			c.coalesced.Add(1)
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, fmt.Errorf("%w: %w", ErrCancelled, ctx.Err())
+			}
+			if f.err == nil {
+				// Share the leader's outcome — including a degraded
+				// partial: the leader's deadline expiring means ours
+				// would have too, and a valid upper-bound snapshot is
+				// the contract for that case.
+				return copyResult(f.res), nil
+			}
+			// The leader failed (cancelled, panicked twice, shed).
+			// Its error may be private to its context — loop; the
+			// first follower through becomes the new leader.
+			continue
+		}
+
+		// Miss: become the leader.
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
+		warm := callerWarm
+		if warm == nil {
+			warm = c.nearestSeedLocked(p, key)
+		}
+		c.mu.Unlock()
+		c.misses.Add(1)
+		if warm != nil {
+			c.warmStarts.Add(1)
+		} else {
+			c.coldStarts.Add(1)
+		}
+
+		res, err := p.admitAndSolve(ctx, source, warm)
+
+		c.mu.Lock()
+		delete(c.flights, key)
+		store := err == nil && res != nil && res.Complete && !f.noStore.Load()
+		if store {
+			c.insertLocked(key, res)
+		}
+		c.mu.Unlock()
+		f.res, f.err = res, err
+		close(f.done)
+		if err == nil && res != nil {
+			// f.res is now shared with any followers: hand the leader
+			// its own detached copy so post-return mutation of one
+			// caller's Dist can never corrupt another's.
+			return copyResult(res), nil
+		}
+		return res, err
+	}
+}
+
+// nearestSeedLocked scans the cached entries of (scope, fp) for the
+// source nearest to key.source and synthesizes a warm-start checkpoint
+// from it: seed[v] = distA[v] + distA[B], clamped at Infinity, with
+// seed[B] = 0 — every entry an upper bound on the true distance via
+// the detour through A. Returns nil (cold solve) when warm seeding is
+// unsupported by the pool's options, disabled, the graph is directed,
+// or no finite-proximity entry exists. Called with c.mu held; the O(n)
+// seed construction runs on the immutable entry after release.
+func (c *Cache) nearestSeedLocked(p *Pool, key cacheKey) *Checkpoint {
+	if c.conf.DisableWarm || key.fp.directed || warmStartSupported(p.opt) != nil {
+		return nil
+	}
+	var best *cacheEntry
+	bestD := uint32(Infinity)
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		ent := el.Value.(*cacheEntry)
+		if ent.key.scope != key.scope || ent.key.fp != key.fp {
+			continue
+		}
+		if d := ent.cp.Dist[key.source]; d < bestD {
+			best, bestD = ent, d
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	src := best.cp.Dist // immutable after insert: safe to read unlocked too
+	seed := make([]uint32, len(src))
+	for i, dv := range src {
+		seed[i] = satAdd32(dv, bestD)
+	}
+	seed[key.source] = 0
+	return &Checkpoint{
+		Source:        key.source,
+		GraphVertices: key.fp.vertices,
+		GraphEdges:    key.fp.edges,
+		Directed:      key.fp.directed,
+		WeightFP:      key.fp.weights,
+		Dist:          seed,
+	}
+}
+
+// satAdd32 adds two distances, saturating at Infinity (so an
+// unreachable term stays unreachable).
+func satAdd32(a, b uint32) uint32 {
+	if s := uint64(a) + uint64(b); s < uint64(Infinity) {
+		return uint32(s)
+	}
+	return Infinity
+}
+
+// insertLocked stores a completed result under key and evicts from the
+// LRU tail until the budget holds. Called with c.mu held; res is the
+// leader's detached result — its distances are copied, not aliased.
+func (c *Cache) insertLocked(key cacheKey, res *Result) {
+	size := int64(4*len(res.Dist)) + entryOverhead
+	if size > c.conf.MaxBytes {
+		return // larger than the whole budget: serve, don't store
+	}
+	if el, ok := c.entries[key]; ok {
+		// A duplicate solve raced us (e.g. distinct flights before and
+		// after an invalidation). Keep the existing entry fresh.
+		c.lru.MoveToFront(el)
+		return
+	}
+	ent := &cacheEntry{
+		key: key,
+		cp: &Checkpoint{
+			Source:        key.source,
+			GraphVertices: key.fp.vertices,
+			GraphEdges:    key.fp.edges,
+			Directed:      key.fp.directed,
+			WeightFP:      key.fp.weights,
+			Elapsed:       res.Elapsed,
+			Dist:          append([]uint32(nil), res.Dist...),
+		},
+		algo:  res.Algorithm,
+		steps: res.Steps,
+		prog:  res.Progress,
+		size:  size,
+	}
+	c.entries[key] = c.lru.PushFront(ent)
+	c.bytes += size
+	for c.bytes > c.conf.MaxBytes {
+		tail := c.lru.Back()
+		if tail == nil {
+			break
+		}
+		c.removeLocked(tail)
+		c.evicted.Add(1)
+	}
+}
+
+// removeLocked unlinks one LRU element. Called with c.mu held.
+func (c *Cache) removeLocked(el *list.Element) {
+	ent := c.lru.Remove(el).(*cacheEntry)
+	delete(c.entries, ent.key)
+	c.bytes -= ent.size
+}
+
+// result materializes a hit: a fresh Result whose distances are a
+// detached copy of the entry's. Elapsed stays cumulative (the wall
+// time originally paid for these distances, per the Result contract)
+// and PriorElapsed carries all of it, so Elapsed - PriorElapsed ≈ 0
+// reflects that this process did no solver work.
+func (e *cacheEntry) result() *Result {
+	return &Result{
+		Dist:         append([]uint32(nil), e.cp.Dist...),
+		Elapsed:      e.cp.Elapsed,
+		PriorElapsed: e.cp.Elapsed,
+		Algorithm:    e.algo,
+		Steps:        e.steps,
+		Complete:     true,
+		Progress:     e.prog,
+	}
+}
+
+// copyResult detaches a shared result for one caller.
+func copyResult(r *Result) *Result {
+	if r == nil {
+		return nil
+	}
+	out := *r
+	if r.Dist != nil {
+		out.Dist = append([]uint32(nil), r.Dist...)
+	}
+	if r.Metrics != nil {
+		m := *r.Metrics
+		out.Metrics = &m
+	}
+	return &out
+}
+
+// InvalidateScope drops every cached entry whose scope matches and
+// marks matching in-flight solves do-not-store, so nothing keyed to a
+// retired deployment lingers in the budget or slips in after it. The
+// Registry calls this on reload, rollback and removal; entries were
+// already unreachable by the successor version (its scope and
+// fingerprint differ), so this is memory hygiene, not a correctness
+// requirement. Returns the number of entries dropped.
+func (c *Cache) InvalidateScope(scope string) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for el := c.lru.Front(); el != nil; {
+		next := el.Next()
+		if ent := el.Value.(*cacheEntry); ent.key.scope == scope {
+			c.removeLocked(el)
+			dropped++
+		}
+		el = next
+	}
+	for key, f := range c.flights {
+		if key.scope == scope {
+			f.noStore.Store(true)
+		}
+	}
+	return dropped
+}
+
+// CacheStats is a point-in-time snapshot of a Cache's counters, the
+// observability surface behind ssspd's /stats and /metrics.
+type CacheStats struct {
+	Hits       int64 `json:"hits"`       // exact-hit queries served without a solve
+	Misses     int64 `json:"misses"`     // queries that led a solve
+	Coalesced  int64 `json:"coalesced"`  // follower waits merged onto an in-flight solve
+	Evicted    int64 `json:"evicted"`    // entries dropped by the LRU budget
+	WarmStarts int64 `json:"warm_starts"` // misses seeded from a nearest cached source
+	ColdStarts int64 `json:"cold_starts"` // misses solved from scratch
+
+	Entries  int   `json:"entries"`   // resident results
+	Bytes    int64 `json:"bytes"`     // resident size charged against the budget
+	MaxBytes int64 `json:"max_bytes"` // configured budget
+
+	// HitLatency is the fixed-bucket histogram of exact-hit serve
+	// times (the copy-and-return path; solver time never appears here).
+	HitLatency HistogramSnapshot `json:"hit_latency"`
+}
+
+// Stats snapshots the cache's counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	entries, bytes := len(c.entries), c.bytes
+	c.mu.Unlock()
+	return CacheStats{
+		Hits:       c.hits.Load(),
+		Misses:     c.misses.Load(),
+		Coalesced:  c.coalesced.Load(),
+		Evicted:    c.evicted.Load(),
+		WarmStarts: c.warmStarts.Load(),
+		ColdStarts: c.coldStarts.Load(),
+		Entries:    entries,
+		Bytes:      bytes,
+		MaxBytes:   c.conf.MaxBytes,
+		HitLatency: c.hitLat.snapshot(),
+	}
+}
+
+// histogramBounds are the hit-latency bucket upper bounds. Hits are a
+// memcpy plus map lookup — nanoseconds to low microseconds on small
+// graphs, tens of microseconds on big ones — so the range runs 250ns
+// to 16ms with the final bucket catching pathological stalls.
+var histogramBounds = [...]time.Duration{
+	250 * time.Nanosecond,
+	1 * time.Microsecond,
+	4 * time.Microsecond,
+	16 * time.Microsecond,
+	64 * time.Microsecond,
+	256 * time.Microsecond,
+	1 * time.Millisecond,
+	4 * time.Millisecond,
+	16 * time.Millisecond,
+}
+
+// histogram is a fixed-bucket latency histogram, lock-free on record.
+type histogram struct {
+	counts [len(histogramBounds) + 1]atomic.Int64 // last is the overflow bucket
+	sum    atomic.Int64                           // nanoseconds
+}
+
+func (h *histogram) record(d time.Duration) {
+	i := 0
+	for ; i < len(histogramBounds); i++ {
+		if d <= histogramBounds[i] {
+			break
+		}
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+}
+
+// HistogramSnapshot is an immutable view of a histogram: Counts[i] is
+// the number of observations ≤ Bounds[i] (and > Bounds[i-1]); the
+// final count is the overflow bucket.
+type HistogramSnapshot struct {
+	Bounds []time.Duration `json:"bounds"`
+	Counts []int64         `json:"counts"`
+	Sum    time.Duration   `json:"sum"`
+	Count  int64           `json:"count"`
+}
+
+func (h *histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: histogramBounds[:],
+		Counts: make([]int64, len(h.counts)),
+		Sum:    time.Duration(h.sum.Load()),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+		s.Count += s.Counts[i]
+	}
+	return s
+}

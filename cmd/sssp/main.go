@@ -260,6 +260,7 @@ func main() {
 				GraphVertices: g.NumVertices(),
 				GraphEdges:    g.NumEdges(),
 				Directed:      g.Directed(),
+				WeightFP:      g.WeightFingerprint(),
 				Elapsed:       last.Elapsed,
 				Relaxations:   last.Progress.Relaxations,
 				Dist:          last.Dist,

@@ -75,6 +75,7 @@ import (
 // by main and by the tests; every handler is safe for concurrent use.
 type server struct {
 	reg      *wasp.Registry
+	cache    *wasp.Cache    // nil when -cache-mb is 0
 	ckpt     *ckptTracker   // nil when -checkpoint-dir is unset
 	scan     *bundleScanner // nil when -graphs is unset
 	prom     *promState     // /metrics state; initialized lazily by routes
@@ -313,13 +314,19 @@ func (s *server) recoverCheckpoints(ctx context.Context) {
 }
 
 // matchCheckpoint verifies cp's fingerprint against the named graph's
-// currently served shape.
+// currently served shape — and, when both sides carry one, the
+// weight-covering content fingerprint, so a same-shape redeploy with
+// different weights drops the stale file instead of resuming garbage
+// distances onto the new wiring.
 func (s *server) matchCheckpoint(graph string, cp *wasp.Checkpoint) error {
 	st, ok := s.reg.Status(graph)
 	if !ok || graph == "" {
 		return fmt.Errorf("graph %q is not registered", graph)
 	}
-	return cp.Matches(st.Vertices, st.Edges, st.Directed)
+	if err := cp.Matches(st.Vertices, st.Edges, st.Directed); err != nil {
+		return err
+	}
+	return cp.MatchesWeights(st.WeightFP)
 }
 
 // adoptCheckpoint finds the registered graph a graph-less legacy
@@ -525,6 +532,9 @@ type statsResponse struct {
 	Recovered           int64   `json:"recovered"`
 	RecoverySkipped     int64   `json:"recovery_skipped"`
 
+	// Cache is the result cache's counters (absent when -cache-mb=0).
+	Cache *wasp.CacheStats `json:"cache,omitempty"`
+
 	Reloads wasp.RegistryReloadStats `json:"reloads"`
 	Graphs  map[string]graphStats    `json:"graphs"`
 }
@@ -607,6 +617,10 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.Recovered = s.ckpt.recovered.Load()
 		resp.RecoverySkipped = s.ckpt.skipped.Load()
 	}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		resp.Cache = &cs
+	}
 	for _, name := range s.reg.Graphs() {
 		if gs, ok := s.graphStats(name); ok {
 			resp.Graphs[name] = gs
@@ -656,6 +670,7 @@ func main() {
 
 		ckptDir   = flag.String("checkpoint-dir", "", "persist in-flight query state here and resume it on restart")
 		ckptEvery = flag.Duration("checkpoint-interval", 2*time.Second, "interval between checkpoints of each in-flight solve")
+		cacheMB   = flag.Int("cache-mb", 64, "memory budget in MiB for the result cache (0 disables caching)")
 
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof, /debug/traces and /admin on this address (off when empty; keep it private)")
 		slowTraceN = flag.Int("slow-traces", 8, "retain the scheduler traces of this many slowest solves for /debug/traces")
@@ -681,8 +696,18 @@ func main() {
 	// /metrics aggregates scheduler internals across the whole registry
 	// and the slowest solves keep their Chrome traces for /debug/traces.
 	prom := newPromState(*slowTraceN)
+	// The result cache fronts every graph's pool: repeated sources are
+	// answered from memory, identical concurrent queries coalesce onto
+	// one solve, and new sources on undirected graphs warm-start from
+	// the nearest cached one. Hot reloads re-key and invalidate
+	// atomically, so a redeployed graph never serves stale distances.
+	var cache *wasp.Cache
+	if *cacheMB > 0 {
+		cache = wasp.NewCache(wasp.CacheOptions{MaxBytes: int64(*cacheMB) << 20})
+	}
 	reg := wasp.NewRegistry(wasp.RegistryOptions{
 		Options: opt,
+		Cache:   cache,
 		Pool: wasp.PoolOptions{
 			Sessions:   *sessions,
 			QueueDepth: *queue,
@@ -716,7 +741,7 @@ func main() {
 	if retrySecs < 1 {
 		retrySecs = 1
 	}
-	s := &server{reg: reg, ckpt: tracker, prom: prom, retry: strconv.Itoa(retrySecs)}
+	s := &server{reg: reg, cache: cache, ckpt: tracker, prom: prom, retry: strconv.Itoa(retrySecs)}
 
 	// Seed the registry: an explicit single graph, a bundle directory,
 	// or both (the single graph serves alongside the directory's).

@@ -80,6 +80,9 @@ type promSnapshot struct {
 	ckptSkipped   int64
 	hasCkpt       bool
 
+	cache    wasp.CacheStats
+	hasCache bool
+
 	observed  wasp.ObserverTotals // summed over every session observer
 	observers int
 }
@@ -111,6 +114,10 @@ func (s *server) snapshot() promSnapshot {
 		if ms := s.ckpt.ageMS(); ms >= 0 {
 			snap.ckptAgeSec = ms / 1000
 		}
+	}
+	if s.cache != nil {
+		snap.hasCache = true
+		snap.cache = s.cache.Stats()
 	}
 	for _, obs := range s.reg.Observers() {
 		c := obs.Cumulative()
@@ -216,6 +223,10 @@ func writeProm(w io.Writer, snap promSnapshot) {
 		gauge(w, "ssspd_checkpoint_last_age_seconds", "Seconds since the last checkpoint write (-1: never).", snap.ckptAgeSec)
 	}
 
+	if snap.hasCache {
+		writeCacheProm(w, snap.cache)
+	}
+
 	if snap.observers == 0 {
 		return
 	}
@@ -235,6 +246,37 @@ func writeProm(w io.Writer, snap promSnapshot) {
 	}
 	counter(w, "ssspd_scheduler_trace_events_dropped_total",
 		"Scheduler trace events lost to the per-worker buffer cap.", int64(snap.observed.DroppedEvents))
+}
+
+// writeCacheProm renders the result cache's families: the reuse
+// counters, residency gauges, and the exact-hit latency histogram
+// (cumulative buckets ending in the mandatory +Inf, as Prometheus
+// requires).
+func writeCacheProm(w io.Writer, cs wasp.CacheStats) {
+	counter(w, "ssspd_cache_hits_total", "Queries answered from the result cache without a solve.", cs.Hits)
+	counter(w, "ssspd_cache_misses_total", "Queries that led a fresh solve.", cs.Misses)
+	counter(w, "ssspd_cache_coalesced_total", "Queries merged onto an identical in-flight solve.", cs.Coalesced)
+	counter(w, "ssspd_cache_evicted_total", "Cached results dropped by the LRU memory budget.", cs.Evicted)
+	counter(w, "ssspd_cache_warm_starts_total", "Misses seeded from the nearest cached source.", cs.WarmStarts)
+	counter(w, "ssspd_cache_cold_starts_total", "Misses solved from scratch.", cs.ColdStarts)
+	gauge(w, "ssspd_cache_entries", "Results currently resident in the cache.", float64(cs.Entries))
+	gauge(w, "ssspd_cache_bytes", "Bytes of cached results charged against the budget.", float64(cs.Bytes))
+	gauge(w, "ssspd_cache_max_bytes", "Configured cache memory budget.", float64(cs.MaxBytes))
+
+	fmt.Fprint(w, "# HELP ssspd_cache_hit_duration_seconds Serve latency of exact cache hits (copy-and-return; no solver time).\n")
+	fmt.Fprint(w, "# TYPE ssspd_cache_hit_duration_seconds histogram\n")
+	h := cs.HitLatency
+	cum := int64(0)
+	for i, ub := range h.Bounds {
+		cum += h.Counts[i]
+		fmt.Fprintf(w, "ssspd_cache_hit_duration_seconds_bucket{le=%q} %d\n", formatFloat(ub.Seconds()), cum)
+	}
+	if len(h.Counts) > len(h.Bounds) {
+		cum += h.Counts[len(h.Bounds)]
+	}
+	fmt.Fprintf(w, "ssspd_cache_hit_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "ssspd_cache_hit_duration_seconds_sum %s\n", formatFloat(h.Sum.Seconds()))
+	fmt.Fprintf(w, "ssspd_cache_hit_duration_seconds_count %d\n", h.Count)
 }
 
 // slowTraces retains the Chrome traces and summaries of the N slowest

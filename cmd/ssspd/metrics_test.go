@@ -24,6 +24,7 @@ func newObservedServer(t *testing.T, slowN int) (*server, *httptest.Server) {
 		t.Fatal(err)
 	}
 	prom := newPromState(slowN)
+	cache := wasp.NewCache(wasp.CacheOptions{})
 	reg := newRegistry(t, "kron", g, wasp.RegistryOptions{
 		Options: wasp.Options{Workers: 2, Delta: 4},
 		Pool: wasp.PoolOptions{
@@ -31,8 +32,9 @@ func newObservedServer(t *testing.T, slowN int) (*server, *httptest.Server) {
 			Observe:  &wasp.ObserverConfig{},
 			OnSolve:  prom.onSolve,
 		},
+		Cache: cache,
 	})
-	s := &server{reg: reg, prom: prom}
+	s := &server{reg: reg, prom: prom, cache: cache}
 	return s, newHTTPServer(t, s)
 }
 
@@ -222,6 +224,9 @@ func TestMetricsEndpoint(t *testing.T) {
 	for i := 0; i < solves; i++ {
 		getJSON(t, fmt.Sprintf("%s/sssp?source=%d", ts.URL, i), http.StatusOK, nil)
 	}
+	// A repeat query is a cache hit: it must show up in the cache
+	// families and nowhere in the solver-side counters.
+	getJSON(t, ts.URL+"/sssp?source=0", http.StatusOK, nil)
 
 	resp, err := http.Get(ts.URL + "/metrics")
 	if err != nil {
@@ -281,6 +286,35 @@ func TestMetricsEndpoint(t *testing.T) {
 	if got := get(`ssspd_reloads_total{outcome="rejected"}`); got != 0 {
 		t.Fatalf("reloads rejected %v, want 0", got)
 	}
+
+	// Cache families: one hit (the repeat), solves misses, and the
+	// hit-latency histogram counting exactly the hits. The solver-side
+	// counters above staying at `solves` is the other half of the
+	// contract — hits never reach a session.
+	if got := get("ssspd_cache_hits_total"); got != 1 {
+		t.Fatalf("cache hits %v, want 1", got)
+	}
+	if got := get("ssspd_cache_misses_total"); got != solves {
+		t.Fatalf("cache misses %v, want %d", got, solves)
+	}
+	if got := get("ssspd_cache_entries"); got != solves {
+		t.Fatalf("cache entries %v, want %d", got, solves)
+	}
+	if get("ssspd_cache_bytes") <= 0 || get("ssspd_cache_max_bytes") <= 0 {
+		t.Fatal("cache size gauges empty")
+	}
+	if got := get("ssspd_cache_hit_duration_seconds_count"); got != 1 {
+		t.Fatalf("cache hit histogram count %v, want 1", got)
+	}
+
+	// /stats carries the same snapshot as JSON.
+	var st struct {
+		Cache *wasp.CacheStats `json:"cache"`
+	}
+	getJSON(t, ts.URL+"/stats", http.StatusOK, &st)
+	if st.Cache == nil || st.Cache.Hits != 1 || st.Cache.Misses != solves {
+		t.Fatalf("/stats cache = %+v, want 1 hit / %d misses", st.Cache, solves)
+	}
 }
 
 // TestMetricsWithoutObservers: a bare server (no Observe config, the
@@ -299,6 +333,9 @@ func TestMetricsWithoutObservers(t *testing.T) {
 	families := lintPromText(t, string(body))
 	if _, ok := families["ssspd_scheduler_relaxations_total"]; ok {
 		t.Fatal("scheduler families exported without observers")
+	}
+	if _, ok := families["ssspd_cache_hits_total"]; ok {
+		t.Fatal("cache families exported without a cache")
 	}
 	if _, ok := families["ssspd_sessions"]; !ok {
 		t.Fatal("pool gauges missing")

@@ -97,6 +97,14 @@ type Manifest struct {
 	Vertices int64 `json:"vertices"`
 	Edges    int64 `json:"edges"`
 	Directed bool  `json:"directed"`
+
+	// WeightFP is the graph section's content fingerprint
+	// (graph.WeightFingerprint: wiring + weights). Shape alone cannot
+	// distinguish two versions that differ only in edge weights — the
+	// stale-read hazard once fingerprints key result caches and
+	// warm-start artifacts. Zero ("unknown") is accepted on decode so
+	// legacy bundles keep loading; Write always fills it.
+	WeightFP uint64 `json:"weight_fp,omitempty"`
 }
 
 // Bundle is a decoded (or to-be-encoded) graph deployment.
@@ -135,8 +143,19 @@ func (b *Bundle) Validate() error {
 		return fmt.Errorf("%w: bundle %q: manifest fingerprint (%d vertices, %d edges, directed=%v) does not match graph (%d, %d, %v)",
 			ErrInvalid, b.Manifest.Name, b.Manifest.Vertices, b.Manifest.Edges, b.Manifest.Directed, n, m, dir)
 	}
+	// Content check beyond shape: a manifest (or checkpoint) carrying a
+	// nonzero fingerprint must match this graph's actual wiring+weights;
+	// zero means "legacy, shape-checked only" and passes.
+	fp := b.Graph.WeightFingerprint()
+	if b.Manifest.WeightFP != 0 && b.Manifest.WeightFP != fp {
+		return fmt.Errorf("%w: bundle %q: manifest content fingerprint %016x does not match graph %016x (same shape, different wiring or weights)",
+			ErrInvalid, b.Manifest.Name, b.Manifest.WeightFP, fp)
+	}
 	for i, cp := range b.Checkpoints {
 		if err := cp.Matches(n, m, dir); err != nil {
+			return fmt.Errorf("%w: bundle %q: checkpoint %d: %w", ErrInvalid, b.Manifest.Name, i, err)
+		}
+		if err := cp.MatchesWeights(fp); err != nil {
 			return fmt.Errorf("%w: bundle %q: checkpoint %d: %w", ErrInvalid, b.Manifest.Name, i, err)
 		}
 	}
@@ -192,8 +211,9 @@ func validateName(name string) error {
 
 // Normalize fills the manifest's shape fingerprint from the graph when
 // all three fields are zero — the convenience for bundles assembled in
-// memory. A partially-set or disagreeing fingerprint is left alone for
-// Validate to reject.
+// memory — and the content fingerprint whenever it is unset. A
+// partially-set or disagreeing fingerprint is left alone for Validate
+// to reject.
 func (b *Bundle) Normalize() {
 	if b.Graph == nil {
 		return
@@ -202,6 +222,9 @@ func (b *Bundle) Normalize() {
 		b.Manifest.Vertices = int64(b.Graph.NumVertices())
 		b.Manifest.Edges = b.Graph.NumEdges()
 		b.Manifest.Directed = b.Graph.Directed()
+	}
+	if b.Manifest.WeightFP == 0 {
+		b.Manifest.WeightFP = b.Graph.WeightFingerprint()
 	}
 }
 

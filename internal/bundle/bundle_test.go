@@ -253,3 +253,91 @@ func TestRejectUnknownSection(t *testing.T) {
 		t.Fatalf("unknown section: %v, want ErrMalformed", err)
 	}
 }
+
+// TestRejectSameShapeDifferentWeights is the regression test for the
+// content-fingerprint extension: two graphs with identical shape
+// (vertices, edges, directedness) but different edge weights must not
+// be able to exchange checkpoints or manifests. Shape checks alone
+// cannot catch this — it is exactly the stale-result hazard for
+// anything keyed by graph identity.
+func TestRejectSameShapeDifferentWeights(t *testing.T) {
+	mk := func(w graph.Weight) *graph.Graph {
+		return graph.FromEdges(4, true, []graph.Edge{
+			{From: 0, To: 1, W: w}, {From: 0, To: 2, W: 4 * w},
+			{From: 1, To: 2, W: w}, {From: 2, To: 3, W: 2 * w},
+		})
+	}
+	gA, gB := mk(1), mk(3)
+	if gA.WeightFingerprint() == gB.WeightFingerprint() {
+		t.Fatal("same-shape different-weight graphs share a fingerprint")
+	}
+
+	cpOn := func(g *graph.Graph, fp uint64) *checkpoint.Snapshot {
+		return &checkpoint.Snapshot{
+			Source:        0,
+			GraphVertices: g.NumVertices(),
+			GraphEdges:    g.NumEdges(),
+			Directed:      g.Directed(),
+			WeightFP:      fp,
+			Dist:          []uint32{0, 1, 2, 4},
+		}
+	}
+
+	// A fingerprinted checkpoint taken on A rides in A's bundle...
+	bA := &Bundle{
+		Manifest:    Manifest{Name: "g", Version: 1},
+		Graph:       gA,
+		Checkpoints: []*checkpoint.Snapshot{cpOn(gA, gA.WeightFingerprint())},
+	}
+	if err := Write(&bytes.Buffer{}, bA); err != nil {
+		t.Fatalf("own-graph checkpoint rejected: %v", err)
+	}
+
+	// ...but is rejected when the graph underneath has the same shape
+	// and different weights.
+	bB := &Bundle{
+		Manifest:    Manifest{Name: "g", Version: 2},
+		Graph:       gB,
+		Checkpoints: []*checkpoint.Snapshot{cpOn(gB, gA.WeightFingerprint())},
+	}
+	if err := Write(&bytes.Buffer{}, bB); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("foreign-weights checkpoint: %v, want ErrInvalid", err)
+	}
+
+	// A manifest fingerprint from the wrong graph is caught the same way.
+	bM := &Bundle{
+		Manifest: Manifest{Name: "g", Version: 2, WeightFP: gA.WeightFingerprint()},
+		Graph:    gB,
+	}
+	if err := Write(&bytes.Buffer{}, bM); !errors.Is(err, ErrInvalid) {
+		t.Fatalf("foreign-weights manifest: %v, want ErrInvalid", err)
+	}
+
+	// Legacy artifacts (fingerprint zero, "unknown") keep loading: shape
+	// is all they can promise, and shape matches.
+	bLegacy := &Bundle{
+		Manifest:    Manifest{Name: "g", Version: 2},
+		Graph:       gB,
+		Checkpoints: []*checkpoint.Snapshot{cpOn(gB, 0)},
+	}
+	if err := Write(&bytes.Buffer{}, bLegacy); err != nil {
+		t.Fatalf("legacy zero-fingerprint checkpoint rejected: %v", err)
+	}
+}
+
+// TestWriteFillsWeightFP: Write stamps the manifest with the graph's
+// content fingerprint so every bundle written today pins its weights.
+func TestWriteFillsWeightFP(t *testing.T) {
+	b := &Bundle{Manifest: Manifest{Name: "g", Version: 1}, Graph: testGraph(t)}
+	got, err := Read(bytes.NewReader(encode(t, b)))
+	if err != nil {
+		t.Fatalf("Read: %v", err)
+	}
+	if got.Manifest.WeightFP == 0 {
+		t.Fatal("manifest WeightFP not filled by Write")
+	}
+	if got.Manifest.WeightFP != got.Graph.WeightFingerprint() {
+		t.Fatalf("manifest WeightFP %016x != graph %016x",
+			got.Manifest.WeightFP, got.Graph.WeightFingerprint())
+	}
+}

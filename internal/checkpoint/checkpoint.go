@@ -16,8 +16,15 @@
 //	[32:40]  elapsed solve time, nanoseconds
 //	[40:48]  relaxations attempted
 //	[48:56]  distance entry count n (must equal the vertex count)
-//	[56:56+4n]       distance array
-//	[56+4n:60+4n]    CRC-32 (IEEE) over bytes [4 : 56+4n)
+//	[56:64]  graph content fingerprint (present only when flag bit 1 set)
+//	then the distance array (4n bytes) followed by a CRC-32 (IEEE)
+//	trailer over every byte after the magic.
+//
+// The content fingerprint (graph.WeightFingerprint: wiring + weights,
+// not just shape) was added behind flag bit 1 so legacy streams — and
+// new streams of snapshots whose producer did not know the graph —
+// decode unchanged with WeightFP 0, meaning "unknown, shape-checked
+// only".
 //
 // The checksum covers everything after the magic, so a flipped bit in
 // header, payload or trailer is detected; the magic itself gates the
@@ -45,8 +52,14 @@ const Version = 1
 
 const headerSize = 56
 
-// flagDirected is bit 0 of the header flags word.
-const flagDirected = 1 << 0
+// Header flag bits.
+const (
+	// flagDirected (bit 0): the graph is directed.
+	flagDirected = 1 << 0
+	// flagWeightFP (bit 1): an 8-byte graph content fingerprint follows
+	// the fixed header. Absent on legacy streams (WeightFP 0 on decode).
+	flagWeightFP = 1 << 1
+)
 
 // Decode errors. All decode failures wrap one of these (or an
 // underlying I/O error), so callers can distinguish "not a checkpoint"
@@ -69,6 +82,13 @@ type Snapshot struct {
 	GraphVertices int
 	GraphEdges    int64
 	Directed      bool
+	// WeightFP is the content fingerprint of the graph the snapshot was
+	// taken on (graph.WeightFingerprint: wiring + weights). Zero means
+	// "unknown" — legacy snapshots and hand-assembled ones fingerprint
+	// by shape only. When nonzero it distinguishes two same-shape graphs
+	// that differ only in edge weights, the case the shape triple above
+	// cannot catch; see MatchesWeights.
+	WeightFP uint64
 	// Elapsed is the solve wall time already spent when the snapshot
 	// was captured; a resumed solve adds to it rather than restarting
 	// the clock.
@@ -116,6 +136,21 @@ func (s *Snapshot) Matches(numVertices int, numEdges int64, directed bool) error
 	return nil
 }
 
+// MatchesWeights verifies the snapshot's graph content fingerprint
+// against fp (graph.WeightFingerprint of the graph being resumed on).
+// A zero on either side means "unknown" and passes — legacy snapshots
+// stay loadable — so this is a complement to Matches, not a substitute:
+// shape is always checked, content only when both sides know it. The
+// check it adds is exactly the stale-read hazard shape cannot see: two
+// versions of a graph differing only in edge weights.
+func (s *Snapshot) MatchesWeights(fp uint64) error {
+	if s.WeightFP != 0 && fp != 0 && s.WeightFP != fp {
+		return fmt.Errorf("checkpoint: graph content fingerprint %016x, snapshot was taken on %016x (same shape, different wiring or weights)",
+			fp, s.WeightFP)
+	}
+	return nil
+}
+
 // encodeChunk is the staging-buffer size for streaming the distance
 // payload: bounded memory regardless of graph size.
 const encodeChunk = 1 << 14 // entries per write (64 KiB)
@@ -125,12 +160,21 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	if len(s.Dist) != s.GraphVertices {
 		return fmt.Errorf("checkpoint: %d distance entries for %d vertices", len(s.Dist), s.GraphVertices)
 	}
-	var hdr [headerSize]byte
+	var hdr [headerSize + 8]byte
 	copy(hdr[0:4], Magic)
 	binary.LittleEndian.PutUint32(hdr[4:8], Version)
 	var flags uint32
 	if s.Directed {
 		flags |= flagDirected
+	}
+	// The fingerprint extension is emitted only when known, so a
+	// WeightFP-less snapshot encodes byte-identically to the legacy
+	// format (the golden-format pin holds).
+	hdrLen := headerSize
+	if s.WeightFP != 0 {
+		flags |= flagWeightFP
+		binary.LittleEndian.PutUint64(hdr[56:64], s.WeightFP)
+		hdrLen += 8
 	}
 	binary.LittleEndian.PutUint32(hdr[8:12], flags)
 	binary.LittleEndian.PutUint32(hdr[12:16], s.Source)
@@ -141,8 +185,8 @@ func (s *Snapshot) Encode(w io.Writer) error {
 	binary.LittleEndian.PutUint64(hdr[48:56], uint64(len(s.Dist)))
 
 	crc := crc32.NewIEEE()
-	crc.Write(hdr[4:])
-	if _, err := w.Write(hdr[:]); err != nil {
+	crc.Write(hdr[4:hdrLen])
+	if _, err := w.Write(hdr[:hdrLen]); err != nil {
 		return err
 	}
 
@@ -185,7 +229,7 @@ func Decode(r io.Reader) (*Snapshot, error) {
 		return nil, fmt.Errorf("%w: %d (decoder speaks %d)", ErrVersion, v, Version)
 	}
 	flags := binary.LittleEndian.Uint32(hdr[8:12])
-	if flags&^uint32(flagDirected) != 0 {
+	if flags&^uint32(flagDirected|flagWeightFP) != 0 {
 		return nil, fmt.Errorf("%w: unknown flag bits %#x", ErrMalformed, flags)
 	}
 	nVerts := binary.LittleEndian.Uint64(hdr[16:24])
@@ -201,6 +245,19 @@ func Decode(r io.Reader) (*Snapshot, error) {
 
 	crc := crc32.NewIEEE()
 	crc.Write(hdr[4:])
+
+	var weightFP uint64
+	if flags&flagWeightFP != 0 {
+		var ext [8]byte
+		if _, err := io.ReadFull(r, ext[:]); err != nil {
+			return nil, fmt.Errorf("%w: fingerprint extension: %v", ErrTruncated, err)
+		}
+		crc.Write(ext[:])
+		weightFP = binary.LittleEndian.Uint64(ext[:])
+		if weightFP == 0 {
+			return nil, fmt.Errorf("%w: fingerprint flag set with zero fingerprint", ErrMalformed)
+		}
+	}
 
 	const maxChunk = 1 << 20 // entries per read: bounds allocation growth
 	dist := []uint32{}
@@ -237,6 +294,7 @@ func Decode(r io.Reader) (*Snapshot, error) {
 		GraphVertices: int(nVerts),
 		GraphEdges:    int64(nEdges),
 		Directed:      flags&flagDirected != 0,
+		WeightFP:      weightFP,
 		Elapsed:       time.Duration(binary.LittleEndian.Uint64(hdr[32:40])),
 		Relaxations:   int64(binary.LittleEndian.Uint64(hdr[40:48])),
 		Dist:          dist,

@@ -2,8 +2,10 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/hex"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"strings"
@@ -248,5 +250,97 @@ func TestLoadCorruptFile(t *testing.T) {
 	}
 	if _, err := Load(filepath.Join(t.TempDir(), "missing.wsck")); err == nil {
 		t.Fatal("Load invented a missing file")
+	}
+}
+
+func TestWeightFPRoundTrip(t *testing.T) {
+	legacyLen := len(encode(t, sample()))
+	want := sample()
+	want.WeightFP = 0xdeadbeefcafef00d
+	b := encode(t, want)
+	if len(b) != legacyLen+8 {
+		t.Fatalf("fingerprinted stream is %d bytes, want legacy %d + 8", len(b), legacyLen)
+	}
+	got, err := Decode(bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.WeightFP != want.WeightFP {
+		t.Fatalf("WeightFP = %016x, want %016x", got.WeightFP, want.WeightFP)
+	}
+	if got.Source != want.Source || got.Directed != want.Directed ||
+		got.Elapsed != want.Elapsed || len(got.Dist) != len(want.Dist) {
+		t.Fatalf("metadata mismatch: got %+v want %+v", got, want)
+	}
+	for i := range want.Dist {
+		if got.Dist[i] != want.Dist[i] {
+			t.Fatalf("Dist[%d] = %d, want %d", i, got.Dist[i], want.Dist[i])
+		}
+	}
+
+	// The extension is covered by the checksum and the truncation guard
+	// like every other byte.
+	t.Run("truncation at every length", func(t *testing.T) {
+		for cut := 0; cut < len(b); cut++ {
+			if _, err := Decode(bytes.NewReader(b[:cut])); !errors.Is(err, ErrTruncated) {
+				t.Fatalf("cut at %d: err = %v, want ErrTruncated", cut, err)
+			}
+		}
+	})
+	t.Run("flipped fingerprint byte", func(t *testing.T) {
+		c := bytes.Clone(b)
+		c[headerSize+3] ^= 0x10
+		if _, err := Decode(bytes.NewReader(c)); !errors.Is(err, ErrChecksum) {
+			t.Fatalf("err = %v, want ErrChecksum", err)
+		}
+	})
+}
+
+func TestWeightFPLegacyDecodesToZero(t *testing.T) {
+	// A snapshot that does not know its graph encodes byte-identically
+	// to the legacy format (TestGoldenFormat pins the bytes) and decodes
+	// with WeightFP 0 — "unknown, shape-checked only".
+	got, err := Decode(bytes.NewReader(encode(t, sample())))
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if got.WeightFP != 0 {
+		t.Fatalf("WeightFP = %016x, want 0 on a legacy stream", got.WeightFP)
+	}
+}
+
+func TestWeightFPFlagWithZeroFingerprintRejected(t *testing.T) {
+	s := sample()
+	s.WeightFP = 0xdeadbeefcafef00d
+	b := encode(t, s)
+	// Zero the extension and rewrite the trailer so only the semantic
+	// check — flag set but fingerprint zero — can fire, not the CRC.
+	for i := headerSize; i < headerSize+8; i++ {
+		b[i] = 0
+	}
+	crc := crc32.ChecksumIEEE(b[4 : len(b)-4])
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crc)
+	if _, err := Decode(bytes.NewReader(b)); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("err = %v, want ErrMalformed", err)
+	}
+}
+
+func TestMatchesWeights(t *testing.T) {
+	s := sample()
+	if err := s.MatchesWeights(0); err != nil {
+		t.Fatalf("unknown vs unknown: %v", err)
+	}
+	if err := s.MatchesWeights(42); err != nil {
+		t.Fatalf("unknown snapshot vs known graph: %v", err)
+	}
+	s.WeightFP = 42
+	if err := s.MatchesWeights(0); err != nil {
+		t.Fatalf("known snapshot vs unknown graph: %v", err)
+	}
+	if err := s.MatchesWeights(42); err != nil {
+		t.Fatalf("identical fingerprints: %v", err)
+	}
+	if err := s.MatchesWeights(43); err == nil {
+		t.Fatal("MatchesWeights accepted differing fingerprints")
 	}
 }

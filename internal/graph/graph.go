@@ -42,6 +42,8 @@ type Graph struct {
 	inW   []Weight
 
 	directed bool
+
+	fingerprintState // lazily computed content hash (WeightFingerprint)
 }
 
 // NumVertices returns the number of vertices.

@@ -70,17 +70,41 @@ type PoolOptions struct {
 	// unless Observe is set) is quiescent and safe to read or export;
 	// the moment the callback returns the session re-enters rotation.
 	// Keep it brief: it serializes with the session's next solve, not
-	// with the pool.
+	// with the pool. Cache hits never reach OnSolve — they touch no
+	// session — so the hook (like the pool's latency stats) observes
+	// real solver work only; read reuse traffic from Cache.Stats.
 	OnSolve func(SolveObservation)
+
+	// Cache, when non-nil, puts a result-reuse layer in front of the
+	// pool: Run and Resume consult it before taking an admission
+	// ticket — exact hits return a detached copy of a previously
+	// completed solve, concurrent identical queries coalesce onto one
+	// in-flight solve, and misses may warm-start from the nearest
+	// cached source (see Cache). One Cache may front many pools;
+	// entries are keyed by CacheScope plus the graph's content
+	// fingerprint, so distinct graphs never alias.
+	Cache *Cache
+	// CacheScope partitions this pool's cache entries from other pools
+	// sharing the same Cache (the Registry sets "name@version"). Pools
+	// of bit-identical graphs given the same scope share entries —
+	// which is sound: every algorithm computes the same exact
+	// distances. Ignored when Cache is nil.
+	CacheScope string
 }
 
 // SolveObservation describes one finished pool solve to the OnSolve
 // hook.
 type SolveObservation struct {
-	Source   Vertex
-	Elapsed  time.Duration // wall time inside the solve (queue wait excluded)
-	Complete bool          // the solve ran to termination
-	Err      error         // as Pool.Run would return it (nil for degraded)
+	Source Vertex
+	// Elapsed is wall time spent inside this solve in this process —
+	// queue wait excluded, and for warm-started solves the seed
+	// checkpoint's prior wall time excluded too. The pool's latency
+	// ring (PoolStats.P50/P99) records the same quantity. Contrast
+	// Result.Elapsed, which is cumulative across a warm start: there
+	// Result.PriorElapsed carries the inherited portion.
+	Elapsed  time.Duration
+	Complete bool  // the solve ran to termination
+	Err      error // as Pool.Run would return it (nil for degraded)
 	// Observer is the solving session's observer, quiescent for the
 	// duration of the callback. Nil unless PoolOptions.Observe is set.
 	Observer *Observer
@@ -150,6 +174,10 @@ type Pool struct {
 	tickets chan struct{} // admission capacity: Sessions + QueueDepth
 	drain   chan struct{} // closed by Close: releases queued waiters
 
+	cache      *Cache  // nil unless conf.Cache was set
+	cacheScope string  // conf.CacheScope, fixed at construction
+	fp         graphFP // graph identity for cache keys; zero unless cached
+
 	observers []*Observer // per-session observers; nil unless conf.Observe
 
 	mu     sync.Mutex // guards closed and the admission/wg ordering
@@ -180,6 +208,14 @@ func NewPool(g *Graph, opt Options, conf PoolOptions) (*Pool, error) {
 		slots:   make(chan *Session, conf.Sessions),
 		tickets: make(chan struct{}, conf.Sessions+conf.QueueDepth),
 		drain:   make(chan struct{}),
+	}
+	if conf.Cache != nil {
+		if g == nil {
+			return nil, fmt.Errorf("wasp: nil graph")
+		}
+		p.cache = conf.Cache
+		p.cacheScope = conf.CacheScope
+		p.fp = fingerprintOf(g) // one O(E) hash, memoized on the graph
 	}
 	for i := 0; i < conf.Sessions; i++ {
 		sopt := opt
@@ -223,6 +259,15 @@ func (p *Pool) Run(ctx context.Context, source Vertex) (*Result, error) {
 	if int(source) >= p.g.NumVertices() {
 		return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", source, p.g.NumVertices())
 	}
+	if p.cache != nil {
+		// The closed check must precede the cache: a hit needs no
+		// session, but serving one from a closed pool would break the
+		// contract that Run refuses forever once Close has begun.
+		if p.isClosed() {
+			return nil, ErrPoolClosed
+		}
+		return p.cache.getOrSolve(ctx, p, source, nil)
+	}
 	return p.admitAndSolve(ctx, source, nil)
 }
 
@@ -231,7 +276,12 @@ func (p *Pool) Run(ctx context.Context, source Vertex) (*Result, error) {
 // Session.Resume, and inherits every pool behavior — deadline
 // degradation, quarantine-and-retry, detached results. The checkpoint
 // determines the source and must belong to the pool's graph; it is
-// shape-checked here, before a ticket is taken.
+// checked here — shape and, when the snapshot carries one, content
+// fingerprint — before a ticket is taken. On a cache-backed pool an
+// already-cached result for the checkpoint's source is returned
+// directly (the cache holds complete exact distances, strictly ahead
+// of any resumable snapshot); otherwise the checkpoint seeds the solve
+// as usual.
 func (p *Pool) Resume(ctx context.Context, cp *Checkpoint) (*Result, error) {
 	if cp == nil {
 		return nil, fmt.Errorf("wasp: Resume from nil checkpoint")
@@ -239,8 +289,24 @@ func (p *Pool) Resume(ctx context.Context, cp *Checkpoint) (*Result, error) {
 	if err := cp.Matches(p.g.NumVertices(), p.g.NumEdges(), p.g.Directed()); err != nil {
 		return nil, err
 	}
+	if err := cp.MatchesWeights(p.g.WeightFingerprint()); err != nil {
+		return nil, err
+	}
+	if p.cache != nil {
+		if p.isClosed() {
+			return nil, ErrPoolClosed
+		}
+		return p.cache.getOrSolve(ctx, p, Vertex(cp.Source), cp)
+	}
 	return p.admitAndSolve(ctx, Vertex(cp.Source), cp)
 }
+
+// WarmStartSupported reports whether this pool's option set can seed
+// solves from prior distance arrays (nil) or why it cannot. Internal
+// warm-start triggers — the Registry's bundle artifacts, the cache's
+// nearest-source seeding — consult it and fall back to a cold solve
+// instead of surfacing the error a direct Resume would.
+func (p *Pool) WarmStartSupported() error { return warmStartSupported(p.opt) }
 
 // admitAndSolve is the shared body of Run and Resume: warm, when
 // non-nil, is a validated checkpoint to seed the solve from.
@@ -434,6 +500,14 @@ func (p *Pool) rebuildSession(dead *Session) (*Session, error) {
 		opt.Observer = obs
 	}
 	return NewSession(p.g, opt)
+}
+
+// isClosed reports whether Close has begun. The cache front-door uses
+// it so that even session-free hits respect the close contract.
+func (p *Pool) isClosed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.closed
 }
 
 // Close stops admission, releases queued waiters with ErrPoolClosed,

@@ -47,6 +47,14 @@ type RegistryOptions struct {
 	Options Options
 	// Pool configures every per-graph pool's admission behavior.
 	Pool PoolOptions
+	// Cache, when non-nil, fronts every per-graph pool with one shared
+	// result-reuse layer (see Cache). Each version's entries are scoped
+	// to "name@version" and additionally keyed by the graph's content
+	// fingerprint, so a hot reload — even to a bundle identical in
+	// shape — can never serve a predecessor's distances; retiring a
+	// version (reload, rollback, removal) invalidates its scope
+	// atomically with the swap.
+	Cache *Cache
 	// ConfigureOptions, when non-nil, customizes Options per deployment
 	// — called once while building each candidate version's pool, before
 	// the smoke solve. The canonical use is binding per-graph sinks
@@ -107,6 +115,10 @@ type GraphStatus struct {
 	Vertices int   `json:"vertices"`
 	Edges    int64 `json:"edges"`
 	Directed bool  `json:"directed"`
+	// WeightFP is the active version's weight-covering content
+	// fingerprint (Graph.WeightFingerprint) — the identity that keys
+	// result caching and warm-start artifacts.
+	WeightFP uint64 `json:"weight_fp,omitempty"`
 	// Relabeled reports whether the active version serves through a
 	// locality relabeling permutation (queries are translated in and
 	// results translated back automatically).
@@ -322,7 +334,12 @@ func (r *Registry) buildVersion(ctx context.Context, b *Bundle) (*graphVersion, 
 	if r.conf.ConfigureOptions != nil {
 		opt = r.conf.ConfigureOptions(b.Manifest.Name, b.Manifest.Version, opt)
 	}
-	pool, err := NewPool(b.Graph, opt, r.conf.Pool)
+	popt := r.conf.Pool
+	if r.conf.Cache != nil {
+		popt.Cache = r.conf.Cache
+		popt.CacheScope = cacheScopeFor(b.Manifest.Name, b.Manifest.Version)
+	}
+	pool, err := NewPool(b.Graph, opt, popt)
 	if err != nil {
 		return nil, fmt.Errorf("building pool: %w", err)
 	}
@@ -378,6 +395,13 @@ func (r *Registry) activate(e *graphEntry, v *graphVersion, kind RegistryEventKi
 	}
 	r.mu.Unlock()
 
+	if old != nil && r.conf.Cache != nil {
+		// Invalidate the retired version's cache scope with the swap:
+		// its entries were already unreachable by v (scope and content
+		// fingerprint both differ), so this frees their memory and
+		// marks the old pool's in-flight cache solves do-not-store.
+		r.conf.Cache.InvalidateScope(cacheScopeFor(e.name, old.version))
+	}
 	if oldPool != nil {
 		// Drain in the background: in-flight queries finish on the old
 		// pool (Pool.Close waits for them); the bound only stops this
@@ -389,6 +413,13 @@ func (r *Registry) activate(e *graphEntry, v *graphVersion, kind RegistryEventKi
 		}()
 	}
 	r.event(RegistryEvent{Graph: e.name, Version: v.version, Kind: kind})
+}
+
+// cacheScopeFor is the cache-entry scope of one deployment: embedding
+// the version means a reload re-keys rather than overwrites, and
+// InvalidateScope on retirement is hygiene rather than correctness.
+func cacheScopeFor(name string, version uint64) string {
+	return fmt.Sprintf("%s@%d", name, version)
 }
 
 // Rollback re-activates the most recently retired version of name: a
@@ -479,6 +510,9 @@ func (r *Registry) Remove(ctx context.Context, name string) error {
 	delete(r.graphs, name)
 	r.mu.Unlock()
 
+	if active != nil && r.conf.Cache != nil {
+		r.conf.Cache.InvalidateScope(cacheScopeFor(name, version))
+	}
 	if pool != nil {
 		if err := pool.Close(ctx); err != nil {
 			return err
@@ -558,7 +592,11 @@ func (r *Registry) runOn(ctx context.Context, v *graphVersion, pool *Pool, sourc
 	}
 	var res *Result
 	var err error
-	if cp, ok := v.warm[uint32(mapped)]; ok {
+	// Bundle warm-start artifacts are an internally triggered warm
+	// start: when the deployment's options cannot accept a seed
+	// (non-Wasp algorithm, pendant pruning), degrade to a cold solve —
+	// the artifact is an accelerator, never a requirement.
+	if cp, ok := v.warm[uint32(mapped)]; ok && pool.WarmStartSupported() == nil {
 		res, err = pool.Resume(ctx, cp)
 	} else {
 		res, err = pool.Run(ctx, mapped)
@@ -626,6 +664,7 @@ func (r *Registry) Status(name string) (GraphStatus, bool) {
 		st.Vertices = v.g.NumVertices()
 		st.Edges = v.g.NumEdges()
 		st.Directed = v.g.Directed()
+		st.WeightFP = v.g.WeightFingerprint()
 		st.Relabeled = v.perm != nil
 		st.WarmSources = len(v.warm)
 	}

@@ -501,11 +501,16 @@ func TestRegistryReloadUnderFire(t *testing.T) {
 	fault.Activate(fault.NewPlan(fault.Config{Seed: 42, BundleStall: 500, MaxYields: 8}))
 	defer fault.Deactivate()
 
+	// The shared result cache rides along: under reload fire most
+	// queries are hits or coalesced followers, and none may ever be a
+	// retired version's answer.
+	cache := NewCache(CacheOptions{})
 	r := NewRegistry(RegistryOptions{
 		Pool:         PoolOptions{Sessions: 2, QueueDepth: 256, QueueWait: 30 * time.Second},
 		History:      3,
 		SmokeTimeout: 10 * time.Second,
 		DrainTimeout: 30 * time.Second,
+		Cache:        cache,
 	})
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -561,12 +566,27 @@ func TestRegistryReloadUnderFire(t *testing.T) {
 		if err := SaveBundle(path, chainBundle(name, version, n, Weight(version))); err != nil {
 			t.Fatal(err)
 		}
+		// freshNow asserts the query path reflects version v the moment
+		// a swap or rollback returns: the cache must miss into the new
+		// version's pool, never replay the predecessor.
+		freshNow := func(name string, v uint64) {
+			t.Helper()
+			res, err := r.Run(ctx, name, 0)
+			if err != nil {
+				t.Fatalf("post-swap query on %q: %v", name, err)
+			}
+			if want := uint32(n-1) * uint32(v); res.Dist[n-1] != want {
+				t.Fatalf("post-swap query on %q: dist[%d] = %d, want %d (stale version served)",
+					name, n-1, res.Dist[n-1], want)
+			}
+		}
 		switch i % 3 {
 		case 0, 1:
 			if _, _, err := r.LoadFile(ctx, path); err != nil {
 				t.Fatalf("reload %d (%s v%d): %v", i, name, version, err)
 			}
 			lastGood[name] = version
+			freshNow(name, version)
 		case 2:
 			// Corrupt the bundle on disk before loading: must reject.
 			data, err := os.ReadFile(path)
@@ -589,6 +609,7 @@ func TestRegistryReloadUnderFire(t *testing.T) {
 					t.Fatalf("rollback of %q: %v", other, err)
 				}
 				lastGood[other] = v
+				freshNow(other, v)
 			}
 		}
 	}
@@ -615,6 +636,85 @@ func TestRegistryReloadUnderFire(t *testing.T) {
 			t.Fatalf("%s final dist = %d, want %d", name, res.Dist[n-1], want)
 		}
 	}
-	t.Logf("reload-under-fire: %d queries, %d reloads, stats %+v",
-		queries.Load(), reloads, r.ReloadStats())
+	cs := cache.Stats()
+	if cs.Hits == 0 {
+		t.Fatal("cache recorded zero hits under sustained identical-query load")
+	}
+	t.Logf("reload-under-fire: %d queries, %d reloads, stats %+v, cache %+v",
+		queries.Load(), reloads, r.ReloadStats(), cs)
+}
+
+// TestCacheRegistryHotSwapNoStaleResults: the cache must never serve a
+// retired version's distances. Two versions share a shape and differ
+// only in weights — exactly the aliasing the content fingerprint and
+// per-version scopes exist to prevent — and every query lands the
+// serving version's answer, before and after reload and rollback.
+func TestCacheRegistryHotSwapNoStaleResults(t *testing.T) {
+	const n = 32
+	cache := NewCache(CacheOptions{})
+	r := NewRegistry(RegistryOptions{
+		Pool:         PoolOptions{Sessions: 2, QueueDepth: 64, QueueWait: 5 * time.Second},
+		History:      3,
+		SmokeTimeout: 5 * time.Second,
+		DrainTimeout: 10 * time.Second,
+		Cache:        cache,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = r.Close(ctx)
+	}()
+	ctx := context.Background()
+
+	query := func(wantW uint32) {
+		t.Helper()
+		res, err := r.Run(ctx, "g", 0)
+		if err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		if got, want := res.Dist[n-1], uint32(n-1)*wantW; got != want {
+			t.Fatalf("dist[%d] = %d, want %d (weight %d)", n-1, got, want, wantW)
+		}
+	}
+
+	if err := r.Load(ctx, chainBundle("g", 1, n, 1)); err != nil {
+		t.Fatal(err)
+	}
+	query(1) // miss, populates v1's scope
+	query(1) // hit
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("v1 stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	// Same shape, weight 2. The very next query must see v2 — a stale
+	// v1 answer here is the bug this cache's keying exists to prevent.
+	if err := r.Load(ctx, chainBundle("g", 2, n, 2)); err != nil {
+		t.Fatal(err)
+	}
+	query(2)
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("post-reload stats = %+v: v2 query did not miss", st)
+	}
+	if st := cache.Stats(); st.Entries != 1 {
+		t.Fatalf("entries = %d after reload, want 1 (v1's entry invalidated)", st.Entries)
+	}
+	query(2) // hit on v2's own entry
+
+	// Rollback re-activates v1; its old entries are long gone and v2's
+	// are invalidated, so the answer is solved fresh and correct.
+	if v, err := r.Rollback(ctx, "g"); err != nil || v != 1 {
+		t.Fatalf("Rollback: v=%d err=%v", v, err)
+	}
+	query(1)
+	if st := cache.Stats(); st.Hits != 2 || st.Misses != 3 {
+		t.Fatalf("post-rollback stats = %+v, want 2 hits / 3 misses", st)
+	}
+
+	// Removing the graph clears its residue too.
+	if err := r.Remove(ctx, "g"); err != nil {
+		t.Fatalf("Remove: %v", err)
+	}
+	if st := cache.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d after Remove, want 0", st.Entries)
+	}
 }

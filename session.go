@@ -131,18 +131,26 @@ func (s *Session) Run(ctx context.Context, source Vertex) (*Result, error) {
 // triangle inequalities, so the work the checkpoint already paid for
 // is kept and the solve converges to exactly the distances an
 // uninterrupted run produces. The checkpoint must belong to the
-// session's graph (shape-checked via Checkpoint.Matches). Resume
-// requires the preallocated Wasp path — the same configurations
+// session's graph (checked against both the shape triple and, when the
+// snapshot carries one, the weight-covering content fingerprint).
+// Resume requires the preallocated Wasp path — the same configurations
 // NewSession accepts supervision for. Result.Elapsed continues from
-// cp.Elapsed rather than restarting the clock.
+// cp.Elapsed rather than restarting the clock; Result.PriorElapsed
+// records the inherited portion.
 func (s *Session) Resume(ctx context.Context, cp *Checkpoint) (*Result, error) {
 	if cp == nil {
 		return nil, fmt.Errorf("wasp: Resume from nil checkpoint")
+	}
+	if err := warmStartSupported(s.opt); err != nil {
+		return nil, err
 	}
 	if s.solver == nil {
 		return nil, fmt.Errorf("wasp: Resume requires AlgoWasp without PendantPruning")
 	}
 	if err := cp.Matches(s.g.NumVertices(), s.g.NumEdges(), s.g.Directed()); err != nil {
+		return nil, err
+	}
+	if err := cp.MatchesWeights(s.g.WeightFingerprint()); err != nil {
 		return nil, err
 	}
 	return s.run(ctx, Vertex(cp.Source), cp)
@@ -210,6 +218,7 @@ func (s *Session) run(ctx context.Context, source Vertex, warm *Checkpoint) (*Re
 
 	res.Dist = r.Dist
 	res.Elapsed = base + time.Since(start)
+	res.PriorElapsed = base
 	res.fillProgress(m)
 	if s.m != nil {
 		t := s.m.Totals()
@@ -259,6 +268,7 @@ func (s *Session) emitCheckpoint(base time.Duration, start time.Time) *Checkpoin
 		GraphVertices: s.g.NumVertices(),
 		GraphEdges:    s.g.NumEdges(),
 		Directed:      s.g.Directed(),
+		WeightFP:      s.g.WeightFingerprint(),
 		Elapsed:       base + time.Since(start),
 		Relaxations:   snap.Relaxations,
 		Dist:          snap.Dist,

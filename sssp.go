@@ -275,9 +275,19 @@ type Result struct {
 	// Dist maps every vertex to its shortest distance from the source
 	// (Infinity when unreachable).
 	Dist []uint32
-	// Elapsed is the algorithm's wall-clock time, excluding graph
-	// construction and verification.
+	// Elapsed is the cumulative wall-clock time paid for these
+	// distances, excluding graph construction and verification. For a
+	// warm-started solve (Options.WarmStart, Session.Resume, or a
+	// cache-internal nearest-source seed) it includes the prior wall
+	// time the seed checkpoint had already accumulated; subtract
+	// PriorElapsed for the time spent inside this process. Pool latency
+	// stats and SolveObservation.Elapsed record only the in-process
+	// portion.
 	Elapsed time.Duration
+	// PriorElapsed is the portion of Elapsed inherited from the warm
+	// seed's checkpoint (zero for cold solves), so
+	// Elapsed - PriorElapsed is always this solve's own wall time.
+	PriorElapsed time.Duration
 	// Algorithm that produced the result.
 	Algorithm Algorithm
 	// Metrics holds aggregated counters when CollectMetrics was set.
@@ -381,22 +391,40 @@ func RunContext(ctx context.Context, g *Graph, source Vertex, opt Options) (*Res
 	return runContext(ctx, g, source, opt, m, tl)
 }
 
-// validateWarmStart checks the Options.WarmStart contract: Wasp only,
-// no pendant pruning (the pruned core is a different graph than the
-// one the snapshot describes), snapshot and graph shapes agree, and
-// the run resumes the snapshot's own source.
-func validateWarmStart(g *Graph, source Vertex, opt Options) error {
-	cp := opt.WarmStart
-	if cp == nil {
-		return nil
-	}
+// warmStartSupported reports whether the option set can seed a solve
+// from a prior distance array at all: warm starts are a Wasp-only
+// facility (the repair scan lives in the Wasp solver) and incompatible
+// with PendantPruning (the pruned core is a different graph than the
+// one a snapshot describes). Every warm-seeding path — the public
+// Options.WarmStart field, Session.Resume, and the cache's internal
+// nearest-source seeding — consults this one helper, so no path can
+// smuggle a seed past the compatibility rules.
+func warmStartSupported(opt Options) error {
 	if opt.Algorithm != AlgoWasp {
 		return fmt.Errorf("wasp: WarmStart requires AlgoWasp, not %s", opt.Algorithm)
 	}
 	if opt.PendantPruning {
 		return fmt.Errorf("wasp: WarmStart is incompatible with PendantPruning")
 	}
+	return nil
+}
+
+// validateWarmStart checks the Options.WarmStart contract: a supported
+// option set (see warmStartSupported), snapshot and graph agree in
+// both shape and content fingerprint, and the run resumes the
+// snapshot's own source.
+func validateWarmStart(g *Graph, source Vertex, opt Options) error {
+	cp := opt.WarmStart
+	if cp == nil {
+		return nil
+	}
+	if err := warmStartSupported(opt); err != nil {
+		return err
+	}
 	if err := cp.Matches(g.NumVertices(), g.NumEdges(), g.Directed()); err != nil {
+		return err
+	}
+	if err := cp.MatchesWeights(g.WeightFingerprint()); err != nil {
 		return err
 	}
 	if Vertex(cp.Source) != source {
@@ -533,7 +561,10 @@ func runContext(ctx context.Context, g *Graph, source Vertex, opt Options, m *me
 	if opt.WarmStart != nil {
 		// A resumed solve's clock continues from the checkpoint: Elapsed
 		// is the total paid for these distances, not just the tail.
-		res.Elapsed += opt.WarmStart.Elapsed
+		// PriorElapsed records the inherited portion so latency stats
+		// can separate this-process time from prior-process time.
+		res.PriorElapsed = opt.WarmStart.Elapsed
+		res.Elapsed += res.PriorElapsed
 	}
 	res.fillProgress(m)
 
