@@ -76,6 +76,7 @@ type Cache struct {
 	evicted    atomic.Int64
 	warmStarts atomic.Int64
 	coldStarts atomic.Int64
+	reuseShed  atomic.Int64
 
 	hitLat histogram
 }
@@ -152,8 +153,12 @@ func NewCache(opt CacheOptions) *Cache {
 // getOrSolve is the cache's front door, called by Pool.Run and
 // Pool.Resume when the pool is cache-backed. callerWarm, when non-nil,
 // is the caller's own validated checkpoint (Pool.Resume); it seeds the
-// solve on a miss in place of the nearest-source scan.
-func (c *Cache) getOrSolve(ctx context.Context, p *Pool, source Vertex, callerWarm *Checkpoint) (*Result, error) {
+// solve on a miss in place of the nearest-source scan. reuseOnly is
+// the governor's BrownoutCacheOnly admission: exact hits, coalesced
+// followers and seeded misses (caller checkpoint or nearest-source)
+// are served as usual, but a miss that would solve cold — the most
+// expensive class of query — sheds with ErrOverloaded instead.
+func (c *Cache) getOrSolve(ctx context.Context, p *Pool, source Vertex, callerWarm *Checkpoint, reuseOnly bool) (*Result, error) {
 	key := cacheKey{scope: p.cacheScope, fp: p.fp, source: uint32(source)}
 	for {
 		c.mu.Lock()
@@ -188,13 +193,26 @@ func (c *Cache) getOrSolve(ctx context.Context, p *Pool, source Vertex, callerWa
 			continue
 		}
 
-		// Miss: become the leader.
-		f := &flight{done: make(chan struct{})}
-		c.flights[key] = f
+		// Miss: determine the seed first — reuse-only admission needs it
+		// before committing to lead a flight.
 		warm := callerWarm
 		if warm == nil {
 			warm = c.nearestSeedLocked(p, key)
 		}
+		if reuseOnly && warm == nil {
+			// Brownout cache-only rung: no cached work to reuse, so this
+			// query would pay full solve cost. Shed it; no flight is
+			// registered, so a later identical query retries cleanly.
+			c.mu.Unlock()
+			c.reuseShed.Add(1)
+			p.shed.Add(1)
+			p.gov.observeShed()
+			return nil, ErrOverloaded
+		}
+
+		// Become the leader.
+		f := &flight{done: make(chan struct{})}
+		c.flights[key] = f
 		c.mu.Unlock()
 		c.misses.Add(1)
 		if warm != nil {
@@ -393,6 +411,7 @@ type CacheStats struct {
 	Evicted    int64 `json:"evicted"`    // entries dropped by the LRU budget
 	WarmStarts int64 `json:"warm_starts"` // misses seeded from a nearest cached source
 	ColdStarts int64 `json:"cold_starts"` // misses solved from scratch
+	ReuseShed  int64 `json:"reuse_shed"`  // cold misses shed by brownout reuse-only admission
 
 	Entries  int   `json:"entries"`   // resident results
 	Bytes    int64 `json:"bytes"`     // resident size charged against the budget
@@ -415,6 +434,7 @@ func (c *Cache) Stats() CacheStats {
 		Evicted:    c.evicted.Load(),
 		WarmStarts: c.warmStarts.Load(),
 		ColdStarts: c.coldStarts.Load(),
+		ReuseShed:  c.reuseShed.Load(),
 		Entries:    entries,
 		Bytes:      bytes,
 		MaxBytes:   c.conf.MaxBytes,

@@ -1,0 +1,380 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"wasp"
+	"wasp/internal/fault"
+)
+
+// The chaos graph is an undirected unit-weight path of chaosN
+// vertices, so the true distance from any source s to any target v is
+// exactly |s-v| — every complete response is checkable without an
+// oracle solver, and a stale or corrupted distance cannot hide.
+const chaosN = 256
+
+func chaosGraph() *wasp.Graph {
+	edges := make([]wasp.Edge, 0, chaosN-1)
+	for i := 0; i < chaosN-1; i++ {
+		edges = append(edges, wasp.Edge{From: wasp.Vertex(i), To: wasp.Vertex(i + 1), W: 1})
+	}
+	return wasp.FromEdges(chaosN, false, edges)
+}
+
+// chaosCheckpoint is a genuine mid-solve snapshot for source 3 on the
+// chaos path: the first few vertices settled at their exact distances,
+// everything else unreached. Every finite entry is a real path length,
+// so resuming from it is legitimate on any version of the graph (all
+// republished versions carry identical content).
+func chaosCheckpoint(g *wasp.Graph) *wasp.Checkpoint {
+	dist := make([]uint32, chaosN)
+	for v := range dist {
+		dist[v] = wasp.Infinity
+	}
+	for v := 0; v <= 10; v++ {
+		if v <= 3 {
+			dist[v] = uint32(3 - v)
+		} else {
+			dist[v] = uint32(v - 3)
+		}
+	}
+	return &wasp.Checkpoint{
+		Source:        3,
+		GraphVertices: g.NumVertices(),
+		GraphEdges:    g.NumEdges(),
+		Directed:      g.Directed(),
+		Elapsed:       time.Millisecond,
+		Relaxations:   10,
+		Dist:          dist,
+	}
+}
+
+// TestDaemonChaos is the daemon-level chaos suite: for each seed it
+// assembles a full serving stack (registry + cache + governor +
+// checkpoint tracker + bundle scanner behind the real HTTP mux),
+// pre-seeds the checkpoint directory with a resumable file and a
+// garbage file, then runs an overload storm of concurrent queries
+// against injected solve stalls, disk write errors, ENOSPC, disk read
+// errors, and bundle load errors — while a reloader keeps republishing
+// the same graph under bumped versions.
+//
+// Invariants asserted, per seed:
+//   - no stale results: every complete response carries the exact
+//     distance; every degraded response carries an upper bound;
+//   - every 429 carries a Retry-After hint;
+//   - the brownout ladder only ever moves one rung at a time;
+//   - after the faults clear, the daemon recovers to ready with the
+//     ladder back at "none" and serves exact results again;
+//   - the ENOSPC degraded mode self-heals once the disk drains;
+//   - nothing leaks: goroutines return to baseline after shutdown.
+func TestDaemonChaos(t *testing.T) {
+	seeds := 20
+	if testing.Short() {
+		seeds = 4
+	}
+	for seed := 1; seed <= seeds; seed++ {
+		t.Run(fmt.Sprintf("seed%02d", seed), func(t *testing.T) {
+			chaosRound(t, uint64(seed))
+		})
+	}
+}
+
+func chaosRound(t *testing.T, seed uint64) {
+	before := runtime.NumGoroutine()
+	ctx := context.Background()
+	g := chaosGraph()
+	bundleDir, ckptDir := t.TempDir(), t.TempDir()
+	bundlePath := filepath.Join(bundleDir, "chaos.wspb")
+
+	// Recovery inputs a crashed predecessor could have left: one
+	// resumable checkpoint, one file of garbage.
+	if err := wasp.SaveCheckpoint(filepath.Join(ckptDir, "ckpt-chaos-3.wsck"), chaosCheckpoint(g)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeGarbage(filepath.Join(ckptDir, "ckpt-chaos-999.wsck")); err != nil {
+		t.Fatal(err)
+	}
+
+	var tmu sync.Mutex
+	var transitions []wasp.BrownoutTransition
+	gov := wasp.NewGovernor(wasp.GovernorConfig{
+		QueueDelayBudget: 2 * time.Millisecond,
+		DegradedDeadline: 2 * time.Millisecond,
+		MinDwell:         5 * time.Millisecond,
+		MaxRetryAfter:    2 * time.Second,
+		Slots:            2,
+		OnTransition: func(tr wasp.BrownoutTransition) {
+			tmu.Lock()
+			transitions = append(transitions, tr)
+			tmu.Unlock()
+		},
+	})
+	tracker := newCkptTracker(ckptDir)
+	tracker.probeEvery = 10 * time.Millisecond
+	cache := wasp.NewCache(wasp.CacheOptions{MaxBytes: 4 << 20})
+	reg := wasp.NewRegistry(wasp.RegistryOptions{
+		Options: wasp.Options{Workers: 2, CheckpointInterval: 2 * time.Millisecond},
+		Cache:   cache,
+		Pool: wasp.PoolOptions{
+			Sessions:   2,
+			QueueDepth: 4,
+			QueueWait:  5 * time.Millisecond,
+			Governor:   gov,
+		},
+		ConfigureOptions: func(graph string, _ uint64, o wasp.Options) wasp.Options {
+			o.CheckpointSink = tracker.sinkFor(graph)
+			return o
+		},
+	})
+	sc := newBundleScanner(reg, bundleDir)
+	sc.backoffBase = 5 * time.Millisecond
+	sc.backoffMax = 20 * time.Millisecond
+
+	// The initial publish happens before the faults arm so every round
+	// starts from a serving daemon (chaos on top of an empty registry
+	// tests nothing).
+	if err := wasp.SaveBundle(bundlePath, &wasp.Bundle{
+		Manifest: wasp.BundleManifest{Name: "chaos", Version: 1}, Graph: g,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if loaded, rejected := sc.rescan(ctx); loaded != 1 || rejected != 0 {
+		t.Fatalf("initial scan: loaded %d rejected %d", loaded, rejected)
+	}
+	s := &server{reg: reg, cache: cache, ckpt: tracker, gov: gov, scan: sc}
+	ts := httptest.NewServer(s.routes())
+	client := ts.Client()
+
+	plan := fault.NewPlan(fault.Config{
+		Seed:            seed,
+		SolveStall:      400,
+		DiskStall:       300,
+		DiskWriteErr:    150,
+		DiskWriteENOSPC: 80,
+		DiskReadErr:     300,
+		BundleLoadErr:   400,
+		MaxYields:       16,
+	})
+	fault.Activate(plan)
+	defer fault.Deactivate()
+
+	// Startup recovery runs under read faults: any per-file outcome
+	// (resumed, retried, dropped) is acceptable; crashing or wedging is
+	// not.
+	s.recoverCheckpoints(ctx)
+
+	var bad struct {
+		mu    sync.Mutex
+		msgs  []string
+		count int
+	}
+	fail := func(format string, args ...any) {
+		bad.mu.Lock()
+		if bad.count < 5 {
+			bad.msgs = append(bad.msgs, fmt.Sprintf(format, args...))
+		}
+		bad.count++
+		bad.mu.Unlock()
+	}
+
+	var wg sync.WaitGroup
+	// Reloader: republish identical content under bumped versions while
+	// the storm runs, rescanning under injected bundle-load faults.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for v := uint64(2); v < 10; v++ {
+			b := &wasp.Bundle{Manifest: wasp.BundleManifest{Name: "chaos", Version: v}, Graph: g}
+			if err := wasp.SaveBundle(bundlePath, b); err != nil {
+				fail("republish v%d: %v", v, err)
+				return
+			}
+			sc.rescan(ctx)
+			time.Sleep(3 * time.Millisecond)
+		}
+	}()
+	// Checkpoint writer: a steady stream of sink writes so the disk
+	// write faults (including ENOSPC) are exercised every round
+	// regardless of how fast the path-graph solves finish. It runs on
+	// its own WaitGroup because it stops on signal, not on its own.
+	ckptDone := make(chan struct{})
+	var ckptWG sync.WaitGroup
+	ckptWG.Add(1)
+	go func() {
+		defer ckptWG.Done()
+		sink := tracker.sinkFor("chaos")
+		cp := chaosCheckpoint(g)
+		for {
+			select {
+			case <-ckptDone:
+				return
+			default:
+				sink(cp)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	// Query storm: more concurrency than the pool has slots, so the
+	// governor sees real queue pressure and walks the ladder.
+	const target = chaosN - 1
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 18; i++ {
+				src := (w*7 + i*3) % 8
+				checkChaosQuery(t, client, ts.URL, src, target, fail)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(ckptDone)
+	ckptWG.Wait()
+
+	// Faults off: the daemon must recover on its own — ladder back to
+	// none, readiness green, exact answers again.
+	fault.Deactivate()
+	deadline := time.Now().Add(10 * time.Second)
+	recovered := false
+	for time.Now().Before(deadline) {
+		sc.rescan(ctx) // heal any quarantined bundle
+		ok := chaosExactQuery(client, ts.URL, 0, target)
+		var ready readyResponse
+		resp, err := client.Get(ts.URL + "/healthz/ready")
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&ready)
+			resp.Body.Close()
+		}
+		if err == nil && ok && ready.Ready && ready.Brownout == "none" {
+			recovered = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !recovered {
+		t.Fatalf("daemon did not recover: level %s, pressure %.2f", gov.Level(), gov.Pressure())
+	}
+
+	// If the storm tripped the ENOSPC degraded mode, it must self-heal
+	// now that the injected disk is gone.
+	if tracker.disabled.Load() {
+		time.Sleep(tracker.probeEvery + 5*time.Millisecond)
+		tracker.sinkFor("chaos")(chaosCheckpoint(g))
+		if tracker.disabled.Load() {
+			t.Error("checkpointing did not self-heal after ENOSPC cleared")
+		}
+	}
+
+	// The ladder never jumps: every transition is exactly one rung, and
+	// consecutive transitions chain (no hidden moves between them).
+	tmu.Lock()
+	for i, tr := range transitions {
+		if d := int(tr.To) - int(tr.From); d != 1 && d != -1 {
+			t.Errorf("transition %d: %s -> %s skips rungs", i, tr.From, tr.To)
+		}
+		if i > 0 && transitions[i-1].To != tr.From {
+			t.Errorf("transition %d: %s -> %s does not chain from %s",
+				i, tr.From, tr.To, transitions[i-1].To)
+		}
+	}
+	tmu.Unlock()
+
+	bad.mu.Lock()
+	if bad.count > 0 {
+		t.Fatalf("%d bad responses under chaos, first %d: %v", bad.count, len(bad.msgs), bad.msgs)
+	}
+	bad.mu.Unlock()
+
+	// Shutdown leaks nothing: goroutines return to the pre-round
+	// baseline (the +2 tolerance absorbs the runtime's own background
+	// variance, same as the drain test).
+	ts.Close()
+	cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := reg.Close(cctx); err != nil {
+		t.Fatal(err)
+	}
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(leakDeadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before+2 {
+		t.Fatalf("goroutines leaked: %d before, %d after shutdown", before, n)
+	}
+}
+
+// checkChaosQuery issues one storm query and validates whatever came
+// back. Acceptable outcomes under chaos: an exact complete answer, a
+// degraded upper bound, a 429 with a Retry-After hint, or a 503 from a
+// drain race. A wrong distance or an unexplained status is a failure.
+func checkChaosQuery(t *testing.T, client *http.Client, base string, src, target int, fail func(string, ...any)) {
+	t.Helper()
+	want := uint32(target - src)
+	resp, err := client.Get(fmt.Sprintf("%s/sssp?source=%d&target=%d", base, src, target))
+	if err != nil {
+		fail("GET source=%d: %v", src, err)
+		return
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		var q queryResponse
+		if err := json.Unmarshal(body, &q); err != nil {
+			fail("source=%d: bad JSON %q: %v", src, body, err)
+			return
+		}
+		if q.Distance == nil {
+			fail("source=%d: 200 without a distance", src)
+			return
+		}
+		if q.Complete {
+			if *q.Distance != want {
+				fail("STALE: source=%d complete distance %d, want %d", src, *q.Distance, want)
+			}
+		} else if *q.Distance < want {
+			fail("source=%d: degraded distance %d below true %d", src, *q.Distance, want)
+		}
+	case http.StatusTooManyRequests:
+		if resp.Header.Get("Retry-After") == "" {
+			fail("source=%d: 429 without Retry-After", src)
+		}
+	case http.StatusServiceUnavailable:
+		// A query racing a version swap's drain; admissible, never wrong.
+	default:
+		fail("source=%d: status %d: %s", src, resp.StatusCode, body)
+	}
+}
+
+// chaosExactQuery reports whether one query came back 200, complete,
+// and exact — the recovery loop's "serving normally again" check.
+func chaosExactQuery(client *http.Client, base string, src, target int) bool {
+	resp, err := client.Get(fmt.Sprintf("%s/sssp?source=%d&target=%d", base, src, target))
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return false
+	}
+	var q queryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&q); err != nil {
+		return false
+	}
+	return q.Complete && q.Distance != nil && *q.Distance == uint32(target-src)
+}
+
+func writeGarbage(path string) error {
+	return os.WriteFile(path, []byte("this is not a checkpoint"), 0o644)
+}

@@ -28,10 +28,18 @@
 //	POST /admin/reload[?path=F]   rescan -graphs (or load one file)
 //	POST /admin/rollback?graph=G  roll G back to its previous version
 //
-// Overload returns 429 with a Retry-After hint (configurable via
-// -retry-after); a degraded (deadline) response is 200 with
+// Overload is governed by an adaptive brownout ladder (-brownout, on
+// by default): sustained pressure — smoothed queue delay, queue
+// occupancy and solve latency — walks the daemon one rung at a time
+// through full service, cache/warm-start-only admission, degraded
+// deadlines (-degraded-deadline), and full shedding, recovering the
+// same way as pressure drains. Shed queries return 429 with an
+// adaptive Retry-After computed from the queue drain rate and capped
+// by -retry-after; a degraded (deadline) response is 200 with
 // "degraded": true and the settled fraction, so callers can decide
-// whether a partial answer is good enough.
+// whether a partial answer is good enough. A browned-out daemon stays
+// ready — /healthz/ready reports pressure and brownout level instead
+// of failing the probe.
 //
 // With -checkpoint-dir the daemon is crash-recoverable: every
 // in-flight solve is snapshotted to a per-(graph, source) file on a
@@ -40,7 +48,12 @@
 // state, converging to exact distances — while serving fresh queries.
 // A checkpoint whose fingerprint no longer matches its graph (the
 // graph was redeployed with a different shape while the daemon was
-// down) is skipped and removed, never a startup failure.
+// down) is skipped and removed, never a startup failure. Disk faults
+// never hurt serving: transient save/read errors retry with jittered
+// backoff, ENOSPC flips checkpointing into a self-healing disabled
+// mode that probes its way back when space returns, and a bundle file
+// that fails to load is quarantined under exponential backoff while
+// the last good version keeps serving.
 //
 // Usage:
 //
@@ -56,6 +69,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"os/signal"
@@ -79,13 +93,20 @@ type server struct {
 	ckpt     *ckptTracker   // nil when -checkpoint-dir is unset
 	scan     *bundleScanner // nil when -graphs is unset
 	prom     *promState     // /metrics state; initialized lazily by routes
-	retry    string         // Retry-After seconds sent with 429s
+	gov      *wasp.Governor // nil when -brownout=false
+	retry    string         // static Retry-After seconds sent with 429s
 	draining atomic.Bool
 }
 
-// retryAfter renders the 429 hint, defaulting to one second when the
-// server was built without configuration (tests).
+// retryAfter renders the 429 hint: the governor's adaptive estimate —
+// expected queue drain time, already capped at the -retry-after
+// ceiling — rounded up to whole seconds, falling back to the static
+// flag value (or one second for unconfigured test servers) before the
+// governor has observed a solve.
 func (s *server) retryAfter() string {
+	if ra := s.gov.RetryAfter(); ra > 0 {
+		return strconv.Itoa(int((ra + time.Second - 1) / time.Second))
+	}
 	if s.retry == "" {
 		return "1"
 	}
@@ -149,6 +170,11 @@ func (s *server) poolStats() wasp.PoolStats {
 type ckptTracker struct {
 	dir string
 
+	// probeEvery is how often a disabled tracker lets one write through
+	// to probe whether the full disk has space again (default 5s; tests
+	// shrink it).
+	probeEvery time.Duration
+
 	mu       sync.Mutex
 	inflight map[ckptKey]int
 
@@ -156,6 +182,11 @@ type ckptTracker struct {
 	lastWrite atomic.Int64 // unix nanos of the last successful write; 0 = never
 	recovered atomic.Int64
 	skipped   atomic.Int64 // recovery files dropped for fingerprint mismatch
+
+	writeErrs     atomic.Int64 // saves that failed after retries
+	skippedWrites atomic.Int64 // saves skipped while checkpointing was disabled
+	disabled      atomic.Bool  // ENOSPC degraded mode: skip writes, probe, self-heal
+	lastProbe     atomic.Int64 // unix nanos of the last probe write while disabled
 }
 
 type ckptKey struct {
@@ -164,7 +195,63 @@ type ckptKey struct {
 }
 
 func newCkptTracker(dir string) *ckptTracker {
-	return &ckptTracker{dir: dir, inflight: make(map[ckptKey]int)}
+	return &ckptTracker{
+		dir:        dir,
+		probeEvery: 5 * time.Second,
+		inflight:   make(map[ckptKey]int),
+	}
+}
+
+// retryDisk runs op up to attempts times with a jittered exponential
+// backoff between tries, absorbing the transient failures disks
+// actually produce (EINTR, a racing rename, a momentary IO error). It
+// returns nil on the first success and the last error otherwise.
+// ENOSPC short-circuits: a full disk will not empty between
+// millisecond retries, and the caller handles it as a mode change, not
+// a retry.
+func retryDisk(attempts int, base time.Duration, op func() error) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if errors.Is(err, syscall.ENOSPC) {
+			return err
+		}
+		if i < attempts-1 {
+			d := base << i
+			time.Sleep(d/2 + rand.N(d))
+		}
+	}
+	return err
+}
+
+// disabledNow reports whether this write should be skipped because
+// checkpointing is in the ENOSPC-degraded mode. Every probeEvery, one
+// caller is let through as a probe — its success re-enables
+// checkpointing, so the mode self-heals when space returns without any
+// background goroutine.
+func (c *ckptTracker) disabledNow() bool {
+	if !c.disabled.Load() {
+		return false
+	}
+	now := time.Now().UnixNano()
+	last := c.lastProbe.Load()
+	if now-last >= int64(c.probeEvery) && c.lastProbe.CompareAndSwap(last, now) {
+		return false // this caller is the probe
+	}
+	return true
+}
+
+// disable flips checkpointing into the degraded mode, logging the
+// transition once (each subsequent skip bumps a counter instead of a
+// log line — an hour of full disk must not be an hour of log spam).
+func (c *ckptTracker) disable(err error) {
+	c.writeErrs.Add(1)
+	if !c.disabled.Swap(true) {
+		c.lastProbe.Store(time.Now().UnixNano())
+		log.Printf("checkpointing disabled: %v (probing every %v; re-enables when space returns)", err, c.probeEvery)
+	}
 }
 
 func (c *ckptTracker) path(graph string, src uint32) string {
@@ -201,14 +288,37 @@ func parseCkptName(base string) (graph string, src uint32, ok bool) {
 // each session's supervisor goroutine; the atomic write-then-rename in
 // SaveCheckpoint makes concurrent same-source writers harmless (last
 // complete file wins, never a torn one).
+//
+// Checkpointing is an availability feature, so its own failures are
+// never allowed to hurt serving: transient write errors retry with
+// jittered backoff and then give up on this snapshot (the next
+// interval tick tries again), and ENOSPC flips the tracker into a
+// degraded skip-everything mode that probes its way back to enabled
+// when the disk drains — queries are never failed or slowed either
+// way.
 func (c *ckptTracker) sinkFor(graph string) func(*wasp.Checkpoint) {
 	return func(cp *wasp.Checkpoint) {
-		if err := wasp.SaveCheckpoint(c.path(graph, cp.Source), cp); err != nil {
-			log.Printf("checkpoint %s/%d: %v", graph, cp.Source, err)
+		if c.disabledNow() {
+			c.skippedWrites.Add(1)
 			return
 		}
-		c.writes.Add(1)
-		c.lastWrite.Store(time.Now().UnixNano())
+		err := retryDisk(3, 5*time.Millisecond, func() error {
+			return wasp.SaveCheckpoint(c.path(graph, cp.Source), cp)
+		})
+		switch {
+		case err == nil:
+			if c.disabled.Swap(false) {
+				// This was the probe write: space is back.
+				log.Printf("checkpointing re-enabled: disk writable again")
+			}
+			c.writes.Add(1)
+			c.lastWrite.Store(time.Now().UnixNano())
+		case errors.Is(err, syscall.ENOSPC):
+			c.disable(err)
+		default:
+			c.writeErrs.Add(1)
+			log.Printf("checkpoint %s/%d: %v", graph, cp.Source, err)
+		}
 	}
 }
 
@@ -275,7 +385,15 @@ func (s *server) recoverCheckpoints(ctx context.Context) {
 			_ = os.Remove(f)
 			continue
 		}
-		cp, err := wasp.LoadCheckpoint(f)
+		var cp *wasp.Checkpoint
+		// Retry transient read failures before concluding the file is
+		// garbage: recovery runs once per process, so giving up on a
+		// flaky read would silently drop resumable work.
+		err := retryDisk(3, 5*time.Millisecond, func() error {
+			var lerr error
+			cp, lerr = wasp.LoadCheckpoint(f)
+			return lerr
+		})
 		if err != nil {
 			log.Printf("recovery: removing %s: %v", f, err)
 			_ = os.Remove(f)
@@ -474,9 +592,19 @@ func (s *server) handleLive(w http.ResponseWriter, _ *http.Request) {
 // per-graph lifecycle states, so an operator can tell "down" from
 // "reloading graph X behind last-good serving".
 type readyResponse struct {
-	Ready    bool                      `json:"ready"`
-	Draining bool                      `json:"draining"`
-	Graphs   map[string]graphReadiness `json:"graphs"`
+	Ready    bool `json:"ready"`
+	Draining bool `json:"draining"`
+	// Pressure and Brownout expose the governor's overload state (absent
+	// when -brownout=false). A browned-out daemon stays ready — it is
+	// alive, shedding by design, and seconds from recovery; failing the
+	// probe would dump its load onto the rest of the fleet instead.
+	Pressure *float64 `json:"pressure,omitempty"`
+	Brownout string   `json:"brownout,omitempty"`
+	// CheckpointingDisabled is true while checkpoint writes are skipped
+	// in the ENOSPC degraded mode (crash recovery is paused; serving is
+	// not).
+	CheckpointingDisabled bool                      `json:"checkpointing_disabled,omitempty"`
+	Graphs                map[string]graphReadiness `json:"graphs"`
 }
 
 type graphReadiness struct {
@@ -492,6 +620,14 @@ func (s *server) handleReady(w http.ResponseWriter, _ *http.Request) {
 	resp := readyResponse{
 		Draining: s.draining.Load(),
 		Graphs:   map[string]graphReadiness{},
+	}
+	if s.gov != nil {
+		p := s.gov.Pressure()
+		resp.Pressure = &p
+		resp.Brownout = s.gov.Level().String()
+	}
+	if s.ckpt != nil {
+		resp.CheckpointingDisabled = s.ckpt.disabled.Load()
 	}
 	for _, name := range s.reg.Graphs() {
 		st, ok := s.reg.Status(name)
@@ -527,10 +663,17 @@ type statsResponse struct {
 	Draining    bool    `json:"draining"`
 
 	// Checkpointing (zeros / -1 when -checkpoint-dir is unset).
-	CheckpointWrites    int64   `json:"checkpoint_writes"`
-	LastCheckpointAgeMS float64 `json:"last_checkpoint_age_ms"` // -1: never
-	Recovered           int64   `json:"recovered"`
-	RecoverySkipped     int64   `json:"recovery_skipped"`
+	CheckpointWrites        int64   `json:"checkpoint_writes"`
+	LastCheckpointAgeMS     float64 `json:"last_checkpoint_age_ms"` // -1: never
+	Recovered               int64   `json:"recovered"`
+	RecoverySkipped         int64   `json:"recovery_skipped"`
+	CheckpointWriteErrors   int64   `json:"checkpoint_write_errors"`
+	CheckpointWritesSkipped int64   `json:"checkpoint_writes_skipped"`
+	CheckpointingDisabled   bool    `json:"checkpointing_disabled"`
+
+	// Governor is the overload governor's state (absent when
+	// -brownout=false).
+	Governor *wasp.GovernorStats `json:"governor,omitempty"`
 
 	// Cache is the result cache's counters (absent when -cache-mb=0).
 	Cache *wasp.CacheStats `json:"cache,omitempty"`
@@ -616,6 +759,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		resp.LastCheckpointAgeMS = s.ckpt.ageMS()
 		resp.Recovered = s.ckpt.recovered.Load()
 		resp.RecoverySkipped = s.ckpt.skipped.Load()
+		resp.CheckpointWriteErrors = s.ckpt.writeErrs.Load()
+		resp.CheckpointWritesSkipped = s.ckpt.skippedWrites.Load()
+		resp.CheckpointingDisabled = s.ckpt.disabled.Load()
+	}
+	if s.gov != nil {
+		gs := s.gov.Stats()
+		resp.Governor = &gs
 	}
 	if s.cache != nil {
 		cs := s.cache.Stats()
@@ -665,8 +815,11 @@ func main() {
 		queueWait = flag.Duration("queue-wait", 100*time.Millisecond, "max wait for a free session before shedding (0 = unbounded)")
 		deadline  = flag.Duration("deadline", 0, "per-solve latency budget; expired budgets return degraded partial results (0 = none)")
 		drainWait = flag.Duration("drain-timeout", 10*time.Second, "max time to drain in-flight solves on SIGTERM")
-		retryIn   = flag.Duration("retry-after", time.Second, "Retry-After hint sent with 429 overload responses (rounded up to whole seconds)")
+		retryIn   = flag.Duration("retry-after", 30*time.Second, "ceiling on the Retry-After hint sent with 429s (the adaptive estimate from queue drain rate stays at or under it; also the static fallback before any solve is observed, rounded up to whole seconds)")
 		history   = flag.Int("history", 2, "retired graph versions retained per graph for rollback")
+
+		brownout    = flag.Bool("brownout", true, "adaptive overload governor: degrade through cache-only admission and clamped deadlines before shedding")
+		degradedDdl = flag.Duration("degraded-deadline", 50*time.Millisecond, "per-solve budget clamped onto queries while browned out (partial results, not errors)")
 
 		ckptDir   = flag.String("checkpoint-dir", "", "persist in-flight query state here and resume it on restart")
 		ckptEvery = flag.Duration("checkpoint-interval", 2*time.Second, "interval between checkpoints of each in-flight solve")
@@ -705,6 +858,22 @@ func main() {
 	if *cacheMB > 0 {
 		cache = wasp.NewCache(wasp.CacheOptions{MaxBytes: int64(*cacheMB) << 20})
 	}
+	// One governor spans every graph's pool: overload is a daemon-wide
+	// condition (the pools share the machine), so the brownout ladder
+	// must move on aggregate pressure, not per-graph slices of it.
+	var gov *wasp.Governor
+	if *brownout {
+		gov = wasp.NewGovernor(wasp.GovernorConfig{
+			QueueDelayBudget: *queueWait,
+			LatencyBudget:    *deadline,
+			DegradedDeadline: *degradedDdl,
+			MaxRetryAfter:    *retryIn,
+			Slots:            *sessions,
+			OnTransition: func(tr wasp.BrownoutTransition) {
+				log.Printf("governor: brownout %s -> %s (pressure %.2f)", tr.From, tr.To, tr.Pressure)
+			},
+		})
+	}
 	reg := wasp.NewRegistry(wasp.RegistryOptions{
 		Options: opt,
 		Cache:   cache,
@@ -715,6 +884,7 @@ func main() {
 			Deadline:   *deadline,
 			Observe:    &wasp.ObserverConfig{TraceCapacity: *traceCap},
 			OnSolve:    prom.onSolve,
+			Governor:   gov,
 		},
 		History:      *history,
 		DrainTimeout: *drainWait,
@@ -741,7 +911,7 @@ func main() {
 	if retrySecs < 1 {
 		retrySecs = 1
 	}
-	s := &server{reg: reg, cache: cache, ckpt: tracker, prom: prom, retry: strconv.Itoa(retrySecs)}
+	s := &server{reg: reg, cache: cache, ckpt: tracker, prom: prom, gov: gov, retry: strconv.Itoa(retrySecs)}
 
 	// Seed the registry: an explicit single graph, a bundle directory,
 	// or both (the single graph serves alongside the directory's).

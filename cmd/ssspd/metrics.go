@@ -74,14 +74,22 @@ type promSnapshot struct {
 	graphs  []graphSample
 	reloads wasp.RegistryReloadStats
 
-	ckptWrites    int64
-	ckptAgeSec    float64 // -1: never
-	ckptRecovered int64
-	ckptSkipped   int64
-	hasCkpt       bool
+	ckptWrites        int64
+	ckptAgeSec        float64 // -1: never
+	ckptRecovered     int64
+	ckptSkipped       int64
+	ckptWriteErrs     int64
+	ckptSkippedWrites int64
+	ckptDisabled      bool
+	hasCkpt           bool
 
 	cache    wasp.CacheStats
 	hasCache bool
+
+	gov    wasp.GovernorStats
+	hasGov bool
+
+	scanQuarantined int64 // rescan skips of quarantined bundle files
 
 	observed  wasp.ObserverTotals // summed over every session observer
 	observers int
@@ -111,6 +119,9 @@ func (s *server) snapshot() promSnapshot {
 		snap.ckptWrites = s.ckpt.writes.Load()
 		snap.ckptRecovered = s.ckpt.recovered.Load()
 		snap.ckptSkipped = s.ckpt.skipped.Load()
+		snap.ckptWriteErrs = s.ckpt.writeErrs.Load()
+		snap.ckptSkippedWrites = s.ckpt.skippedWrites.Load()
+		snap.ckptDisabled = s.ckpt.disabled.Load()
 		if ms := s.ckpt.ageMS(); ms >= 0 {
 			snap.ckptAgeSec = ms / 1000
 		}
@@ -118,6 +129,13 @@ func (s *server) snapshot() promSnapshot {
 	if s.cache != nil {
 		snap.hasCache = true
 		snap.cache = s.cache.Stats()
+	}
+	if s.gov != nil {
+		snap.hasGov = true
+		snap.gov = s.gov.Stats()
+	}
+	if s.scan != nil {
+		snap.scanQuarantined = s.scan.quarantineSkips()
 	}
 	for _, obs := range s.reg.Observers() {
 		c := obs.Cumulative()
@@ -210,6 +228,19 @@ func writeProm(w io.Writer, snap promSnapshot) {
 	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"rejected\"} %d\n", snap.reloads.Rejected)
 	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"rolled_back\"} %d\n", snap.reloads.RolledBack)
 	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"noop\"} %d\n", snap.reloads.Noop)
+	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"quarantined\"} %d\n", snap.scanQuarantined)
+
+	if snap.hasGov {
+		g := snap.gov
+		gauge(w, "ssspd_pressure", "Composite overload pressure in [0,1]: the worst of the queue-delay, queue-depth and latency components.", g.Pressure)
+		gauge(w, "ssspd_pressure_queue_delay", "Queue-delay pressure component: smoothed admission wait over budget, clamped to [0,1].", g.QueueDelay)
+		gauge(w, "ssspd_pressure_queue_depth", "Queue-depth pressure component: smoothed queued/capacity, clamped to [0,1].", g.QueueDepth)
+		gauge(w, "ssspd_pressure_latency", "Latency pressure component: smoothed solve time over budget, clamped to [0,1] (0 when no budget is set).", g.SolveLatency)
+		gauge(w, "ssspd_brownout_level", "Current brownout ladder rung: 0 none, 1 cache-only, 2 partial, 3 shed.", float64(g.Level))
+		counter(w, "ssspd_brownout_transitions_total", "Brownout ladder moves in either direction.", g.Transitions)
+		counter(w, "ssspd_governor_sheds_total", "Queries shed by the governor's ladder (queue-overflow sheds excluded).", g.GovernorSheds)
+		gauge(w, "ssspd_retry_after_seconds", "Current adaptive Retry-After hint from queue drain rate (0: no estimate yet).", g.RetryAfter.Seconds())
+	}
 
 	counter(w, "ssspd_solves_completed_total", "Solves that ran to full completion.", st.Completed)
 	counter(w, "ssspd_solves_degraded_total", "Solves that returned a partial result at deadline.", st.Degraded)
@@ -221,6 +252,13 @@ func writeProm(w io.Writer, snap promSnapshot) {
 		counter(w, "ssspd_checkpoints_recovered_total", "Interrupted solves resumed at startup.", snap.ckptRecovered)
 		counter(w, "ssspd_checkpoints_skipped_total", "Startup checkpoints dropped for fingerprint mismatch.", snap.ckptSkipped)
 		gauge(w, "ssspd_checkpoint_last_age_seconds", "Seconds since the last checkpoint write (-1: never).", snap.ckptAgeSec)
+		counter(w, "ssspd_checkpoint_write_errors_total", "Checkpoint saves that failed after retries.", snap.ckptWriteErrs)
+		counter(w, "ssspd_checkpoint_writes_skipped_total", "Checkpoint saves skipped while checkpointing was disabled.", snap.ckptSkippedWrites)
+		disabled := 0.0
+		if snap.ckptDisabled {
+			disabled = 1
+		}
+		gauge(w, "ssspd_checkpoint_disabled", "1 while checkpointing is disabled in the ENOSPC degraded mode.", disabled)
 	}
 
 	if snap.hasCache {
@@ -259,6 +297,7 @@ func writeCacheProm(w io.Writer, cs wasp.CacheStats) {
 	counter(w, "ssspd_cache_evicted_total", "Cached results dropped by the LRU memory budget.", cs.Evicted)
 	counter(w, "ssspd_cache_warm_starts_total", "Misses seeded from the nearest cached source.", cs.WarmStarts)
 	counter(w, "ssspd_cache_cold_starts_total", "Misses solved from scratch.", cs.ColdStarts)
+	counter(w, "ssspd_cache_reuse_shed_total", "Cold misses shed by brownout reuse-only admission.", cs.ReuseShed)
 	gauge(w, "ssspd_cache_entries", "Results currently resident in the cache.", float64(cs.Entries))
 	gauge(w, "ssspd_cache_bytes", "Bytes of cached results charged against the budget.", float64(cs.Bytes))
 	gauge(w, "ssspd_cache_max_bytes", "Configured cache memory budget.", float64(cs.MaxBytes))

@@ -424,3 +424,85 @@ func TestLintRejectsMalformed(t *testing.T) {
 		})
 	}
 }
+
+// TestMetricsResilienceFamilies: a server with the governor and the
+// checkpoint tracker wired exports the overload/brownout and
+// disk-degradation families, lint-clean, with sane initial values.
+func TestMetricsResilienceFamilies(t *testing.T) {
+	g := wasp.FromEdges(4, true, []wasp.Edge{
+		{From: 0, To: 1, W: 1}, {From: 1, To: 2, W: 2},
+	})
+	gov := wasp.NewGovernor(wasp.GovernorConfig{Slots: 1})
+	cache := wasp.NewCache(wasp.CacheOptions{})
+	reg := newRegistry(t, "test", g, wasp.RegistryOptions{
+		Options: wasp.Options{Workers: 2},
+		Cache:   cache,
+		Pool:    wasp.PoolOptions{Sessions: 1, Governor: gov},
+	})
+	s := &server{reg: reg, cache: cache, gov: gov, ckpt: newCkptTracker(t.TempDir())}
+	ts := newHTTPServer(t, s)
+
+	getJSON(t, ts.URL+"/sssp?source=0", http.StatusOK, nil)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	families := lintPromText(t, string(body))
+	get := func(series string) float64 {
+		t.Helper()
+		for _, f := range families {
+			if v, ok := f.samples[series]; ok {
+				return v
+			}
+		}
+		t.Fatalf("series %s not exported:\n%s", series, body)
+		return 0
+	}
+
+	// Governor families: one healthy solve means pressure is present
+	// (any clamped value), the ladder sits at rung 0, nothing shed.
+	if p := get("ssspd_pressure"); p < 0 || p > 1 {
+		t.Fatalf("ssspd_pressure = %v, want [0,1]", p)
+	}
+	get("ssspd_pressure_queue_delay")
+	get("ssspd_pressure_queue_depth")
+	get("ssspd_pressure_latency")
+	if got := get("ssspd_brownout_level"); got != 0 {
+		t.Fatalf("ssspd_brownout_level = %v, want 0", got)
+	}
+	if got := get("ssspd_brownout_transitions_total"); got != 0 {
+		t.Fatalf("brownout transitions %v, want 0", got)
+	}
+	if got := get("ssspd_governor_sheds_total"); got != 0 {
+		t.Fatalf("governor sheds %v, want 0", got)
+	}
+	if ra := get("ssspd_retry_after_seconds"); ra <= 0 {
+		t.Fatalf("retry-after hint %v, want > 0 after a solve", ra)
+	}
+
+	// Disk-degradation families: enabled, no errors, nothing skipped.
+	if got := get("ssspd_checkpoint_write_errors_total"); got != 0 {
+		t.Fatalf("checkpoint write errors %v, want 0", got)
+	}
+	if got := get("ssspd_checkpoint_writes_skipped_total"); got != 0 {
+		t.Fatalf("checkpoint writes skipped %v, want 0", got)
+	}
+	if got := get("ssspd_checkpoint_disabled"); got != 0 {
+		t.Fatalf("checkpoint disabled gauge %v, want 0", got)
+	}
+
+	// Scanner quarantine outcome: present even with no scanner faults.
+	if got := get(`ssspd_reloads_total{outcome="quarantined"}`); got != 0 {
+		t.Fatalf("quarantined reloads %v, want 0", got)
+	}
+	// Cache reuse-shed counter: present, zero while the ladder is full.
+	if got := get("ssspd_cache_reuse_shed_total"); got != 0 {
+		t.Fatalf("cache reuse sheds %v, want 0", got)
+	}
+}

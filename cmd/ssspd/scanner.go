@@ -3,10 +3,12 @@ package main
 import (
 	"context"
 	"log"
+	"math/rand/v2"
 	"net/http"
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wasp"
@@ -18,18 +20,32 @@ import (
 // bundle directory, and composes with the atomic rename producers use
 // to publish bundles (a rescan only ever sees complete files).
 //
-// A file is re-attempted only when its (size, mtime) stamp changes: a
-// rejected bundle is not retried every tick, but republishing the file
-// (even with identical bytes — rename updates mtime) triggers a fresh
-// attempt. The registry's own version check turns redundant loads of
-// an unchanged bundle into no-ops.
+// A file is re-attempted when its (size, mtime) stamp changes —
+// republishing the file (even with identical bytes — rename updates
+// mtime) always triggers a fresh attempt. The registry's own version
+// check turns redundant loads of an unchanged bundle into no-ops.
+//
+// A failing file is quarantined: after each rejection it is skipped
+// until a jittered exponential backoff (backoffBase doubling per
+// consecutive failure, capped at backoffMax) elapses, then re-attempted
+// even with an unchanged stamp — so a transient read fault heals on
+// its own, a persistently corrupt bundle costs one load per backoff
+// period instead of one per tick, and the rejection log line appears
+// once per attempt rather than once per tick. A stamp change clears
+// the quarantine immediately: the producer published a fix.
 type bundleScanner struct {
 	reg *wasp.Registry
 	dir string
 
+	backoffBase time.Duration // first quarantine period (default 1s)
+	backoffMax  time.Duration // quarantine period cap (default 60s)
+
 	mu      sync.Mutex
 	seen    map[string]fileStamp
-	lastErr map[string]string // last rejection per path, cleared on success
+	lastErr map[string]string     // last rejection per path, cleared on success
+	quar    map[string]*quarEntry // failing files under backoff
+
+	quarantined atomic.Int64 // rescan skips of quarantined files
 }
 
 type fileStamp struct {
@@ -37,12 +53,22 @@ type fileStamp struct {
 	mtime time.Time
 }
 
+// quarEntry tracks one failing bundle file's backoff state.
+type quarEntry struct {
+	failures int       // consecutive rejections
+	until    time.Time // skip the file before this instant
+	stamp    fileStamp // the stamp that failed; a change resets the entry
+}
+
 func newBundleScanner(reg *wasp.Registry, dir string) *bundleScanner {
 	return &bundleScanner{
-		reg:     reg,
-		dir:     dir,
-		seen:    make(map[string]fileStamp),
-		lastErr: make(map[string]string),
+		reg:         reg,
+		dir:         dir,
+		backoffBase: time.Second,
+		backoffMax:  time.Minute,
+		seen:        make(map[string]fileStamp),
+		lastErr:     make(map[string]string),
+		quar:        make(map[string]*quarEntry),
 	}
 }
 
@@ -55,6 +81,7 @@ func (sc *bundleScanner) rescan(ctx context.Context) (loaded, rejected int) {
 		log.Printf("bundle scan: %v", err)
 		return 0, 0
 	}
+	now := time.Now()
 	for _, f := range files {
 		fi, err := os.Stat(f)
 		if err != nil {
@@ -62,10 +89,24 @@ func (sc *bundleScanner) rescan(ctx context.Context) (loaded, rejected int) {
 		}
 		stamp := fileStamp{size: fi.Size(), mtime: fi.ModTime()}
 		sc.mu.Lock()
-		unchanged := sc.seen[f] == stamp
+		q := sc.quar[f]
+		if q != nil && q.stamp != stamp {
+			// The producer republished: forgive the history and attempt
+			// the new content immediately.
+			delete(sc.quar, f)
+			q = nil
+		}
+		changed := sc.seen[f] != stamp
 		sc.seen[f] = stamp
+		// A quarantined file whose backoff has elapsed is re-attempted
+		// even with an unchanged stamp: transient faults (a flaky read)
+		// leave the stamp intact, and only a retry can clear them.
+		retry := q != nil && !now.Before(q.until)
+		if q != nil && !retry {
+			sc.quarantined.Add(1)
+		}
 		sc.mu.Unlock()
-		if unchanged {
+		if !changed && !retry {
 			continue
 		}
 		name, version, err := sc.reg.LoadFile(ctx, f)
@@ -73,19 +114,51 @@ func (sc *bundleScanner) rescan(ctx context.Context) (loaded, rejected int) {
 		if err != nil {
 			sc.lastErr[f] = err.Error()
 			rejected++
+			failures := 1
+			if q != nil {
+				failures = q.failures + 1
+			}
+			sc.quar[f] = &quarEntry{
+				failures: failures,
+				until:    now.Add(sc.backoff(failures)),
+				stamp:    stamp,
+			}
+			q = sc.quar[f]
 		} else {
 			delete(sc.lastErr, f)
+			delete(sc.quar, f)
 			loaded++
 		}
 		sc.mu.Unlock()
 		if err != nil {
-			log.Printf("bundle %s rejected: %v", f, err)
+			log.Printf("bundle %s rejected: %v (quarantined %v after %d failure(s))",
+				f, err, q.until.Sub(now).Round(time.Millisecond), q.failures)
 		} else {
 			log.Printf("bundle %s: %s v%d", f, name, version)
 		}
 	}
 	return loaded, rejected
 }
+
+// backoff computes the jittered quarantine period after the n-th
+// consecutive failure: base·2^(n-1) capped at backoffMax, ±50% jitter
+// so a directory of files poisoned together does not retry in
+// lockstep.
+func (sc *bundleScanner) backoff(n int) time.Duration {
+	d := sc.backoffBase
+	for i := 1; i < n && d < sc.backoffMax; i++ {
+		d *= 2
+	}
+	if d > sc.backoffMax {
+		d = sc.backoffMax
+	}
+	return d/2 + rand.N(d)
+}
+
+// quarantineSkips reports how many rescan visits skipped a file under
+// quarantine backoff — the ssspd_reloads_total{outcome="quarantined"}
+// feed.
+func (sc *bundleScanner) quarantineSkips() int64 { return sc.quarantined.Load() }
 
 // run rescans every interval until ctx is cancelled.
 func (sc *bundleScanner) run(ctx context.Context, interval time.Duration) {

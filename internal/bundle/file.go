@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"wasp/internal/fault"
 )
 
 // Save writes the bundle to path crash-safely, mirroring
@@ -50,6 +52,13 @@ func Save(path string, b *Bundle) (err error) {
 
 // Load reads and validates the bundle at path.
 func Load(path string) (*Bundle, error) {
+	// The scanner-facing fault site: an active plan may fail the load
+	// before the file is opened, the way a flaky filesystem fails a
+	// rescan — the input the per-file quarantine backoff is tested
+	// against.
+	if err := fault.InjectErr(fault.BundleLoad, 0); err != nil {
+		return nil, fmt.Errorf("bundle: load %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("bundle: load: %w", err)

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+
+	"wasp/internal/fault"
 )
 
 // Save writes the snapshot to path crash-safely: encode into a
@@ -14,6 +16,13 @@ import (
 // complete checkpoint — never a torn one — and a power cut after Save
 // returns cannot lose the rename.
 func Save(path string, s *Snapshot) (err error) {
+	// The chaos suite's disk-fault site: an active plan may stall here
+	// (congested disk) or hand back a transient error or ENOSPC before
+	// any byte is written — the same failures a real filesystem
+	// produces, seeded and reproducible.
+	if err := fault.InjectErr(fault.DiskWrite, 0); err != nil {
+		return fmt.Errorf("checkpoint: save: %w", err)
+	}
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
@@ -53,6 +62,9 @@ func Save(path string, s *Snapshot) (err error) {
 
 // Load reads and validates the snapshot at path.
 func Load(path string) (*Snapshot, error) {
+	if err := fault.InjectErr(fault.DiskRead, 0); err != nil {
+		return nil, fmt.Errorf("checkpoint: load %s: %w", path, err)
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: load: %w", err)

@@ -25,10 +25,17 @@
 package fault
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 )
+
+// ErrInjected marks every error InjectErr fabricates, so tests (and
+// retry loops that want to log injected failures differently) can
+// recognize them with errors.Is. Real causes — ENOSPC in particular —
+// are wrapped alongside it and stay visible to errors.Is too.
+var ErrInjected = errors.New("fault: injected error")
 
 // Point identifies an injection site.
 type Point int
@@ -69,6 +76,21 @@ const (
 	// version is viable but never activated, and a restart must come
 	// back on a consistent (last-good) version.
 	RegistrySwap
+	// DiskWrite fires at the top of every checkpoint save. It is the
+	// serving layer's disk-fault site: InjectErr here can return a
+	// transient write error or ENOSPC (see Config.DiskWriteErr and
+	// Config.DiskWriteENOSPC), and the threshold stall stretches the
+	// write window the way a congested disk would.
+	DiskWrite
+	// DiskRead fires at the top of every checkpoint load — the recovery
+	// path a restarted daemon walks. InjectErr here models a disk that
+	// fails reads transiently.
+	DiskRead
+	// BundleLoad fires at the top of every bundle file load, before the
+	// file is opened. InjectErr here models a rescan racing a flaky
+	// filesystem — the input the scanner's quarantine backoff is tested
+	// against.
+	BundleLoad
 
 	numPoints
 )
@@ -90,6 +112,12 @@ func (p Point) String() string {
 		return "bundle-section"
 	case RegistrySwap:
 		return "registry-swap"
+	case DiskWrite:
+		return "disk-write"
+	case DiskRead:
+		return "disk-read"
+	case BundleLoad:
+		return "bundle-load"
 	default:
 		return fmt.Sprintf("point(%d)", int(p))
 	}
@@ -116,6 +144,28 @@ type Config struct {
 	// BundleSection hit, stretching a bundle load across more
 	// concurrent queries and reloads.
 	BundleStall int
+	// SolveStall is the permille chance of a yield burst at a
+	// SolveStart hit — the serving chaos suite's way of making a
+	// fraction of solves slow without touching the steal paths.
+	SolveStall int
+	// DiskStall is the permille chance of a yield burst at a DiskWrite
+	// or DiskRead hit, modeling a congested disk.
+	DiskStall int
+
+	// DiskWriteErr is the permille chance that InjectErr at DiskWrite
+	// returns a transient I/O error (wrapped ErrInjected).
+	DiskWriteErr int
+	// DiskWriteENOSPC is the permille chance that InjectErr at
+	// DiskWrite returns ENOSPC (checked before DiskWriteErr) — the
+	// disk-full input the daemon's checkpointing-disabled degraded
+	// mode is tested against.
+	DiskWriteENOSPC int
+	// DiskReadErr is the permille chance that InjectErr at DiskRead
+	// returns a transient I/O error.
+	DiskReadErr int
+	// BundleLoadErr is the permille chance that InjectErr at
+	// BundleLoad returns a transient I/O error.
+	BundleLoadErr int
 
 	// MaxYields bounds the runtime.Gosched burst per injection
 	// (default 4).
@@ -138,8 +188,10 @@ type Config struct {
 
 // Plan is a compiled, activatable injection plan.
 type Plan struct {
-	threshold  [numPoints]uint64
-	maxYields  uint64
+	threshold    [numPoints]uint64
+	errThreshold [numPoints]uint64
+	enospc       uint64
+	maxYields    uint64
 	panicOnHit int64
 	panicPoint Point
 	hits       atomic.Int64
@@ -183,6 +235,13 @@ func NewPlan(cfg Config) *Plan {
 	p.threshold[TermScan] = permille(cfg.TermScan)
 	p.threshold[CheckpointWindow] = permille(cfg.CheckpointStall)
 	p.threshold[BundleSection] = permille(cfg.BundleStall)
+	p.threshold[SolveStart] = permille(cfg.SolveStall)
+	p.threshold[DiskWrite] = permille(cfg.DiskStall)
+	p.threshold[DiskRead] = permille(cfg.DiskStall)
+	p.errThreshold[DiskWrite] = permille(cfg.DiskWriteErr)
+	p.errThreshold[DiskRead] = permille(cfg.DiskReadErr)
+	p.errThreshold[BundleLoad] = permille(cfg.BundleLoadErr)
+	p.enospc = permille(cfg.DiskWriteENOSPC)
 	for i := range p.workers {
 		s := splitmix(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)
 		if s == 0 {

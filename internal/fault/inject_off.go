@@ -6,3 +6,8 @@ package fault
 // inlines to an empty body, so production builds pay no cost — not
 // even the dormant atomic load — for the hook sites.
 func Inject(Point, int) {}
+
+// InjectErr is compiled to a constant nil under the faultfree tag: the
+// call inlines away entirely, so the serving layer's disk and bundle
+// IO paths pay nothing for the hook sites in production builds.
+func InjectErr(Point, int) error { return nil }

@@ -5,6 +5,7 @@ package fault
 import (
 	"fmt"
 	"runtime"
+	"syscall"
 )
 
 // Inject is a hook site: when a plan is active it may stall the
@@ -37,4 +38,30 @@ func (p *Plan) inject(point Point, worker int) {
 	for i := uint64(0); i < n; i++ {
 		runtime.Gosched()
 	}
+}
+
+// InjectErr is an error-returning hook site for the serving layer's
+// disk and bundle IO: when a plan is active it first behaves exactly
+// like Inject (stall, panic-on-hit, block-on-hit), then may elect to
+// return an injected error — ENOSPC (DiskWrite only, drawn first) or a
+// transient I/O failure, both wrapping ErrInjected. Dormant cost is one
+// atomic load and a predicted branch; `faultfree` compiles it to a
+// constant nil.
+func InjectErr(point Point, worker int) error {
+	p := active.Load()
+	if p == nil {
+		return nil
+	}
+	return p.injectErr(point, worker)
+}
+
+func (p *Plan) injectErr(point Point, worker int) error {
+	p.inject(point, worker)
+	if point == DiskWrite && p.enospc > 0 && p.draw(worker)%1000 < p.enospc {
+		return fmt.Errorf("%w: %w at %v", ErrInjected, syscall.ENOSPC, point)
+	}
+	if th := p.errThreshold[point]; th > 0 && p.draw(worker)%1000 < th {
+		return fmt.Errorf("%w: transient I/O failure at %v", ErrInjected, point)
+	}
+	return nil
 }

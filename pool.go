@@ -90,6 +90,18 @@ type PoolOptions struct {
 	// which is sound: every algorithm computes the same exact
 	// distances. Ignored when Cache is nil.
 	CacheScope string
+
+	// Governor, when non-nil, puts the pool under adaptive overload
+	// control: the pool feeds it queue-delay, queue-depth and
+	// solve-latency observations, and applies its brownout ladder to
+	// every admission — reuse-only admission at BrownoutCacheOnly
+	// (cache-backed pools shed cold misses first), a clamped deadline
+	// at BrownoutPartial, full shedding with an adaptive Retry-After
+	// at BrownoutShed. One governor may be shared by many pools (the
+	// Registry's per-graph pools all see the same RegistryOptions.Pool,
+	// so a governor set there makes daemon-wide decisions). Nil means
+	// the pool sheds only on queue overflow, as before.
+	Governor *Governor
 }
 
 // SolveObservation describes one finished pool solve to the OnSolve
@@ -174,9 +186,10 @@ type Pool struct {
 	tickets chan struct{} // admission capacity: Sessions + QueueDepth
 	drain   chan struct{} // closed by Close: releases queued waiters
 
-	cache      *Cache  // nil unless conf.Cache was set
-	cacheScope string  // conf.CacheScope, fixed at construction
-	fp         graphFP // graph identity for cache keys; zero unless cached
+	cache      *Cache    // nil unless conf.Cache was set
+	cacheScope string    // conf.CacheScope, fixed at construction
+	fp         graphFP   // graph identity for cache keys; zero unless cached
+	gov        *Governor // nil unless conf.Governor was set
 
 	observers []*Observer // per-session observers; nil unless conf.Observe
 
@@ -205,6 +218,7 @@ func NewPool(g *Graph, opt Options, conf PoolOptions) (*Pool, error) {
 	p := &Pool{
 		g:       g,
 		conf:    conf,
+		gov:     conf.Governor,
 		slots:   make(chan *Session, conf.Sessions),
 		tickets: make(chan struct{}, conf.Sessions+conf.QueueDepth),
 		drain:   make(chan struct{}),
@@ -259,6 +273,10 @@ func (p *Pool) Run(ctx context.Context, source Vertex) (*Result, error) {
 	if int(source) >= p.g.NumVertices() {
 		return nil, fmt.Errorf("wasp: source %d out of range for %d vertices", source, p.g.NumVertices())
 	}
+	lvl := p.governorAdmit()
+	if lvl == BrownoutShed {
+		return nil, ErrOverloaded
+	}
 	if p.cache != nil {
 		// The closed check must precede the cache: a hit needs no
 		// session, but serving one from a closed pool would break the
@@ -266,7 +284,7 @@ func (p *Pool) Run(ctx context.Context, source Vertex) (*Result, error) {
 		if p.isClosed() {
 			return nil, ErrPoolClosed
 		}
-		return p.cache.getOrSolve(ctx, p, source, nil)
+		return p.cache.getOrSolve(ctx, p, source, nil, lvl >= BrownoutCacheOnly)
 	}
 	return p.admitAndSolve(ctx, source, nil)
 }
@@ -292,13 +310,36 @@ func (p *Pool) Resume(ctx context.Context, cp *Checkpoint) (*Result, error) {
 	if err := cp.MatchesWeights(p.g.WeightFingerprint()); err != nil {
 		return nil, err
 	}
+	lvl := p.governorAdmit()
+	if lvl == BrownoutShed {
+		return nil, ErrOverloaded
+	}
 	if p.cache != nil {
 		if p.isClosed() {
 			return nil, ErrPoolClosed
 		}
-		return p.cache.getOrSolve(ctx, p, Vertex(cp.Source), cp)
+		// A Resume always carries its own seed, so reuse-only admission
+		// never sheds it — getOrSolve sheds only seedless cold misses.
+		return p.cache.getOrSolve(ctx, p, Vertex(cp.Source), cp, lvl >= BrownoutCacheOnly)
 	}
 	return p.admitAndSolve(ctx, Vertex(cp.Source), cp)
+}
+
+// governorAdmit feeds the governor one admission attempt and returns
+// the ladder rung the attempt is subject to. At BrownoutShed the shed
+// is counted here (pool and governor counters both) and the caller
+// returns ErrOverloaded without touching admission state.
+func (p *Pool) governorAdmit() BrownoutLevel {
+	if p.gov == nil {
+		return BrownoutNone
+	}
+	p.gov.observeAttempt(int(p.queued.Load()), p.conf.QueueDepth)
+	lvl := p.gov.Level()
+	if lvl == BrownoutShed {
+		p.shed.Add(1)
+		p.gov.observeShed()
+	}
+	return lvl
 }
 
 // WarmStartSupported reports whether this pool's option set can seed
@@ -355,10 +396,12 @@ func (p *Pool) admitAndSolve(ctx context.Context, source Vertex, warm *Checkpoin
 			defer t.Stop()
 			timeout = t.C
 		}
+		waitStart := time.Now()
 		p.queued.Add(1)
 		select {
 		case sess = <-p.slots:
 			p.queued.Add(-1)
+			p.gov.observeWait(time.Since(waitStart))
 			// The slot and the drain signal may become ready together;
 			// Go's select picks randomly, so re-check drain to keep the
 			// contract deterministic: once Close begins, no waiter
@@ -374,6 +417,9 @@ func (p *Pool) admitAndSolve(ctx context.Context, source Vertex, warm *Checkpoin
 		case <-timeout:
 			p.queued.Add(-1)
 			p.shed.Add(1)
+			// A timed-out wait is still a measured wait — the strongest
+			// queue-delay sample the governor can get.
+			p.gov.observeWait(p.conf.QueueWait)
 			return nil, ErrOverloaded
 		case <-ctx.Done():
 			p.queued.Add(-1)
@@ -415,12 +461,14 @@ func (p *Pool) admitAndSolve(ctx context.Context, source Vertex, warm *Checkpoin
 	case err == nil:
 		p.completed.Add(1)
 		p.lat.record(elapsed)
+		p.gov.observeSolve(elapsed)
 	case degraded:
 		// The latency budget expired — the pool's own Deadline or a
 		// deadline the caller set. Degrade: the partial upper-bound
 		// snapshot is the answer, not an error.
 		p.degraded.Add(1)
 		p.lat.record(elapsed)
+		p.gov.observeSolve(elapsed)
 		return res, nil
 	}
 	return res, err
@@ -441,9 +489,18 @@ func (p *Pool) SessionObservers() []*Observer { return p.observers }
 func (p *Pool) solveOn(ctx context.Context, sess **Session, source Vertex, warm *Checkpoint) (*Result, error) {
 	run := func() (*Result, error) {
 		rctx := ctx
-		if p.conf.Deadline > 0 {
+		d := p.conf.Deadline
+		if p.gov.Level() >= BrownoutPartial {
+			// Brownout: clamp the budget so every admitted solve does
+			// bounded work and degrades to a partial upper-bound result
+			// through the pool's normal deadline path.
+			if dd := p.gov.DegradedDeadline(); dd > 0 && (d <= 0 || dd < d) {
+				d = dd
+			}
+		}
+		if d > 0 {
 			var cancel context.CancelFunc
-			rctx, cancel = context.WithTimeout(ctx, p.conf.Deadline)
+			rctx, cancel = context.WithTimeout(ctx, d)
 			defer cancel()
 		}
 		if warm != nil {

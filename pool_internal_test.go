@@ -117,6 +117,58 @@ func TestPoolQueueWaitExpiry(t *testing.T) {
 	}
 }
 
+// TestPoolQueuedCallerDeadlineExpiry pins the admission contract for a
+// caller whose context deadline expires while the query is still
+// QUEUED (admitted, ticket held, no session yet): Run returns a nil
+// result with an error wrapping both ErrCancelled and
+// context.DeadlineExceeded — never the deadline-degradation path,
+// which requires a partial result that a queued query does not have —
+// and the admission ticket is returned, so the pool's capacity is not
+// leaked one ticket per impatient caller.
+func TestPoolQueuedCallerDeadlineExpiry(t *testing.T) {
+	g := FromEdges(2, true, []Edge{{From: 0, To: 1, W: 1}})
+	p, err := NewPool(g, Options{}, PoolOptions{
+		Sessions: 1, QueueDepth: 2, QueueWait: time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	held := <-p.slots // the one session stays "busy" past the deadline
+	<-p.tickets
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	res, err := p.Run(ctx, 0)
+	if res != nil {
+		t.Fatalf("queued query returned a result: %+v", res)
+	}
+	if !errors.Is(err, ErrCancelled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want ErrCancelled wrapping context.DeadlineExceeded", err)
+	}
+
+	// The ticket must be back: capacity is Sessions+QueueDepth = 3, one
+	// is held by the simulated in-flight solve.
+	if got, want := len(p.tickets), cap(p.tickets)-1; got != want {
+		t.Fatalf("tickets free = %d, want %d (ticket leaked)", got, want)
+	}
+	if got := p.queued.Load(); got != 0 {
+		t.Fatalf("queued counter = %d, want 0", got)
+	}
+
+	// And the pool still has its full capacity: restore the session and
+	// run Sessions+QueueDepth queries back-to-back successfully.
+	p.slots <- held
+	p.tickets <- struct{}{}
+	for i := 0; i < cap(p.tickets); i++ {
+		if res, err := p.Run(context.Background(), 0); err != nil || !res.Complete {
+			t.Fatalf("post-expiry query %d: %v, %+v", i, err, res)
+		}
+	}
+	if err := p.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSessionFallbackUsesSessionMetrics pins the satellite bugfix: on
 // the s.solver == nil fallback path, Run must route through the
 // session-owned metrics set rather than letting each call allocate a
