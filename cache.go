@@ -116,10 +116,23 @@ func fingerprintOf(g *Graph) graphFP {
 type cacheEntry struct {
 	key   cacheKey
 	cp    *Checkpoint // complete exact distances; Elapsed is the cumulative solve cost
+	sum   uint64      // FNV-1a over cp.Dist at insert; ScrubEntries re-checks it
 	algo  Algorithm
 	steps int64
 	prog  Progress
 	size  int64
+}
+
+// distSum is the integrity hash recorded per cache entry: FNV-1a over
+// the distance words. Entries are immutable after insert, so a scrub
+// re-hash that disagrees can only mean the memory rotted underneath.
+func distSum(dist []uint32) uint64 {
+	h := uint64(1469598103934665603)
+	for _, d := range dist {
+		h ^= uint64(d)
+		h *= 1099511628211
+	}
+	return h
 }
 
 // entryOverhead approximates per-entry bookkeeping (entry struct,
@@ -323,6 +336,7 @@ func (c *Cache) insertLocked(key cacheKey, res *Result) {
 		prog:  res.Progress,
 		size:  size,
 	}
+	ent.sum = distSum(ent.cp.Dist)
 	c.entries[key] = c.lru.PushFront(ent)
 	c.bytes += size
 	for c.bytes > c.conf.MaxBytes {
@@ -402,13 +416,53 @@ func (c *Cache) InvalidateScope(scope string) int {
 	return dropped
 }
 
+// ScrubEntries re-validates every resident entry's integrity hash and
+// evicts the ones whose distance words no longer hash to the sum
+// recorded at insert — in-memory bit rot turned into a clean miss (the
+// next query re-solves) instead of a served wrong answer. The O(n)
+// re-hashing runs off the cache lock: entries are immutable, so only
+// the collection and the removal of failures need it. Returns the
+// number of entries scanned and the number evicted as corrupt. The
+// Scrubber calls this on its cadence; it is safe to call directly.
+func (c *Cache) ScrubEntries() (scanned, corrupt int) {
+	c.mu.Lock()
+	ents := make([]*cacheEntry, 0, len(c.entries))
+	for _, el := range c.entries {
+		ents = append(ents, el.Value.(*cacheEntry))
+	}
+	c.mu.Unlock()
+
+	var bad []*cacheEntry
+	for _, ent := range ents {
+		scanned++
+		if distSum(ent.cp.Dist) != ent.sum {
+			bad = append(bad, ent)
+		}
+	}
+	if len(bad) == 0 {
+		return scanned, 0
+	}
+	c.mu.Lock()
+	for _, ent := range bad {
+		// Remove only if this exact entry is still resident — an
+		// eviction or invalidation may have raced the re-hash, and a
+		// fresh entry under the same key is not the corrupt one.
+		if el, ok := c.entries[ent.key]; ok && el.Value.(*cacheEntry) == ent {
+			c.removeLocked(el)
+			corrupt++
+		}
+	}
+	c.mu.Unlock()
+	return scanned, corrupt
+}
+
 // CacheStats is a point-in-time snapshot of a Cache's counters, the
 // observability surface behind ssspd's /stats and /metrics.
 type CacheStats struct {
-	Hits       int64 `json:"hits"`       // exact-hit queries served without a solve
-	Misses     int64 `json:"misses"`     // queries that led a solve
-	Coalesced  int64 `json:"coalesced"`  // follower waits merged onto an in-flight solve
-	Evicted    int64 `json:"evicted"`    // entries dropped by the LRU budget
+	Hits       int64 `json:"hits"`        // exact-hit queries served without a solve
+	Misses     int64 `json:"misses"`      // queries that led a solve
+	Coalesced  int64 `json:"coalesced"`   // follower waits merged onto an in-flight solve
+	Evicted    int64 `json:"evicted"`     // entries dropped by the LRU budget
 	WarmStarts int64 `json:"warm_starts"` // misses seeded from a nearest cached source
 	ColdStarts int64 `json:"cold_starts"` // misses solved from scratch
 	ReuseShed  int64 `json:"reuse_shed"`  // cold misses shed by brownout reuse-only admission

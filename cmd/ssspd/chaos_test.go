@@ -10,6 +10,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -136,6 +137,11 @@ func chaosRound(t *testing.T, seed uint64) {
 			o.CheckpointSink = tracker.sinkFor(graph)
 			return o
 		},
+		// Full-rate async auditing all round: the plan injects stalls and
+		// disk faults but never corrupts a result, so a single audit
+		// failure (and the quarantine it triggers) would be the certifier
+		// crying wolf — asserted at the end of the round.
+		Audit: &wasp.AuditorOptions{SampleRate: 1, Async: true},
 	})
 	sc := newBundleScanner(reg, bundleDir)
 	sc.backoffBase = 5 * time.Millisecond
@@ -153,6 +159,17 @@ func chaosRound(t *testing.T, seed uint64) {
 		t.Fatalf("initial scan: loaded %d rejected %d", loaded, rejected)
 	}
 	s := &server{reg: reg, cache: cache, ckpt: tracker, gov: gov, scan: sc}
+	// Integrity scrubber on a hot cadence, racing the checkpoint writer,
+	// the reloader, and the recovery reads for the whole round. It may
+	// legitimately condemn the pre-seeded garbage file; it must never
+	// condemn the bundle the scanner is serving from.
+	s.scrub = wasp.NewScrubber(wasp.ScrubberOptions{
+		CheckpointDir: ckptDir,
+		BundleDir:     bundleDir,
+		Cache:         cache,
+		Interval:      10 * time.Millisecond,
+	})
+	s.scrub.Start()
 	ts := httptest.NewServer(s.routes())
 	client := ts.Client()
 
@@ -296,6 +313,22 @@ func chaosRound(t *testing.T, seed uint64) {
 	}
 	bad.mu.Unlock()
 
+	// Zero false positives from the integrity layer: every served result
+	// was sampled, none failed its certificate, nothing got quarantined.
+	if as := reg.Auditor().Stats(); as.Failed != 0 || reg.Quarantined() != 0 {
+		t.Fatalf("false audit failure under result-clean chaos: %+v, quarantines %d",
+			as, reg.Quarantined())
+	} else if as.Sampled == 0 {
+		t.Fatal("auditor sampled nothing across the whole round")
+	}
+	s.scrub.Close()
+	if _, err := os.Stat(bundlePath); err != nil {
+		t.Fatalf("scrubber condemned the healthy serving bundle: %v", err)
+	}
+	if st := s.scrub.Stats(); st.CacheCorrupt != 0 {
+		t.Fatalf("scrubber evicted healthy cache entries: %+v", st)
+	}
+
 	// Shutdown leaks nothing: goroutines return to the pre-round
 	// baseline (the +2 tolerance absorbs the runtime's own background
 	// variance, same as the drain test).
@@ -377,4 +410,150 @@ func chaosExactQuery(client *http.Client, base string, src, target int) bool {
 
 func writeGarbage(path string) error {
 	return os.WriteFile(path, []byte("this is not a checkpoint"), 0o644)
+}
+
+// TestDaemonCorruptionDetection proves the corruption faults are
+// detected end to end: a DistFlip on a served result fails its sampled
+// audit and quarantines the graph (503s, readiness shows it, its
+// checkpoints are distrusted, other graphs keep serving), and a
+// FileCorrupt flip during a scrub pass is caught by the re-decode —
+// with every step recorded in /metrics and the daemon never exiting.
+func TestDaemonCorruptionDetection(t *testing.T) {
+	ctx := context.Background()
+	g := chaosGraph()
+	bundleDir, ckptDir := t.TempDir(), t.TempDir()
+	if err := wasp.SaveBundle(filepath.Join(bundleDir, "alpha.wspb"), &wasp.Bundle{
+		Manifest: wasp.BundleManifest{Name: "alpha", Version: 1}, Graph: g,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	ckptPath := filepath.Join(ckptDir, "ckpt-alpha-3.wsck")
+	if err := wasp.SaveCheckpoint(ckptPath, chaosCheckpoint(g)); err != nil {
+		t.Fatal(err)
+	}
+
+	tracker := newCkptTracker(ckptDir)
+	reg := wasp.NewRegistry(wasp.RegistryOptions{
+		Options: wasp.Options{Workers: 2},
+		Pool:    wasp.PoolOptions{Sessions: 2, QueueDepth: 8, QueueWait: time.Second},
+		// Synchronous full-rate auditing: the quarantine lands before the
+		// corrupted response is even off the serving goroutine.
+		Audit: &wasp.AuditorOptions{SampleRate: 1},
+		OnEvent: func(ev wasp.RegistryEvent) {
+			if ev.Kind == wasp.EventQuarantined {
+				tracker.distrust(ev.Graph)
+			}
+		},
+	})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = reg.Close(cctx)
+	}()
+	for _, name := range []string{"alpha", "beta"} {
+		if err := reg.Load(ctx, &wasp.Bundle{
+			Manifest: wasp.BundleManifest{Name: name, Version: 1}, Graph: g,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := &server{reg: reg, ckpt: tracker}
+	s.scrub = wasp.NewScrubber(wasp.ScrubberOptions{CheckpointDir: ckptDir, BundleDir: bundleDir})
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+	client := ts.Client()
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := client.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, body
+	}
+
+	// One corrupted solve: the flipped result is served (the audit is a
+	// detector, not a gate), but the version is quarantined behind it.
+	fault.Activate(fault.NewPlan(fault.Config{Seed: 2, DistFlip: 1000}))
+	code, body := get("/sssp?graph=alpha&source=0&target=255")
+	fault.Deactivate()
+	if code != http.StatusOK {
+		t.Fatalf("corrupted solve: status %d: %s", code, body)
+	}
+
+	if code, body = get("/sssp?graph=alpha&source=0&target=255"); code != http.StatusServiceUnavailable {
+		t.Fatalf("query on quarantined graph: status %d: %s", code, body)
+	}
+	// The other graph is untouched — corruption in one version never
+	// takes the daemon down.
+	code, body = get("/sssp?graph=beta&source=0&target=255")
+	if code != http.StatusOK {
+		t.Fatalf("beta query: status %d: %s", code, body)
+	}
+	var q queryResponse
+	if err := json.Unmarshal(body, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Complete || q.Distance == nil || *q.Distance != 255 {
+		t.Fatalf("beta response = %+v, want exact 255", q)
+	}
+
+	// Readiness stays green overall and names the quarantined graph.
+	code, body = get("/healthz/ready")
+	if code != http.StatusOK {
+		t.Fatalf("ready: status %d: %s", code, body)
+	}
+	var ready readyResponse
+	if err := json.Unmarshal(body, &ready); err != nil {
+		t.Fatal(err)
+	}
+	if !ready.Ready || ready.Graphs["alpha"].State != "quarantined" || ready.Graphs["beta"].State != "serving" {
+		t.Fatalf("readiness = %+v", ready)
+	}
+
+	// The quarantine distrusted alpha's checkpoint: renamed aside, so no
+	// future recovery resumes from a solver that served wrong answers.
+	if _, err := os.Stat(ckptPath); !os.IsNotExist(err) {
+		t.Fatalf("distrusted checkpoint still present: %v", err)
+	}
+	if _, err := os.Stat(ckptPath + ".bad"); err != nil {
+		t.Fatalf("distrusted checkpoint not preserved as .bad: %v", err)
+	}
+
+	// FileCorrupt: a scrub pass under the fault flips one byte of each
+	// file image between read and decode; the full re-decode catches it.
+	fault.Activate(fault.NewPlan(fault.Config{Seed: 6, FileCorrupt: 1000}))
+	found := s.scrub.ScrubOnce()
+	fault.Deactivate()
+	if found == 0 {
+		t.Fatal("scrub pass under FileCorrupt detected nothing")
+	}
+
+	// Every detection is on the metrics surface.
+	code, body = get("/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: status %d", code)
+	}
+	for _, want := range []string{
+		"ssspd_quarantined 1",
+		"ssspd_quarantines_total 1",
+		`ssspd_audits_total{outcome="failed"} 1`,
+		"ssspd_audit_failures_total 1",
+		"ssspd_checkpoints_distrusted_total 1",
+		"ssspd_scrub_corrupt_total 1",
+	} {
+		if !strings.Contains(string(body), want+"\n") {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	// The daemon is alive and still answering after all of it.
+	if !chaosExactQuery(client, ts.URL, 0, 255) {
+		// beta may need the explicit graph param (two graphs are loaded)
+		code, body = get("/sssp?graph=beta&source=0&target=255")
+		if code != http.StatusOK {
+			t.Fatalf("daemon stopped serving after detection round: %d: %s", code, body)
+		}
+	}
 }

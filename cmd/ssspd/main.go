@@ -94,6 +94,7 @@ type server struct {
 	scan     *bundleScanner // nil when -graphs is unset
 	prom     *promState     // /metrics state; initialized lazily by routes
 	gov      *wasp.Governor // nil when -brownout=false
+	scrub    *wasp.Scrubber // nil when -scrub-interval is 0
 	retry    string         // static Retry-After seconds sent with 429s
 	draining atomic.Bool
 }
@@ -187,6 +188,30 @@ type ckptTracker struct {
 	skippedWrites atomic.Int64 // saves skipped while checkpointing was disabled
 	disabled      atomic.Bool  // ENOSPC degraded mode: skip writes, probe, self-heal
 	lastProbe     atomic.Int64 // unix nanos of the last probe write while disabled
+	distrusted    atomic.Int64 // checkpoint files renamed .bad after a quarantine
+}
+
+// distrust renames every checkpoint file of the named graph to
+// <name>.bad: the graph's active version just failed a result audit,
+// and snapshots produced by a solver that served wrong distances must
+// never seed a future recovery. Renamed files are preserved for
+// forensics and invisible to every producer/consumer glob.
+func (c *ckptTracker) distrust(graph string) int {
+	files, err := filepath.Glob(filepath.Join(c.dir, fmt.Sprintf("ckpt-%s-*.wsck", graph)))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, f := range files {
+		if os.Rename(f, f+".bad") == nil {
+			n++
+		}
+	}
+	if n > 0 {
+		c.distrusted.Add(int64(n))
+		log.Printf("quarantine: distrusted %d checkpoint(s) of graph %q (renamed .bad)", n, graph)
+	}
+	return n
 }
 
 type ckptKey struct {
@@ -538,6 +563,11 @@ func (s *server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, wasp.ErrNoSuchGraph):
 		http.Error(w, fmt.Sprintf("unknown graph %q", name), http.StatusNotFound)
 		return
+	case errors.Is(err, wasp.ErrQuarantined):
+		// The graph's active version failed a result audit: no answers
+		// until a reload or rollback replaces it. Other graphs serve on.
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
 	case errors.Is(err, wasp.ErrPoolClosed):
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
@@ -678,6 +708,18 @@ type statsResponse struct {
 	// Cache is the result cache's counters (absent when -cache-mb=0).
 	Cache *wasp.CacheStats `json:"cache,omitempty"`
 
+	// Audit is the sampled result auditor's counters (absent when
+	// -audit-sample=0).
+	Audit *wasp.AuditorStats `json:"audit,omitempty"`
+
+	// Scrub is the background integrity scrubber's counters (absent
+	// when -scrub-interval=0 or there is nothing to scrub).
+	Scrub *wasp.ScrubberStats `json:"scrub,omitempty"`
+
+	// GraphsQuarantined counts graphs whose active version is currently
+	// quarantined after a failed result audit.
+	GraphsQuarantined int `json:"graphs_quarantined"`
+
 	Reloads wasp.RegistryReloadStats `json:"reloads"`
 	Graphs  map[string]graphStats    `json:"graphs"`
 }
@@ -771,9 +813,20 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		cs := s.cache.Stats()
 		resp.Cache = &cs
 	}
+	if a := s.reg.Auditor(); a != nil {
+		as := a.Stats()
+		resp.Audit = &as
+	}
+	if s.scrub != nil {
+		ss := s.scrub.Stats()
+		resp.Scrub = &ss
+	}
 	for _, name := range s.reg.Graphs() {
 		if gs, ok := s.graphStats(name); ok {
 			resp.Graphs[name] = gs
+			if gs.State == wasp.GraphQuarantined {
+				resp.GraphsQuarantined++
+			}
 		}
 	}
 	writeJSON(w, resp)
@@ -825,6 +878,9 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-interval", 2*time.Second, "interval between checkpoints of each in-flight solve")
 		cacheMB   = flag.Int("cache-mb", 64, "memory budget in MiB for the result cache (0 disables caching)")
 
+		auditRate  = flag.Float64("audit-sample", 0.01, "fraction of served results certified online against the graph; failures quarantine the graph version (0 disables auditing)")
+		scrubEvery = flag.Duration("scrub-interval", time.Minute, "cadence of the background integrity scrubber over checkpoints, bundles, and cache (0 disables scrubbing)")
+
 		debugAddr  = flag.String("debug-addr", "", "serve net/http/pprof, /debug/traces and /admin on this address (off when empty; keep it private)")
 		slowTraceN = flag.Int("slow-traces", 8, "retain the scheduler traces of this many slowest solves for /debug/traces")
 		traceCap   = flag.Int("trace-capacity", 4096, "buffered scheduler events per worker per session (-1 disables tracing, counters stay on)")
@@ -874,6 +930,16 @@ func main() {
 			},
 		})
 	}
+	// Sampled online audits: a slice of served results is re-certified
+	// against the graph (full certificate for complete solves, upper
+	// bound for degraded ones). A failed audit means the active version
+	// served a wrong answer — the registry quarantines it, and the
+	// daemon additionally distrusts that graph's checkpoints: snapshots
+	// from a solver that lied must never seed a recovery.
+	var audit *wasp.AuditorOptions
+	if *auditRate > 0 {
+		audit = &wasp.AuditorOptions{SampleRate: *auditRate, Async: true}
+	}
 	reg := wasp.NewRegistry(wasp.RegistryOptions{
 		Options: opt,
 		Cache:   cache,
@@ -888,6 +954,7 @@ func main() {
 		},
 		History:      *history,
 		DrainTimeout: *drainWait,
+		Audit:        audit,
 		ConfigureOptions: func(graph string, _ uint64, o wasp.Options) wasp.Options {
 			if tracker != nil {
 				o.CheckpointSink = tracker.sinkFor(graph)
@@ -895,6 +962,9 @@ func main() {
 			return o
 		},
 		OnEvent: func(ev wasp.RegistryEvent) {
+			if ev.Kind == wasp.EventQuarantined && tracker != nil {
+				tracker.distrust(ev.Graph)
+			}
 			if ev.Err != nil {
 				log.Printf("registry: %s v%d %s: %v", ev.Graph, ev.Version, ev.Kind, ev.Err)
 				return
@@ -912,6 +982,28 @@ func main() {
 		retrySecs = 1
 	}
 	s := &server{reg: reg, cache: cache, ckpt: tracker, prom: prom, gov: gov, retry: strconv.Itoa(retrySecs)}
+
+	// Background integrity scrubber: on a jittered cadence, re-decode
+	// every checkpoint and bundle file and re-hash every resident cache
+	// entry, so at-rest corruption is found before a recovery or reload
+	// trips over it. Corrupt files are renamed aside to .bad; corruption
+	// is counted and logged, never fatal.
+	if *scrubEvery > 0 && (*ckptDir != "" || *bundleDir != "" || cache != nil) {
+		s.scrub = wasp.NewScrubber(wasp.ScrubberOptions{
+			CheckpointDir: *ckptDir,
+			BundleDir:     *bundleDir,
+			Cache:         cache,
+			Interval:      *scrubEvery,
+			OnCorrupt: func(path string, err error) {
+				if err != nil {
+					log.Printf("scrub: corrupt artifact %s: %v (renamed .bad)", path, err)
+					return
+				}
+				log.Printf("scrub: evicted corrupt %s", path)
+			},
+		})
+		s.scrub.Start()
+	}
 
 	// Seed the registry: an explicit single graph, a bundle directory,
 	// or both (the single graph serves alongside the directory's).
@@ -981,6 +1073,7 @@ func main() {
 	if err := srv.Shutdown(dctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
+	s.scrub.Close()
 	if err := reg.Close(dctx); err != nil {
 		log.Printf("registry drain: %v", err)
 	}

@@ -89,6 +89,16 @@ type promSnapshot struct {
 	gov    wasp.GovernorStats
 	hasGov bool
 
+	audit    wasp.AuditorStats
+	hasAudit bool
+
+	scrub    wasp.ScrubberStats
+	hasScrub bool
+
+	quarantined       int64 // quarantine transitions since startup
+	graphsQuarantined int   // graphs currently in the quarantined state
+	ckptDistrusted    int64 // checkpoint files renamed .bad after quarantines
+
 	scanQuarantined int64 // rescan skips of quarantined bundle files
 
 	observed  wasp.ObserverTotals // summed over every session observer
@@ -111,8 +121,12 @@ func (s *server) snapshot() promSnapshot {
 	for _, name := range s.reg.Graphs() {
 		if st, ok := s.reg.Status(name); ok {
 			snap.graphs = append(snap.graphs, graphSample{name: name, version: st.Version})
+			if st.State == wasp.GraphQuarantined {
+				snap.graphsQuarantined++
+			}
 		}
 	}
+	snap.quarantined = s.reg.Quarantined()
 	sort.Slice(snap.graphs, func(i, j int) bool { return snap.graphs[i].name < snap.graphs[j].name })
 	if s.ckpt != nil {
 		snap.hasCkpt = true
@@ -133,6 +147,17 @@ func (s *server) snapshot() promSnapshot {
 	if s.gov != nil {
 		snap.hasGov = true
 		snap.gov = s.gov.Stats()
+	}
+	if a := s.reg.Auditor(); a != nil {
+		snap.hasAudit = true
+		snap.audit = a.Stats()
+	}
+	if s.scrub != nil {
+		snap.hasScrub = true
+		snap.scrub = s.scrub.Stats()
+	}
+	if s.ckpt != nil {
+		snap.ckptDistrusted = s.ckpt.distrusted.Load()
 	}
 	if s.scan != nil {
 		snap.scanQuarantined = s.scan.quarantineSkips()
@@ -246,6 +271,27 @@ func writeProm(w io.Writer, snap promSnapshot) {
 	counter(w, "ssspd_solves_degraded_total", "Solves that returned a partial result at deadline.", st.Degraded)
 	counter(w, "ssspd_requests_shed_total", "Queries rejected by admission control.", st.Shed)
 	counter(w, "ssspd_sessions_quarantined_total", "Sessions rebuilt after a contained panic.", st.Quarantined)
+
+	gauge(w, "ssspd_quarantined", "Graphs whose active version is currently quarantined by a failed result audit.", float64(snap.graphsQuarantined))
+	counter(w, "ssspd_quarantines_total", "Graph versions quarantined by failed result audits since startup.", snap.quarantined)
+	if snap.hasAudit {
+		a := snap.audit
+		family(w, "ssspd_audits_total", "Sampled online result audits by outcome.", "counter")
+		fmt.Fprintf(w, "ssspd_audits_total{outcome=\"passed\"} %d\n", a.Passed)
+		fmt.Fprintf(w, "ssspd_audits_total{outcome=\"failed\"} %d\n", a.Failed)
+		fmt.Fprintf(w, "ssspd_audits_total{outcome=\"dropped\"} %d\n", a.Dropped)
+		counter(w, "ssspd_audit_failures_total", "Sampled results whose certificate did not hold against the graph.", a.Failed)
+	}
+	if snap.hasScrub {
+		sc := snap.scrub
+		counter(w, "ssspd_scrub_passes_total", "Completed integrity scrub passes.", sc.Passes)
+		counter(w, "ssspd_scrub_files_total", "Checkpoint and bundle files re-decoded by the scrubber.", sc.Files)
+		counter(w, "ssspd_scrub_corrupt_total", "Corrupt artifacts found: files renamed .bad plus cache entries evicted.", sc.Corrupt+sc.CacheCorrupt)
+		counter(w, "ssspd_scrub_cache_entries_total", "Resident cache entries re-hashed by the scrubber.", sc.CacheEntries)
+	}
+	if snap.hasCkpt {
+		counter(w, "ssspd_checkpoints_distrusted_total", "Checkpoint files renamed .bad because their graph was quarantined.", snap.ckptDistrusted)
+	}
 
 	if snap.hasCkpt {
 		counter(w, "ssspd_checkpoint_writes_total", "Checkpoint files successfully written.", snap.ckptWrites)

@@ -91,6 +91,18 @@ const (
 	// filesystem — the input the scanner's quarantine backoff is tested
 	// against.
 	BundleLoad
+	// DistFlip is a corruption site, polled with Hit rather than Inject:
+	// when elected, the pool bit-flips one entry of a served distance
+	// array after the solve completes — the silent-wrong-answer input
+	// the sampled audit pipeline must detect. The worker argument is
+	// derived from the query source.
+	DistFlip
+	// FileCorrupt is a corruption site, polled with Hit: when elected,
+	// the integrity scrubber flips one byte of the file image it is
+	// about to re-validate — modeling at-rest bit rot the CRC trailers
+	// exist to catch. The flip happens in memory; the file on disk is
+	// never harmed.
+	FileCorrupt
 
 	numPoints
 )
@@ -118,6 +130,10 @@ func (p Point) String() string {
 		return "disk-read"
 	case BundleLoad:
 		return "bundle-load"
+	case DistFlip:
+		return "dist-flip"
+	case FileCorrupt:
+		return "file-corrupt"
 	default:
 		return fmt.Sprintf("point(%d)", int(p))
 	}
@@ -167,6 +183,14 @@ type Config struct {
 	// BundleLoad returns a transient I/O error.
 	BundleLoadErr int
 
+	// DistFlip is the permille chance that Hit elects a served
+	// distance array for a one-bit corruption — the end-to-end audit
+	// detection input.
+	DistFlip int
+	// FileCorrupt is the permille chance that Hit elects a scrubbed
+	// file image for a one-byte corruption.
+	FileCorrupt int
+
 	// MaxYields bounds the runtime.Gosched burst per injection
 	// (default 4).
 	MaxYields int
@@ -192,15 +216,15 @@ type Plan struct {
 	errThreshold [numPoints]uint64
 	enospc       uint64
 	maxYields    uint64
-	panicOnHit int64
-	panicPoint Point
-	hits       atomic.Int64
-	blockOnHit int64
-	blockPoint Point
-	blockHits  atomic.Int64
-	blockCh    chan struct{}
-	unblock    sync.Once
-	workers    []workerState
+	panicOnHit   int64
+	panicPoint   Point
+	hits         atomic.Int64
+	blockOnHit   int64
+	blockPoint   Point
+	blockHits    atomic.Int64
+	blockCh      chan struct{}
+	unblock      sync.Once
+	workers      []workerState
 }
 
 // workerState is one worker's decision stream: an xorshift64 state
@@ -241,6 +265,8 @@ func NewPlan(cfg Config) *Plan {
 	p.errThreshold[DiskWrite] = permille(cfg.DiskWriteErr)
 	p.errThreshold[DiskRead] = permille(cfg.DiskReadErr)
 	p.errThreshold[BundleLoad] = permille(cfg.BundleLoadErr)
+	p.threshold[DistFlip] = permille(cfg.DistFlip)
+	p.threshold[FileCorrupt] = permille(cfg.FileCorrupt)
 	p.enospc = permille(cfg.DiskWriteENOSPC)
 	for i := range p.workers {
 		s := splitmix(cfg.Seed + uint64(i)*0x9e3779b97f4a7c15)

@@ -11,3 +11,8 @@ func Inject(Point, int) {}
 // call inlines away entirely, so the serving layer's disk and bundle
 // IO paths pay nothing for the hook sites in production builds.
 func InjectErr(Point, int) error { return nil }
+
+// Hit is compiled to a constant false under the faultfree tag: the
+// corruption sites (served-distance bit flips, scrubbed-file byte
+// flips) vanish from production builds.
+func Hit(Point, int) bool { return false }

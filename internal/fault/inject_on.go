@@ -55,6 +55,21 @@ func InjectErr(point Point, worker int) error {
 	return p.injectErr(point, worker)
 }
 
+// Hit is the corruption-site poll: it reports whether the active plan
+// elects this hit for deliberate data damage (a DistFlip bit flip, a
+// FileCorrupt byte flip). Unlike Inject it never stalls, panics or
+// blocks — the caller owns the corruption; Hit only makes the seeded
+// decision. Dormant cost is one atomic load and a predicted branch;
+// `faultfree` compiles it to a constant false.
+func Hit(point Point, worker int) bool {
+	p := active.Load()
+	if p == nil {
+		return false
+	}
+	th := p.threshold[point]
+	return th > 0 && p.draw(worker)%1000 < th
+}
+
 func (p *Plan) injectErr(point Point, worker int) error {
 	p.inject(point, worker)
 	if point == DiskWrite && p.enospc > 0 && p.draw(worker)%1000 < p.enospc {

@@ -4,8 +4,8 @@
 // O(V+E) check usable on graphs too large to solve twice:
 //
 //  1. d(source) = 0.
-//  2. No edge is over-relaxed: d(v) ≤ d(u) + w(u,v) for every edge with
-//     d(u) finite.
+//  2. No edge is under-relaxed: d(v) ≤ d(u) + w(u,v) for every edge
+//     with d(u) finite.
 //  3. Every finite d(v), v ≠ source, is witnessed by an in-edge (u,v)
 //     with d(u) + w(u,v) = d(v) (so distances are achievable, not just
 //     feasible).
@@ -13,29 +13,96 @@
 //
 // For non-negative weights these four conditions hold iff d is the true
 // shortest-path distance function.
+//
+// UpperBound is the weaker certificate for degraded (deadline-cut)
+// results: a mid-solve label-correcting state promises only that every
+// finite label is the length of some source path, so conditions 2 and 3
+// do not apply — an edge whose tail just improved is legitimately
+// under-relaxed until its next pass, and a racy checkpoint snapshot can
+// even capture a finite d(v) whose in-neighbors all still read ∞.
+// What a valid upper bound can never do is assign a finite label to an
+// unreachable vertex (its true distance is ∞) or move the source off 0,
+// so UpperBound checks exactly {length, d(source)=0, finite ⇒
+// reachable}.
+//
+// The edge scan is fanned over workers via a Scratch, which also reuses
+// the reachability buffers so repeated audits over the same graph are
+// allocation-free after the first.
 package verify
 
 import (
 	"fmt"
+	"runtime"
+	"sync/atomic"
 
 	"wasp/internal/graph"
+	"wasp/internal/parallel"
 )
 
-// Certificate validates dist as the SSSP solution for g from source.
-// It returns nil if the certificate holds.
-func Certificate(g *graph.Graph, source graph.Vertex, dist []uint32) error {
+// scanGrain is the vertex batch handed to a worker per cursor grab in
+// the parallel condition scan. Big enough to amortize the atomic
+// cursor, small enough that skewed-degree vertices do not serialize a
+// whole audit behind one worker.
+const scanGrain = 256
+
+// Scratch holds the reusable state for certificate scans: the
+// reachability buffers and the worker count the edge scan fans over.
+// A Scratch is NOT safe for concurrent use; give each auditing
+// goroutine its own. The zero value is usable (serial scan).
+type Scratch struct {
+	workers int
+	reach   []bool
+	queue   []graph.Vertex
+}
+
+// NewScratch returns a Scratch whose condition scans fan over up to
+// workers goroutines. workers < 1 selects a serial scan.
+func NewScratch(workers int) *Scratch {
+	if workers < 1 {
+		workers = 1
+	}
+	return &Scratch{workers: workers}
+}
+
+// Certificate validates dist as the exact SSSP solution for g from
+// source. It returns nil if the full four-condition certificate holds.
+// Buffers are reused across calls: after the first audit of an n-vertex
+// graph, subsequent audits allocate nothing.
+func (s *Scratch) Certificate(g *graph.Graph, source graph.Vertex, dist []uint32) error {
+	return s.scan(g, source, dist, true)
+}
+
+// UpperBound validates dist as a sound degraded result for g from
+// source: d(source) = 0 and every finite label belongs to a reachable
+// vertex. It does NOT prove the labels tight — that is Certificate's
+// job and is impossible to check locally for a mid-solve snapshot (see
+// the package comment).
+func (s *Scratch) UpperBound(g *graph.Graph, source graph.Vertex, dist []uint32) error {
+	return s.scan(g, source, dist, false)
+}
+
+func (s *Scratch) scan(g *graph.Graph, source graph.Vertex, dist []uint32, exact bool) error {
 	n := g.NumVertices()
 	if len(dist) != n {
 		return fmt.Errorf("verify: distance array has %d entries for %d vertices", len(dist), n)
+	}
+	if int(source) < 0 || int(source) >= n {
+		return fmt.Errorf("verify: source %d out of range for %d vertices", source, n)
 	}
 	if dist[source] != 0 {
 		return fmt.Errorf("verify: d(source=%d) = %d, want 0", source, dist[source])
 	}
 
-	// Reachability via BFS over out-edges.
-	reach := make([]bool, n)
+	// Reachability via BFS over out-edges. Serial: the frontier is
+	// pointer-chasing bound and the buffers are the reuse win.
+	if cap(s.reach) < n {
+		s.reach = make([]bool, n)
+	}
+	reach := s.reach[:n]
+	clear(reach)
+	queue := s.queue[:0]
 	reach[source] = true
-	queue := []graph.Vertex{source}
+	queue = append(queue, source)
 	for len(queue) > 0 {
 		u := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
@@ -47,40 +114,77 @@ func Certificate(g *graph.Graph, source graph.Vertex, dist []uint32) error {
 			}
 		}
 	}
+	s.queue = queue[:0]
 
-	for ui := 0; ui < n; ui++ {
-		u := graph.Vertex(ui)
-		if reach[ui] != (dist[u] != graph.Infinity) {
-			return fmt.Errorf("verify: vertex %d reachable=%v but d=%d", u, reach[ui], dist[u])
+	// Per-vertex condition scan, fanned over workers. First error wins;
+	// the token stops the siblings at their next grain boundary.
+	var firstErr atomic.Pointer[error]
+	var tok parallel.Token
+	fail := func(err error) {
+		if firstErr.CompareAndSwap(nil, &err) {
+			tok.Cancel()
 		}
-		if dist[u] == graph.Infinity {
-			continue
+	}
+	p := s.workers
+	if p < 1 {
+		p = 1
+	}
+	parallel.ForWorkers(p, n, scanGrain, &tok, func(_, ui int) {
+		u := graph.Vertex(ui)
+		if exact {
+			// Condition 4: finite exactly when reachable.
+			if reach[ui] != (dist[u] != graph.Infinity) {
+				fail(fmt.Errorf("verify: vertex %d reachable=%v but d=%d", u, reach[ui], dist[u]))
+				return
+			}
+		} else if dist[u] != graph.Infinity && !reach[ui] {
+			// Upper-bound soundness: a finite label on an unreachable
+			// vertex undercuts its true distance of ∞.
+			fail(fmt.Errorf("verify: vertex %d unreachable but d=%d finite", u, dist[u]))
+			return
+		}
+		if !exact || dist[u] == graph.Infinity {
+			return
 		}
 		// Condition 2: no out-edge can improve on dist.
 		dst, wts := g.OutNeighbors(u)
 		for i, v := range dst {
 			if dist[u]+wts[i] < dist[v] {
-				return fmt.Errorf("verify: edge (%d,%d,w=%d) under-relaxed: d(%d)=%d, d(%d)=%d",
-					u, v, wts[i], u, dist[u], v, dist[v])
+				fail(fmt.Errorf("verify: edge (%d,%d,w=%d) under-relaxed: d(%d)=%d, d(%d)=%d",
+					u, v, wts[i], u, dist[u], v, dist[v]))
+				return
 			}
 		}
 		// Condition 3: a witness in-edge achieves equality.
 		if u == source {
-			continue
+			return
 		}
 		src, iw := g.InNeighbors(u)
-		witnessed := false
-		for i, p := range src {
-			if dist[p] != graph.Infinity && dist[p]+iw[i] == dist[u] {
-				witnessed = true
-				break
+		for i, pv := range src {
+			if dist[pv] != graph.Infinity && dist[pv]+iw[i] == dist[u] {
+				return
 			}
 		}
-		if !witnessed {
-			return fmt.Errorf("verify: d(%d)=%d has no witnessing in-edge", u, dist[u])
-		}
+		fail(fmt.Errorf("verify: d(%d)=%d has no witnessing in-edge", u, dist[u]))
+	})
+	if ep := firstErr.Load(); ep != nil {
+		return *ep
 	}
 	return nil
+}
+
+// Certificate validates dist as the SSSP solution for g from source
+// with a throwaway Scratch fanned over GOMAXPROCS workers. It returns
+// nil if the certificate holds. Repeated audits should hold a Scratch
+// instead to reuse its buffers.
+func Certificate(g *graph.Graph, source graph.Vertex, dist []uint32) error {
+	return NewScratch(runtime.GOMAXPROCS(0)).Certificate(g, source, dist)
+}
+
+// UpperBound validates dist as a sound degraded result for g from
+// source with a throwaway Scratch. See Scratch.UpperBound.
+func UpperBound(g *graph.Graph, source graph.Vertex, dist []uint32) error {
+	return NewScratch(runtime.GOMAXPROCS(0)).UpperBound(g, source, dist)
 }
 
 // Equal compares two distance arrays, returning a descriptive error for

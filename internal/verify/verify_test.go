@@ -1,6 +1,7 @@
 package verify
 
 import (
+	"slices"
 	"testing"
 
 	"wasp/internal/graph"
@@ -56,6 +57,192 @@ func TestCertificateRejectsWrongLength(t *testing.T) {
 	if err := Certificate(diamond(), 0, []uint32{0, 1}); err == nil {
 		t.Fatal("accepted truncated distance array")
 	}
+}
+
+func TestCertificateRejectsBadSource(t *testing.T) {
+	if err := Certificate(diamond(), 9, []uint32{0, 1, 2, 3}); err == nil {
+		t.Fatal("accepted out-of-range source")
+	}
+}
+
+func TestUpperBoundAcceptsPartial(t *testing.T) {
+	g := diamond()
+	// Exact distances pass the weak certificate too.
+	if err := UpperBound(g, 0, []uint32{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// A mid-solve snapshot: vertex 2 and 3 not yet reached. Legal.
+	if err := UpperBound(g, 0, []uint32{0, 1, graph.Infinity, graph.Infinity}); err != nil {
+		t.Fatal(err)
+	}
+	// Over-estimates are legal upper bounds (not yet relaxed down).
+	if err := UpperBound(g, 0, []uint32{0, 1, 9, 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUpperBoundRejects(t *testing.T) {
+	g := graph.FromEdges(3, true, []graph.Edge{{From: 0, To: 1, W: 2}})
+	// Finite distance on an unreachable vertex can never be a bound.
+	if err := UpperBound(g, 0, []uint32{0, 2, 7}); err == nil {
+		t.Fatal("accepted finite distance for unreachable vertex")
+	}
+	if err := UpperBound(g, 0, []uint32{3, 2, graph.Infinity}); err == nil {
+		t.Fatal("accepted d(source) != 0")
+	}
+	if err := UpperBound(g, 0, []uint32{0, 2}); err == nil {
+		t.Fatal("accepted truncated distance array")
+	}
+	if err := UpperBound(g, 7, []uint32{0, 2, graph.Infinity}); err == nil {
+		t.Fatal("accepted out-of-range source")
+	}
+}
+
+// TestScratchReuse drives both certificates repeatedly through one
+// Scratch: reuse must not corrupt state across calls (the BFS arrays
+// are cleared, not reallocated) and repeat audits of the same-sized
+// graph must not allocate per vertex.
+func TestScratchReuse(t *testing.T) {
+	g := diamond()
+	s := NewScratch(2)
+	for i := 0; i < 3; i++ {
+		if err := s.Certificate(g, 0, []uint32{0, 1, 2, 3}); err != nil {
+			t.Fatalf("pass %d: %v", i, err)
+		}
+		if err := s.Certificate(g, 0, []uint32{0, 1, 2, 2}); err == nil {
+			t.Fatalf("pass %d: accepted unwitnessed distance", i)
+		}
+		if err := s.UpperBound(g, 0, []uint32{0, 1, graph.Infinity, graph.Infinity}); err != nil {
+			t.Fatalf("pass %d: %v", i, err)
+		}
+	}
+	// Zero value is usable.
+	var zero Scratch
+	if err := zero.Certificate(g, 0, []uint32{0, 1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScratchRepeatAuditsNearZeroAllocs(t *testing.T) {
+	g := graph.FromEdges(512, false, func() []graph.Edge {
+		edges := make([]graph.Edge, 0, 511)
+		for v := graph.Vertex(1); v < 512; v++ {
+			edges = append(edges, graph.Edge{From: v - 1, To: v, W: 1})
+		}
+		return edges
+	}())
+	dist := make([]uint32, 512)
+	for v := range dist {
+		dist[v] = uint32(v)
+	}
+	s := NewScratch(1) // serial path: the parallel fork itself allocates goroutine stacks
+	if err := s.Certificate(g, 0, dist); err != nil {
+		t.Fatal(err)
+	}
+	// A handful of fixed-size closure/header escapes per call is fine;
+	// what must never happen is an allocation per vertex or per edge.
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := s.Certificate(g, 0, dist); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 8 {
+		t.Fatalf("repeat audit allocates %.1f objects per run, want <= 8", allocs)
+	}
+}
+
+// fuzzGraph is a fixed 32-vertex graph: a weighted spine keeping
+// 0..27 reachable, pseudo-random cross edges, and an island 28..31
+// the source can never reach.
+func fuzzGraph() (*graph.Graph, []graph.Edge, int) {
+	const n = 32
+	var edges []graph.Edge
+	for v := graph.Vertex(1); v < 28; v++ {
+		edges = append(edges, graph.Edge{From: v - 1, To: v, W: 1 + uint32(v)%7})
+	}
+	r := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < 40; i++ {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		edges = append(edges, graph.Edge{
+			From: graph.Vertex(r % 28),
+			To:   graph.Vertex((r >> 8) % 28),
+			W:    1 + uint32(r>>16)%9,
+		})
+	}
+	edges = append(edges,
+		graph.Edge{From: 28, To: 29, W: 2},
+		graph.Edge{From: 30, To: 31, W: 3})
+	return graph.FromEdges(n, true, edges), edges, n
+}
+
+// bellmanFord is the test's independent reference: no shared code with
+// the certificate under test.
+func bellmanFord(n int, edges []graph.Edge, source graph.Vertex) []uint32 {
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = graph.Infinity
+	}
+	dist[source] = 0
+	for i := 0; i < n; i++ {
+		changed := false
+		for _, e := range edges {
+			if dist[e.From] != graph.Infinity && dist[e.From]+e.W < dist[e.To] {
+				dist[e.To] = dist[e.From] + e.W
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// FuzzCertificate checks the certificate's core soundness claim with
+// adversarial distance arrays: exact SSSP distances are unique, so the
+// certificate must accept the reference array and reject EVERY array
+// that differs from it — single bit flips, multi-vertex corruption,
+// infinities on reachable vertices, finite labels on the island.
+func FuzzCertificate(f *testing.F) {
+	g, edges, n := fuzzGraph()
+	ref := bellmanFord(n, edges, 0)
+
+	f.Add(uint32(0), uint32(0), uint32(0), uint32(0))          // identity: must accept
+	f.Add(uint32(3), uint32(1<<6), uint32(0), uint32(0))       // the DistFlip fault's bit
+	f.Add(uint32(30), uint32(5), uint32(0), uint32(0))         // finite label on the island
+	f.Add(uint32(0), uint32(1), uint32(0), uint32(0))          // move the source off 0
+	f.Add(uint32(7), uint32(1<<31), uint32(12), uint32(1<<31)) // infinities on reachable vertices
+
+	f.Fuzz(func(t *testing.T, i1, d1, i2, d2 uint32) {
+		dist := append([]uint32(nil), ref...)
+		mutate := func(i, d uint32) {
+			v := i % uint32(n)
+			switch {
+			case d == 0:
+				// no-op
+			case d&(1<<31) != 0:
+				dist[v] = graph.Infinity
+			default:
+				// Mask keeps finite labels far from overflow: certificate
+				// soundness is claimed for non-overflowing d(u)+w only.
+				dist[v] ^= d & 0x03FFFFFF
+			}
+		}
+		mutate(i1, d1)
+		mutate(i2, d2)
+		err := Certificate(g, 0, dist)
+		if slices.Equal(dist, ref) {
+			if err != nil {
+				t.Fatalf("rejected the exact distances: %v", err)
+			}
+			return
+		}
+		if err == nil {
+			t.Fatalf("accepted corrupted distances (mutations %d^%x, %d^%x)", i1, d1, i2, d2)
+		}
+	})
 }
 
 func TestEqual(t *testing.T) {

@@ -10,6 +10,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"wasp/internal/fault"
 	"wasp/internal/parallel"
 )
 
@@ -88,8 +89,19 @@ type PoolOptions struct {
 	// sharing the same Cache (the Registry sets "name@version"). Pools
 	// of bit-identical graphs given the same scope share entries —
 	// which is sound: every algorithm computes the same exact
-	// distances. Ignored when Cache is nil.
+	// distances. The scope also names this pool in audit failures
+	// (AuditFailure.Scope), so it is kept even when Cache is nil.
 	CacheScope string
+
+	// Auditor, when non-nil, samples this pool's served solve results
+	// for background certification (see Auditor): every stride-th
+	// result that Run/Resume would hand back — complete or degraded —
+	// is submitted with the pool's CacheScope as its audit identity.
+	// Cache hits are never re-audited (they are copies of a result that
+	// was itself subject to sampling when first solved). The unsampled
+	// cost is one atomic increment; sampled results are certified off
+	// the serving path when the auditor is Async.
+	Auditor *Auditor
 
 	// Governor, when non-nil, puts the pool under adaptive overload
 	// control: the pool feeds it queue-delay, queue-depth and
@@ -190,6 +202,7 @@ type Pool struct {
 	cacheScope string    // conf.CacheScope, fixed at construction
 	fp         graphFP   // graph identity for cache keys; zero unless cached
 	gov        *Governor // nil unless conf.Governor was set
+	aud        *Auditor  // nil unless conf.Auditor was set
 
 	observers []*Observer // per-session observers; nil unless conf.Observe
 
@@ -219,16 +232,17 @@ func NewPool(g *Graph, opt Options, conf PoolOptions) (*Pool, error) {
 		g:       g,
 		conf:    conf,
 		gov:     conf.Governor,
+		aud:     conf.Auditor,
 		slots:   make(chan *Session, conf.Sessions),
 		tickets: make(chan struct{}, conf.Sessions+conf.QueueDepth),
 		drain:   make(chan struct{}),
 	}
+	p.cacheScope = conf.CacheScope // audit identity even on cacheless pools
 	if conf.Cache != nil {
 		if g == nil {
 			return nil, fmt.Errorf("wasp: nil graph")
 		}
 		p.cache = conf.Cache
-		p.cacheScope = conf.CacheScope
 		p.fp = fingerprintOf(g) // one O(E) hash, memoized on the graph
 	}
 	for i := 0; i < conf.Sessions; i++ {
@@ -439,7 +453,22 @@ func (p *Pool) admitAndSolve(ctx context.Context, source Vertex, warm *Checkpoin
 	res = sess.detach(res)
 	p.inFlight.Add(-1)
 
+	// Corruption site: a seeded chaos plan can flip one bit of the
+	// detached result here, after every solver-side check has passed —
+	// the silent wrong answer the sampled audit below must catch. The
+	// flip lands in the caller-visible (and cache-bound) array exactly
+	// like real memory corruption would.
+	if res != nil && len(res.Dist) > 0 && fault.Hit(fault.DistFlip, int(source)) {
+		res.Dist[(int(source)*31+17)%len(res.Dist)] ^= 1 << 6
+	}
+
 	degraded := errors.Is(err, ErrCancelled) && errors.Is(err, context.DeadlineExceeded) && res != nil
+	if res != nil && (err == nil || degraded) {
+		// Audit sampling: served results only (complete or degraded) —
+		// a query that errored served no distances. One atomic add when
+		// the result is not elected; nil-safe when no auditor is set.
+		p.aud.maybeAudit(p.g, p.cacheScope, source, res.Dist, res.Complete)
+	}
 	if p.conf.OnSolve != nil {
 		// The session is still checked out: its observer is quiescent
 		// for the duration of the callback.

@@ -11,6 +11,7 @@ import (
 
 	"wasp"
 	"wasp/internal/fault"
+	"wasp/internal/verify"
 )
 
 // TestPoolDeadlineDegrades is the acceptance check for graceful
@@ -52,6 +53,11 @@ func TestPoolDeadlineDegrades(t *testing.T) {
 			t.Fatalf("partial d(%d) = %d below true distance %d", v, res.Dist[v], ref.Dist[v])
 		}
 	}
+	// The degraded-result contract is exactly what the auditor's weak
+	// certificate checks: every partial snapshot must satisfy it.
+	if err := verify.UpperBound(g, src, res.Dist); err != nil {
+		t.Fatalf("degraded result fails the upper-bound certificate: %v", err)
+	}
 	if s := p.Stats(); s.Degraded != 1 {
 		t.Fatalf("stats = %+v, want Degraded 1", s)
 	}
@@ -82,6 +88,10 @@ func TestPoolCallerDeadlineDegrades(t *testing.T) {
 	}
 	if want := 1.0 / 3.0; res.Progress.Settled != want {
 		t.Fatalf("Progress.Settled = %v, want %v", res.Progress.Settled, want)
+	}
+	// Even the zero-work snapshot honors the upper-bound certificate.
+	if err := verify.UpperBound(g, 0, res.Dist); err != nil {
+		t.Fatalf("zero-work snapshot fails the upper-bound certificate: %v", err)
 	}
 
 	// Explicit cancellation is an abort, not a budget: it still errors.

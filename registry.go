@@ -19,6 +19,12 @@ var ErrNoSuchGraph = errors.New("wasp: no such graph")
 // ErrRegistryClosed is returned once Registry.Close has begun.
 var ErrRegistryClosed = errors.New("wasp: registry closed")
 
+// ErrQuarantined is returned (wrapped, with the graph name and
+// version) by Registry.Run and Resume while the named graph's active
+// version is quarantined after a failed result audit. The graph heals
+// by deploying a new version (Load) or rolling back to a retired one.
+var ErrQuarantined = errors.New("wasp: graph version quarantined")
+
 // GraphState describes a served graph's position in the reload
 // lifecycle. Individual versions move loading → validating → active →
 // draining → retired; the per-graph state is what a readiness probe
@@ -37,6 +43,13 @@ const (
 	// rejected; the last good version is still serving. Not an outage —
 	// a signal that the newest bundle never activated.
 	GraphDegradedLastGood GraphState = "degraded-last-good"
+	// GraphQuarantined: a sampled result audit failed on the active
+	// version, so the registry took it out of rotation — its pool is
+	// drained, its cache scope invalidated, and queries return
+	// ErrQuarantined until a Load or Rollback activates a replacement.
+	// Unlike GraphDegradedLastGood there is no silent fallback: wrong
+	// answers are worse than no answers.
+	GraphQuarantined GraphState = "quarantined"
 )
 
 // RegistryOptions configures a Registry. The zero value serves with
@@ -74,10 +87,19 @@ type RegistryOptions struct {
 	// goroutine from waiting forever on a wedged solve).
 	DrainTimeout time.Duration
 	// OnEvent, when non-nil, observes every lifecycle transition —
-	// loads, rejections, rollbacks, removals — synchronously with the
-	// transition. Keep it brief; it runs inside the reload path (never
-	// inside the query path).
+	// loads, rejections, rollbacks, removals, quarantines —
+	// synchronously with the transition. Keep it brief; it runs inside
+	// the reload path or (for EventQuarantined) the audit path, never
+	// inside the query path.
 	OnEvent func(RegistryEvent)
+	// Audit, when non-nil, builds a registry-owned Auditor spanning
+	// every per-graph pool: the configured fraction of served results
+	// is certified from first principles, and a failed audit
+	// quarantines the failing version — pool drained, cache scope
+	// invalidated, state GraphQuarantined, queries ErrQuarantined —
+	// before the configured OnFailure hook (if any) runs. The auditor
+	// is closed by Registry.Close.
+	Audit *AuditorOptions
 }
 
 // RegistryEvent describes one lifecycle transition for logging/metrics.
@@ -104,6 +126,9 @@ const (
 	EventRemoved RegistryEventKind = "removed"
 	// EventNoop: a load carried the version already active.
 	EventNoop RegistryEventKind = "noop"
+	// EventQuarantined: a failed result audit took the active version
+	// out of rotation. Err carries the certificate violation.
+	EventQuarantined RegistryEventKind = "quarantined"
 )
 
 // GraphStatus is a point-in-time description of one served graph.
@@ -153,6 +178,10 @@ type graphVersion struct {
 	pool    *Pool                  // guarded by Registry.mu; nil once retired
 	perm    []Vertex               // old→new relabeling; nil when identity
 	warm    map[uint32]*Checkpoint // bundle checkpoints by (relabeled) source
+	// quarantined marks a version that failed a result audit; set under
+	// Registry.mu by quarantineScope and never cleared — the version
+	// must stay out of the rollback history when it is later replaced.
+	quarantined bool
 }
 
 // graphEntry is the mutable per-name record: the active version, the
@@ -184,14 +213,17 @@ type graphEntry struct {
 type Registry struct {
 	conf RegistryOptions
 
+	auditor *Auditor // nil unless conf.Audit was set; owned by the registry
+
 	mu     sync.RWMutex
 	graphs map[string]*graphEntry
 	closed bool
 
-	loaded     atomic.Int64
-	rejected   atomic.Int64
-	rolledBack atomic.Int64
-	noop       atomic.Int64
+	loaded      atomic.Int64
+	rejected    atomic.Int64
+	rolledBack  atomic.Int64
+	noop        atomic.Int64
+	quarantined atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
@@ -205,8 +237,27 @@ func NewRegistry(conf RegistryOptions) *Registry {
 	if conf.DrainTimeout <= 0 {
 		conf.DrainTimeout = 30 * time.Second
 	}
-	return &Registry{conf: conf, graphs: make(map[string]*graphEntry)}
+	r := &Registry{conf: conf, graphs: make(map[string]*graphEntry)}
+	if conf.Audit != nil {
+		// The registry interposes on OnFailure: quarantine first, then
+		// the user's hook observes a failure already acted upon.
+		aopt := *conf.Audit
+		user := aopt.OnFailure
+		aopt.OnFailure = func(f AuditFailure) {
+			r.quarantineScope(f.Scope, f.Err)
+			if user != nil {
+				user(f)
+			}
+		}
+		r.auditor = NewAuditor(aopt)
+	}
+	return r
 }
+
+// Auditor returns the registry-owned auditor built from
+// RegistryOptions.Audit, or nil when auditing is not configured —
+// the stats feed behind a daemon's audit metrics.
+func (r *Registry) Auditor() *Auditor { return r.auditor }
 
 func (r *Registry) event(ev RegistryEvent) {
 	if r.conf.OnEvent != nil {
@@ -241,7 +292,11 @@ func (r *Registry) Load(ctx context.Context, b *Bundle) error {
 	defer e.loadMu.Unlock()
 
 	r.mu.Lock()
-	if e.active != nil && e.active.version == version {
+	// Re-loading the active version is a no-op — unless that version is
+	// quarantined, in which case the same bundle is a legitimate heal:
+	// the corruption was runtime state, not the artifact, and a fresh
+	// build replaces the poisoned pool.
+	if e.active != nil && e.active.version == version && e.state != GraphQuarantined {
 		r.mu.Unlock()
 		r.noop.Add(1)
 		r.event(RegistryEvent{Graph: name, Version: version, Kind: EventNoop})
@@ -335,9 +390,15 @@ func (r *Registry) buildVersion(ctx context.Context, b *Bundle) (*graphVersion, 
 		opt = r.conf.ConfigureOptions(b.Manifest.Name, b.Manifest.Version, opt)
 	}
 	popt := r.conf.Pool
+	// The scope is set unconditionally: it keys cache entries when a
+	// cache is attached and names the deployment in audit failures
+	// (the identity quarantineScope resolves) either way.
+	popt.CacheScope = cacheScopeFor(b.Manifest.Name, b.Manifest.Version)
 	if r.conf.Cache != nil {
 		popt.Cache = r.conf.Cache
-		popt.CacheScope = cacheScopeFor(b.Manifest.Name, b.Manifest.Version)
+	}
+	if r.auditor != nil {
+		popt.Auditor = r.auditor
 	}
 	pool, err := NewPool(b.Graph, opt, popt)
 	if err != nil {
@@ -388,9 +449,16 @@ func (r *Registry) activate(e *graphEntry, v *graphVersion, kind RegistryEventKi
 	e.lastErr = nil
 	if old != nil {
 		oldPool, old.pool = old.pool, nil
-		e.history = append(e.history, old)
-		if drop := len(e.history) - r.conf.History; drop > 0 {
-			e.history = append([]*graphVersion(nil), e.history[drop:]...)
+		if old.quarantined {
+			// A quarantined version served wrong answers: dropping it
+			// instead of retiring it keeps Rollback from ever rolling
+			// forward onto it.
+			old = nil
+		} else {
+			e.history = append(e.history, old)
+			if drop := len(e.history) - r.conf.History; drop > 0 {
+				e.history = append([]*graphVersion(nil), e.history[drop:]...)
+			}
 		}
 	}
 	r.mu.Unlock()
@@ -421,6 +489,58 @@ func (r *Registry) activate(e *graphEntry, v *graphVersion, kind RegistryEventKi
 func cacheScopeFor(name string, version uint64) string {
 	return fmt.Sprintf("%s@%d", name, version)
 }
+
+// quarantineScope takes the deployment identified by scope out of
+// rotation after a failed result audit: the pool is severed and
+// drained, the cache scope invalidated (a corrupt result may have been
+// stored), the entry's state set to GraphQuarantined, and the event
+// emitted. The quarantined version is NOT retired into the rollback
+// history — an operator must never roll forward onto a version that
+// served wrong answers. A scope that no longer names an active version
+// (already replaced, already quarantined, removed) is a no-op: the
+// corrupt deployment is gone either way.
+func (r *Registry) quarantineScope(scope string, cause error) {
+	r.mu.Lock()
+	var e *graphEntry
+	for _, ge := range r.graphs {
+		if ge.active != nil && ge.active.pool != nil &&
+			cacheScopeFor(ge.name, ge.active.version) == scope {
+			e = ge
+			break
+		}
+	}
+	if e == nil {
+		r.mu.Unlock()
+		return
+	}
+	v := e.active
+	var oldPool *Pool
+	oldPool, v.pool = v.pool, nil
+	v.quarantined = true
+	e.state = GraphQuarantined
+	e.lastErr = fmt.Errorf("%w: audit failed: %v", ErrQuarantined, cause)
+	r.mu.Unlock()
+
+	r.quarantined.Add(1)
+	if r.conf.Cache != nil {
+		// The corrupt result may already be cached (the flip lands
+		// before the cache insert); every entry of the version is now
+		// suspect.
+		r.conf.Cache.InvalidateScope(scope)
+	}
+	if oldPool != nil {
+		go func() {
+			ctx, cancel := context.WithTimeout(context.Background(), r.conf.DrainTimeout)
+			defer cancel()
+			_ = oldPool.Close(ctx)
+		}()
+	}
+	r.event(RegistryEvent{Graph: e.name, Version: v.version, Kind: EventQuarantined, Err: cause})
+}
+
+// Quarantined counts quarantine transitions since construction — the
+// feed behind a daemon's ssspd_quarantined alerting.
+func (r *Registry) Quarantined() int64 { return r.quarantined.Load() }
 
 // Rollback re-activates the most recently retired version of name: a
 // fresh pool is built from the retained graph and artifacts, smoke-
@@ -532,6 +652,9 @@ func (r *Registry) activeVersion(name string) (*graphVersion, *Pool, error) {
 	if e == nil || e.active == nil {
 		return nil, nil, fmt.Errorf("%w: %q", ErrNoSuchGraph, name)
 	}
+	if e.state == GraphQuarantined {
+		return nil, nil, fmt.Errorf("%w: %q v%d", ErrQuarantined, name, e.active.version)
+	}
 	return e.active, e.active.pool, nil
 }
 
@@ -568,7 +691,14 @@ func (r *Registry) Run(ctx context.Context, name string, source Vertex) (*Result
 		}
 		res, err := r.runOn(ctx, v, pool, source)
 		if errors.Is(err, ErrPoolClosed) {
-			if cur, _, cerr := r.activeVersion(name); cerr == nil && cur != v {
+			cur, _, cerr := r.activeVersion(name)
+			if cerr != nil {
+				// The version went away while we were admitted: removed,
+				// or quarantined by a failed audit — surface that, not
+				// the pool's internal closed error.
+				return nil, cerr
+			}
+			if cur != v {
 				continue // swapped under us; retry on the new version
 			}
 			return nil, r.closedOr(err)
@@ -624,7 +754,11 @@ func (r *Registry) Resume(ctx context.Context, name string, cp *Checkpoint) (*Re
 		}
 		res, err := pool.Resume(ctx, cp)
 		if errors.Is(err, ErrPoolClosed) {
-			if cur, _, cerr := r.activeVersion(name); cerr == nil && cur != v {
+			cur, _, cerr := r.activeVersion(name)
+			if cerr != nil {
+				return nil, cerr
+			}
+			if cur != v {
 				continue
 			}
 			return nil, r.closedOr(err)
@@ -719,7 +853,7 @@ func (r *Registry) Servable() bool {
 		return false
 	}
 	for _, e := range r.graphs {
-		if e.active != nil {
+		if e.active != nil && e.active.pool != nil {
 			return true
 		}
 	}
@@ -746,5 +880,8 @@ func (r *Registry) Close(ctx context.Context) error {
 			firstErr = err
 		}
 	}
+	// The auditor goes last: in-flight solves may still submit samples
+	// while their pools drain.
+	r.auditor.Close()
 	return firstErr
 }
