@@ -416,6 +416,35 @@ func (c *Cache) InvalidateScope(scope string) int {
 	return dropped
 }
 
+// harvestScope collects the complete exact distance arrays the cache
+// holds for one (scope, graph) pair — at most one per source. The
+// Registry calls this when mutating a graph, BEFORE activating the
+// successor version (activation invalidates the scope): each harvested
+// checkpoint is exact on the pre-mutation graph and therefore a legal
+// prior for MutationDelta.Seed, turning yesterday's cache hits into
+// repaired warm starts on the new version. Entries whose integrity
+// hash no longer matches are skipped — a rotted distance array must
+// not seed a repair. The returned checkpoints are live cache data:
+// read-only for the caller.
+func (c *Cache) harvestScope(scope string, fp graphFP) []*Checkpoint {
+	c.mu.Lock()
+	ents := make([]*cacheEntry, 0, len(c.entries))
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		if ent := el.Value.(*cacheEntry); ent.key.scope == scope && ent.key.fp == fp {
+			ents = append(ents, ent)
+		}
+	}
+	c.mu.Unlock()
+	cps := make([]*Checkpoint, 0, len(ents))
+	for _, ent := range ents {
+		if distSum(ent.cp.Dist) != ent.sum {
+			continue
+		}
+		cps = append(cps, ent.cp)
+	}
+	return cps
+}
+
 // ScrubEntries re-validates every resident entry's integrity hash and
 // evicts the ones whose distance words no longer hash to the sum
 // recorded at insert — in-memory bit rot turned into a clean miss (the

@@ -607,3 +607,110 @@ func TestElapsedAccounting(t *testing.T) {
 			fres.Elapsed, fres.PriorElapsed, prior)
 	}
 }
+
+// TestCacheOverlayMutateNoStaleResults: the mutation analogue of the
+// hot-swap stale-read test above. A mutated overlay advances the
+// content fingerprint, so a pre-mutation cache entry must be
+// unreachable for post-mutation queries even when two pools share one
+// cache under the SAME scope — the keying, not the scope hygiene, is
+// the correctness boundary.
+func TestCacheOverlayMutateNoStaleResults(t *testing.T) {
+	const n = 32
+	cache := NewCache(CacheOptions{})
+	ctx := context.Background()
+
+	overlay := NewOverlay(uchain(n, 1))
+	pre := cachedPool(t, overlay.Snapshot(), cache, PoolOptions{CacheScope: "shared"})
+
+	res, err := pre.Run(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Dist[n-1] != uint32(n-1) {
+		t.Fatalf("pre-mutation dist[%d] = %d, want %d", n-1, res.Dist[n-1], n-1)
+	}
+	if _, err := pre.Run(ctx, 0); err != nil { // hit
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("pre-mutation stats = %+v, want 1 hit / 1 miss", st)
+	}
+
+	// Same shape, same scope, one weight changed: the next query must
+	// NOT see the cached pre-mutation distances.
+	if _, err := overlay.Mutate([]Mutation{{Kind: MutSetWeight, From: 0, To: 1, W: 5}}); err != nil {
+		t.Fatal(err)
+	}
+	post := cachedPool(t, overlay.Snapshot(), cache, PoolOptions{CacheScope: "shared"})
+	res, err = post.Run(ctx, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Dist[n-1], uint32(5+(n-2)); got != want {
+		t.Fatalf("post-mutation dist[%d] = %d, want %d (stale pre-mutation result served)", n-1, got, want)
+	}
+	if st := cache.Stats(); st.Hits != 1 || st.Misses != 2 {
+		t.Fatalf("post-mutation stats = %+v: mutated-graph query did not miss", st)
+	}
+
+	// And the pre-mutation snapshot still hits its own entry: both
+	// results stay resident under distinct fingerprints.
+	if _, err := pre.Run(ctx, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits != 2 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 2 hits and 2 resident entries", st)
+	}
+}
+
+// TestCacheRegistryMutateWarmHarvest: Registry.Mutate harvests the
+// retiring version's complete cached results and repairs them into
+// warm seeds for the successor — the first post-mutation query for a
+// previously hot source warm-starts instead of solving cold, and the
+// old version's entries are invalidated with the swap.
+func TestCacheRegistryMutateWarmHarvest(t *testing.T) {
+	const n = 32
+	cache := NewCache(CacheOptions{})
+	r := NewRegistry(RegistryOptions{
+		Pool:         PoolOptions{Sessions: 2, QueueDepth: 64, QueueWait: 5 * time.Second},
+		SmokeTimeout: 5 * time.Second,
+		DrainTimeout: 10 * time.Second,
+		Cache:        cache,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = r.Close(ctx)
+	}()
+	ctx := context.Background()
+
+	if err := r.Load(ctx, &Bundle{Manifest: BundleManifest{Name: "g", Version: 1}, Graph: uchain(n, 1)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(ctx, "g", 0); err != nil { // populate v1's cache entry
+		t.Fatal(err)
+	}
+
+	version, _, err := r.Mutate(ctx, "g", []Mutation{{Kind: MutSetWeight, From: 0, To: 1, W: 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if version != 2 {
+		t.Fatalf("version = %d, want 2", version)
+	}
+	if st := cache.Stats(); st.Entries != 0 {
+		t.Fatalf("entries = %d after mutate, want 0 (v1 scope invalidated)", st.Entries)
+	}
+
+	res, err := r.Run(ctx, "g", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := res.Dist[n-1], uint32(7+(n-2)); got != want {
+		t.Fatalf("post-mutation dist[%d] = %d, want %d", n-1, got, want)
+	}
+	st := cache.Stats()
+	if st.WarmStarts != 1 {
+		t.Fatalf("stats = %+v: post-mutation query did not resume from the harvested seed", st)
+	}
+}

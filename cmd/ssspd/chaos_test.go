@@ -412,6 +412,165 @@ func writeGarbage(path string) error {
 	return os.WriteFile(path, []byte("this is not a checkpoint"), 0o644)
 }
 
+// TestDaemonMutationChaos is the overlay case of the chaos harness: a
+// mutation storm (PATCH /graph re-weighting the chain's first edge)
+// runs concurrently with a query storm, under full-rate synchronous
+// auditing. Every incremental activation repairs the prior version's
+// cached distances into warm seeds, so the auditor is certifying
+// repair-derived results the whole time. Invariants:
+//   - complete responses are always consistent with SOME applied
+//     weight (never a torn or stale mix);
+//   - paths that avoid the mutated edge stay exact throughout;
+//   - the auditor certifies every sampled result — zero failures,
+//     zero quarantines — and the mutation counter matches the number
+//     of accepted batches;
+//   - after the storm the daemon serves exact answers for the final
+//     weight.
+func TestDaemonMutationChaos(t *testing.T) {
+	ctx := context.Background()
+	g := chaosGraph()
+	cache := wasp.NewCache(wasp.CacheOptions{MaxBytes: 4 << 20})
+	reg := wasp.NewRegistry(wasp.RegistryOptions{
+		Options: wasp.Options{Workers: 2},
+		Pool:    wasp.PoolOptions{Sessions: 2, QueueDepth: 16, QueueWait: 2 * time.Second},
+		Cache:   cache,
+		Audit:   &wasp.AuditorOptions{SampleRate: 1},
+	})
+	defer func() {
+		cctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = reg.Close(cctx)
+	}()
+	if err := reg.LoadGraph(ctx, "chaos", g); err != nil {
+		t.Fatal(err)
+	}
+	s := &server{reg: reg, cache: cache}
+	ts := httptest.NewServer(s.routes())
+	defer ts.Close()
+	client := ts.Client()
+
+	var bad struct {
+		mu   sync.Mutex
+		msgs []string
+	}
+	fail := func(format string, args ...any) {
+		bad.mu.Lock()
+		if len(bad.msgs) < 5 {
+			bad.msgs = append(bad.msgs, fmt.Sprintf(format, args...))
+		}
+		bad.mu.Unlock()
+	}
+
+	// Mutator: walk edge (0,1) through weights 2..5 and back down,
+	// one accepted batch per step. minW/maxW bound every weight the
+	// edge ever holds, so racing readers have a checkable envelope.
+	const batches = 8
+	const minW, maxW = 1, 5
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		weights := []uint32{2, 3, 4, 5, 4, 3, 2, 1}
+		for _, w := range weights[:batches] {
+			body := fmt.Sprintf(`{"mutations":[{"op":"set-weight","from":0,"to":1,"weight":%d}]}`, w)
+			req, err := http.NewRequest(http.MethodPatch, ts.URL+"/graph?graph=chaos", strings.NewReader(body))
+			if err != nil {
+				fail("mutate w=%d: %v", w, err)
+				return
+			}
+			resp, err := client.Do(req)
+			if err != nil {
+				fail("mutate w=%d: %v", w, err)
+				return
+			}
+			rb, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				fail("mutate w=%d: status %d: %s", w, resp.StatusCode, rb)
+				return
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+	// Query storm: sources past the mutated edge must stay exact under
+	// every version; source 0 must land inside the weight envelope.
+	const target = chaosN - 1
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 16; i++ {
+				src := (w*5 + i*3) % 8
+				want := uint32(target - src)
+				resp, err := client.Get(fmt.Sprintf("%s/sssp?source=%d&target=%d", ts.URL, src, target))
+				if err != nil {
+					fail("GET source=%d: %v", src, err)
+					continue
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					var q queryResponse
+					if err := json.Unmarshal(body, &q); err != nil || q.Distance == nil {
+						fail("source=%d: bad body %q: %v", src, body, err)
+						continue
+					}
+					if !q.Complete {
+						continue // queue pressure degrade; bounds checked elsewhere
+					}
+					if src == 0 {
+						// Path uses edge (0,1) whose weight races 1..5.
+						lo, hi := want-1+minW, want-1+maxW
+						if *q.Distance < lo || *q.Distance > hi {
+							fail("source=0: distance %d outside weight envelope [%d,%d]",
+								*q.Distance, lo, hi)
+						}
+					} else if *q.Distance != want {
+						fail("STALE: source=%d distance %d, want %d", src, *q.Distance, want)
+					}
+				case http.StatusServiceUnavailable:
+					// Racing an activation's drain; admissible.
+				default:
+					fail("source=%d: status %d: %s", src, resp.StatusCode, body)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	bad.mu.Lock()
+	if len(bad.msgs) > 0 {
+		t.Fatalf("bad outcomes under mutation chaos: %v", bad.msgs)
+	}
+	bad.mu.Unlock()
+
+	// The final batch set the edge back to weight 1: the daemon must be
+	// serving the fully-repaired graph exactly.
+	deadline := time.Now().Add(10 * time.Second)
+	for !chaosExactQuery(client, ts.URL, 0, target) {
+		if time.Now().After(deadline) {
+			t.Fatal("daemon did not serve exact results after the mutation storm")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	if st, ok := reg.Status("chaos"); !ok || st.Version != batches+1 {
+		t.Fatalf("status after storm = %+v, want version %d", st, batches+1)
+	}
+	if rs := reg.ReloadStats(); rs.Mutated != batches {
+		t.Fatalf("mutated count = %d, want %d", rs.Mutated, batches)
+	}
+	// The certifier saw every served result — incremental ones included —
+	// and never cried wolf.
+	if as := reg.Auditor().Stats(); as.Failed != 0 || reg.Quarantined() != 0 {
+		t.Fatalf("false audit failure under mutation chaos: %+v, quarantines %d",
+			as, reg.Quarantined())
+	} else if as.Sampled == 0 {
+		t.Fatal("auditor sampled nothing across the storm")
+	}
+}
+
 // TestDaemonCorruptionDetection proves the corruption faults are
 // detected end to end: a DistFlip on a served result fails its sampled
 // audit and quarantines the graph (503s, readiness shows it, its

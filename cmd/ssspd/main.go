@@ -495,6 +495,7 @@ func (s *server) routes() *http.ServeMux {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("/sssp", s.handleSSSP)
+	mux.HandleFunc("/graph", s.handleGraphMutate)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/healthz/live", s.handleLive)
 	mux.HandleFunc("/healthz/ready", s.handleReady)
@@ -593,6 +594,136 @@ func (s *server) handleSSSP(w http.ResponseWriter, r *http.Request) {
 	if target != nil {
 		d := res.Dist[*target]
 		resp.Target, resp.Distance = target, &d
+	}
+	writeJSON(w, resp)
+}
+
+// mutationRequest is the JSON body of PATCH /graph: a batch of edge
+// operations applied atomically to the named graph's active version.
+type mutationRequest struct {
+	Mutations []mutationOp `json:"mutations"`
+}
+
+// mutationOp is one edge operation: op is "insert", "delete" or
+// "set-weight"; weight is required except for deletes.
+type mutationOp struct {
+	Op     string  `json:"op"`
+	From   int64   `json:"from"`
+	To     int64   `json:"to"`
+	Weight *uint32 `json:"weight,omitempty"`
+}
+
+// mutationResponse reports an applied batch: the version now serving
+// and what changed.
+type mutationResponse struct {
+	Graph     string           `json:"graph"`
+	Version   uint64           `json:"version"`
+	Applied   int              `json:"applied"`
+	Kinds     map[string]int64 `json:"mutations"`
+	Increased int              `json:"increased_arcs"`
+	Decreased int              `json:"decreased_arcs"`
+	Vertices  int              `json:"vertices"`
+	Edges     int64            `json:"edges"`
+	ElapsedMS float64          `json:"elapsed_ms"`
+}
+
+// handleGraphMutate is PATCH /graph?graph=: apply a mutation batch to
+// the active version and atomically activate the successor. The whole
+// reload discipline applies — the batch is validated, the mutated
+// graph is smoke-solved, and a failure leaves the pre-mutation version
+// serving — so the endpoint can never half-apply a batch.
+func (s *server) handleGraphMutate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPatch {
+		w.Header().Set("Allow", http.MethodPatch)
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	if s.draining.Load() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	name, err := s.resolveGraph(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	var req mutationRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20)).Decode(&req); err != nil {
+		http.Error(w, fmt.Sprintf("bad mutation body: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(req.Mutations) == 0 {
+		http.Error(w, "empty mutation batch", http.StatusBadRequest)
+		return
+	}
+	batch := make([]wasp.Mutation, len(req.Mutations))
+	var kinds [3]int64
+	for i, m := range req.Mutations {
+		var kind wasp.MutationKind
+		switch m.Op {
+		case wasp.MutInsert.String():
+			kind = wasp.MutInsert
+		case wasp.MutDelete.String():
+			kind = wasp.MutDelete
+		case wasp.MutSetWeight.String():
+			kind = wasp.MutSetWeight
+		default:
+			http.Error(w, fmt.Sprintf("mutation %d: unknown op %q (want insert, delete or set-weight)", i, m.Op), http.StatusBadRequest)
+			return
+		}
+		if m.From < 0 || m.To < 0 {
+			http.Error(w, fmt.Sprintf("mutation %d: negative vertex id", i), http.StatusBadRequest)
+			return
+		}
+		var weight uint32
+		if kind != wasp.MutDelete {
+			if m.Weight == nil {
+				http.Error(w, fmt.Sprintf("mutation %d: %s requires a weight", i, m.Op), http.StatusBadRequest)
+				return
+			}
+			weight = *m.Weight
+		}
+		batch[i] = wasp.Mutation{Kind: kind, From: wasp.Vertex(m.From), To: wasp.Vertex(m.To), W: weight}
+		kinds[kind]++
+	}
+
+	start := time.Now()
+	version, delta, err := s.reg.Mutate(r.Context(), name, batch)
+	elapsed := time.Since(start)
+	switch {
+	case errors.Is(err, wasp.ErrNoSuchGraph):
+		http.Error(w, fmt.Sprintf("unknown graph %q", name), http.StatusNotFound)
+		return
+	case errors.Is(err, wasp.ErrQuarantined):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+		return
+	case errors.Is(err, wasp.ErrRegistryClosed):
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	case err != nil:
+		// Malformed batch (absent edge, duplicate, out of range) or a
+		// rejected successor: either way nothing changed — the caller
+		// gets the reason and the pre-mutation version keeps serving.
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	s.prom.onMutation(kinds, elapsed)
+
+	resp := mutationResponse{
+		Graph:   name,
+		Version: version,
+		Applied: len(batch),
+		Kinds: map[string]int64{
+			wasp.MutInsert.String():    kinds[wasp.MutInsert],
+			wasp.MutDelete.String():    kinds[wasp.MutDelete],
+			wasp.MutSetWeight.String(): kinds[wasp.MutSetWeight],
+		},
+		Increased: delta.Increased(),
+		Decreased: delta.Decreased(),
+		ElapsedMS: float64(elapsed) / float64(time.Millisecond),
+	}
+	if st, ok := s.reg.Status(name); ok {
+		resp.Vertices, resp.Edges = st.Vertices, st.Edges
 	}
 	writeJSON(w, resp)
 }

@@ -33,6 +33,16 @@ type promState struct {
 	sumNS   atomic.Int64
 	solves  atomic.Int64
 
+	// Mutation-batch metrics: applied ops by MutationKind, plus an
+	// update-latency histogram (apply, smoke solve and swap) over the
+	// same bucket bounds as the solve histogram so the two are directly
+	// comparable — the operational form of the update-vs-fresh
+	// crossover question.
+	mutKinds   [3]atomic.Int64
+	mutCounts  []atomic.Int64
+	mutSumNS   atomic.Int64
+	mutBatches atomic.Int64
+
 	slow *slowTraces
 }
 
@@ -45,11 +55,24 @@ var defaultBuckets = []float64{
 
 func newPromState(slowN int) *promState {
 	p := &promState{
-		buckets: defaultBuckets,
-		counts:  make([]atomic.Int64, len(defaultBuckets)+1),
-		slow:    newSlowTraces(slowN),
+		buckets:   defaultBuckets,
+		counts:    make([]atomic.Int64, len(defaultBuckets)+1),
+		mutCounts: make([]atomic.Int64, len(defaultBuckets)+1),
+		slow:      newSlowTraces(slowN),
 	}
 	return p
+}
+
+// onMutation records one successfully applied mutation batch: the
+// per-kind op counts and the end-to-end update latency.
+func (p *promState) onMutation(kinds [3]int64, elapsed time.Duration) {
+	for i, n := range kinds {
+		p.mutKinds[i].Add(n)
+	}
+	i := sort.SearchFloat64s(p.buckets, elapsed.Seconds())
+	p.mutCounts[i].Add(1)
+	p.mutSumNS.Add(int64(elapsed))
+	p.mutBatches.Add(1)
 }
 
 // onSolve is the pool's OnSolve hook: record the latency observation
@@ -205,6 +228,23 @@ func (p *promState) writeHistogram(w io.Writer) {
 	fmt.Fprintf(w, "ssspd_solve_duration_seconds_sum %s\n",
 		formatFloat(float64(p.sumNS.Load())/float64(time.Second)))
 	fmt.Fprintf(w, "ssspd_solve_duration_seconds_count %d\n", p.solves.Load())
+
+	family(w, "ssspd_mutations_total", "Applied graph mutations by kind.", "counter")
+	for i, kind := range []wasp.MutationKind{wasp.MutInsert, wasp.MutDelete, wasp.MutSetWeight} {
+		fmt.Fprintf(w, "ssspd_mutations_total{kind=%q} %d\n", kind.String(), p.mutKinds[i].Load())
+	}
+	fmt.Fprint(w, "# HELP ssspd_mutation_duration_seconds Latency of graph mutation batches: apply, smoke solve and version swap.\n")
+	fmt.Fprint(w, "# TYPE ssspd_mutation_duration_seconds histogram\n")
+	cum = 0
+	for i, ub := range p.buckets {
+		cum += p.mutCounts[i].Load()
+		fmt.Fprintf(w, "ssspd_mutation_duration_seconds_bucket{le=%q} %d\n", formatFloat(ub), cum)
+	}
+	cum += p.mutCounts[len(p.buckets)].Load()
+	fmt.Fprintf(w, "ssspd_mutation_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "ssspd_mutation_duration_seconds_sum %s\n",
+		formatFloat(float64(p.mutSumNS.Load())/float64(time.Second)))
+	fmt.Fprintf(w, "ssspd_mutation_duration_seconds_count %d\n", p.mutBatches.Load())
 }
 
 // formatFloat renders a float the way Prometheus clients do: shortest
@@ -253,6 +293,7 @@ func writeProm(w io.Writer, snap promSnapshot) {
 	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"rejected\"} %d\n", snap.reloads.Rejected)
 	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"rolled_back\"} %d\n", snap.reloads.RolledBack)
 	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"noop\"} %d\n", snap.reloads.Noop)
+	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"mutated\"} %d\n", snap.reloads.Mutated)
 	fmt.Fprintf(w, "ssspd_reloads_total{outcome=\"quarantined\"} %d\n", snap.scanQuarantined)
 
 	if snap.hasGov {

@@ -256,3 +256,119 @@ func TestEqual(t *testing.T) {
 		t.Fatal("accepted length mismatch")
 	}
 }
+
+// collectEdges extracts the edge list of a CSR graph for the
+// Bellman-Ford reference.
+func collectEdges(g *graph.Graph) []graph.Edge {
+	var edges []graph.Edge
+	for u := 0; u < g.NumVertices(); u++ {
+		dst, ws := g.OutNeighbors(graph.Vertex(u))
+		for i, v := range dst {
+			edges = append(edges, graph.Edge{From: graph.Vertex(u), To: v, W: ws[i]})
+		}
+	}
+	return edges
+}
+
+// bellmanFordFrom is bellmanFord initialized from a warm seed instead
+// of all-Infinity — the independent model of a repair solve.
+func bellmanFordFrom(n int, edges []graph.Edge, source graph.Vertex, seed []uint32) []uint32 {
+	dist := append([]uint32(nil), seed...)
+	dist[source] = 0
+	for i := 0; i < n; i++ {
+		changed := false
+		for _, e := range edges {
+			if dist[e.From] != graph.Infinity && dist[e.From]+e.W < dist[e.To] {
+				dist[e.To] = dist[e.From] + e.W
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return dist
+}
+
+// FuzzCertificateOverlay extends the certificate's soundness claim
+// across graph mutation. For fuzz-derived mutation batches applied to
+// the base graph, the certificate must accept the mutated snapshot's
+// exact distances, reject the pre-mutation distances on the mutated
+// graph whenever they differ (and vice versa — the overlay advanced
+// the fingerprint for exactly this reason), and the incremental repair
+// seed must be a sound upper bound whose seeded relaxation converges
+// to exactly the fresh solution.
+func FuzzCertificateOverlay(f *testing.F) {
+	g, edges, n := fuzzGraph()
+	oldRef := bellmanFord(n, edges, 0)
+
+	f.Add(uint64(0), uint8(1))
+	f.Add(uint64(7), uint8(4))
+	f.Add(uint64(1)<<40, uint8(7))
+	f.Fuzz(func(t *testing.T, seed uint64, nm uint8) {
+		r := seed | 1
+		next := func() uint64 {
+			r ^= r << 13
+			r ^= r >> 7
+			r ^= r << 17
+			return r
+		}
+		var batch []graph.Mutation
+		used := map[[2]graph.Vertex]bool{}
+		for i := 0; i < 1+int(nm%6); i++ {
+			x := next()
+			u := graph.Vertex(x % uint64(n))
+			v := graph.Vertex((x >> 8) % uint64(n))
+			if u == v || used[[2]graph.Vertex{u, v}] {
+				continue
+			}
+			used[[2]graph.Vertex{u, v}] = true
+			_, exists := g.FindEdge(u, v)
+			switch {
+			case !exists:
+				batch = append(batch, graph.Mutation{Kind: graph.MutInsert, From: u, To: v, W: 1 + uint32(x>>16)%9})
+			case (x>>32)&1 == 0:
+				batch = append(batch, graph.Mutation{Kind: graph.MutDelete, From: u, To: v})
+			default:
+				batch = append(batch, graph.Mutation{Kind: graph.MutSetWeight, From: u, To: v, W: 1 + uint32(x>>16)%9})
+			}
+		}
+		if len(batch) == 0 {
+			t.Skip("fuzz words produced no batch")
+		}
+		ng, delta, err := graph.ApplyMutations(g, batch)
+		if err != nil {
+			t.Fatalf("ApplyMutations: %v", err)
+		}
+		newRef := bellmanFord(n, collectEdges(ng), 0)
+
+		if err := Certificate(ng, 0, newRef); err != nil {
+			t.Fatalf("rejected the mutated graph's exact distances: %v", err)
+		}
+		if !slices.Equal(newRef, oldRef) {
+			if Certificate(ng, 0, oldRef) == nil {
+				t.Fatal("accepted pre-mutation distances on the mutated graph")
+			}
+			if Certificate(g, 0, newRef) == nil {
+				t.Fatal("accepted post-mutation distances on the base graph")
+			}
+		}
+
+		seedArr, _, err := delta.RepairSeed(0, oldRef)
+		if err != nil {
+			t.Fatalf("RepairSeed: %v", err)
+		}
+		if err := UpperBound(ng, 0, seedArr); err != nil {
+			t.Fatalf("repair seed is not a sound degraded result on the mutated graph: %v", err)
+		}
+		for v := 0; v < n; v++ {
+			if seedArr[v] != graph.Infinity && seedArr[v] < newRef[v] {
+				t.Fatalf("seed[%d] = %d undercuts the true distance %d: repair could never correct it upward", v, seedArr[v], newRef[v])
+			}
+		}
+		repaired := bellmanFordFrom(n, collectEdges(ng), 0, seedArr)
+		if !slices.Equal(repaired, newRef) {
+			t.Fatal("relaxation from the repair seed did not converge to the fresh solution")
+		}
+	})
+}

@@ -339,6 +339,30 @@ func (p *Pool) Resume(ctx context.Context, cp *Checkpoint) (*Result, error) {
 	return p.admitAndSolve(ctx, Vertex(cp.Source), cp)
 }
 
+// RunIncremental solves the pool's (post-mutation) graph from source
+// by repairing prior, the exact distances of a finished pre-mutation
+// solve from the same source (see Session.RunIncremental). The repair
+// seed carries the post-mutation fingerprint, so on a cache-backed
+// pool the result is stored — and looked up — under the new graph's
+// identity; pre-mutation cache entries are unreachable by
+// construction.
+func (p *Pool) RunIncremental(ctx context.Context, source Vertex, delta *MutationDelta, prior []uint32) (*Result, error) {
+	if delta == nil {
+		return nil, fmt.Errorf("wasp: RunIncremental with nil delta")
+	}
+	if err := delta.matchesGraph(p.g); err != nil {
+		return nil, err
+	}
+	if err := p.WarmStartSupported(); err != nil {
+		return nil, err
+	}
+	cp, err := delta.Seed(source, prior)
+	if err != nil {
+		return nil, err
+	}
+	return p.Resume(ctx, cp)
+}
+
 // governorAdmit feeds the governor one admission attempt and returns
 // the ladder rung the attempt is subject to. At BrownoutShed the shed
 // is counted here (pool and governor counters both) and the caller

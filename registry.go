@@ -129,6 +129,9 @@ const (
 	// EventQuarantined: a failed result audit took the active version
 	// out of rotation. Err carries the certificate violation.
 	EventQuarantined RegistryEventKind = "quarantined"
+	// EventMutated: a mutation batch produced and activated a
+	// successor version of the graph.
+	EventMutated RegistryEventKind = "mutated"
 )
 
 // GraphStatus is a point-in-time description of one served graph.
@@ -166,6 +169,7 @@ type RegistryReloadStats struct {
 	Rejected   int64 `json:"rejected"`
 	RolledBack int64 `json:"rolled_back"`
 	Noop       int64 `json:"noop"`
+	Mutated    int64 `json:"mutated"`
 }
 
 // graphVersion is one immutable deployment of one graph. While active
@@ -224,6 +228,7 @@ type Registry struct {
 	rolledBack  atomic.Int64
 	noop        atomic.Int64
 	quarantined atomic.Int64
+	mutated     atomic.Int64
 }
 
 // NewRegistry returns an empty registry.
@@ -606,6 +611,105 @@ func (r *Registry) Rollback(ctx context.Context, name string) (uint64, error) {
 	return v.version, nil
 }
 
+// Mutate applies a mutation batch to name's active graph and activates
+// the result as the successor version — the same validated, smoke-
+// solved, atomically-swapped path a bundle reload takes, so a batch
+// that produces an unservable graph is rejected whole and the
+// pre-mutation version keeps serving. The content fingerprint advances
+// with the batch, which keeps every downstream consumer sound: cache
+// entries, checkpoints and audit certificates all key on it, so a
+// pre-mutation artifact can never satisfy a post-mutation query.
+//
+// Before the swap, the retiring version's complete cached results are
+// harvested and repaired through MutationDelta.Seed into warm
+// checkpoints for the successor: the first post-mutation query for a
+// previously hot source resumes from the repaired seed instead of
+// solving cold (when the configuration supports warm starts). Returns
+// the version now serving and the applied delta.
+//
+// Mutation batches address original vertex ids, so deployments serving
+// relabeled ids are rejected. Growing the vertex set is a bundle
+// reload, not a mutation.
+func (r *Registry) Mutate(ctx context.Context, name string, batch []Mutation) (uint64, *MutationDelta, error) {
+	e, err := r.entry(name, false)
+	if err != nil {
+		return 0, nil, err
+	}
+	e.loadMu.Lock()
+	defer e.loadMu.Unlock()
+
+	r.mu.Lock()
+	v := e.active
+	if v == nil {
+		state := e.state
+		r.mu.Unlock()
+		return 0, nil, fmt.Errorf("wasp: graph %q has no active version to mutate (state %q)", name, state)
+	}
+	if v.quarantined {
+		r.mu.Unlock()
+		return 0, nil, fmt.Errorf("%w: %q", ErrQuarantined, name)
+	}
+	if v.perm != nil {
+		r.mu.Unlock()
+		return 0, nil, fmt.Errorf("wasp: graph %q v%d serves relabeled vertex ids; mutations address original ids and are not supported on relabeled deployments", name, v.version)
+	}
+	oldVersion, oldG := v.version, v.g
+	e.state = GraphReloading
+	r.mu.Unlock()
+
+	ng, delta, err := ApplyMutations(oldG, batch)
+	if err != nil {
+		// A malformed batch is the caller's input error, not a failed
+		// deployment: the active version never stopped being good.
+		r.mu.Lock()
+		e.state = GraphServing
+		r.mu.Unlock()
+		return 0, nil, err
+	}
+
+	// Harvest the retiring version's complete cached results BEFORE
+	// activation invalidates its scope, and repair each into a warm
+	// checkpoint stamped with the successor's fingerprint. Only cache
+	// entries qualify as repair priors: they are exact finished solves.
+	// (The retiring version's bundle checkpoints in v.warm are mere
+	// upper bounds and must NOT seed cone invalidation.)
+	var seeds []*Checkpoint
+	if r.conf.Cache != nil {
+		for _, cp := range r.conf.Cache.harvestScope(cacheScopeFor(name, oldVersion), fingerprintOf(oldG)) {
+			repaired, serr := delta.Seed(Vertex(cp.Source), cp.Dist)
+			if serr != nil {
+				continue
+			}
+			seeds = append(seeds, repaired)
+		}
+	}
+
+	b := &Bundle{
+		Manifest: BundleManifest{
+			Name:     name,
+			Version:  oldVersion + 1,
+			Vertices: int64(ng.NumVertices()),
+			Edges:    ng.NumEdges(),
+			Directed: ng.Directed(),
+		},
+		Graph:       ng,
+		Checkpoints: seeds,
+	}
+	nv, err := r.buildVersion(ctx, b)
+	if err != nil {
+		r.mu.Lock()
+		e.lastErr = err
+		e.state = GraphDegradedLastGood
+		r.mu.Unlock()
+		r.rejected.Add(1)
+		r.event(RegistryEvent{Graph: name, Version: oldVersion + 1, Kind: EventRejected, Err: err})
+		return 0, nil, fmt.Errorf("wasp: mutation of %q to v%d rejected: %w", name, oldVersion+1, err)
+	}
+	r.activate(e, nv, EventMutated)
+	r.mutated.Add(1)
+	return nv.version, delta, nil
+}
+
 // Remove drains and drops name. Queries racing the removal get
 // ErrPoolClosed (if already admitted to the draining pool they finish
 // normally); subsequent queries get ErrNoSuchGraph.
@@ -840,6 +944,7 @@ func (r *Registry) ReloadStats() RegistryReloadStats {
 		Rejected:   r.rejected.Load(),
 		RolledBack: r.rolledBack.Load(),
 		Noop:       r.noop.Load(),
+		Mutated:    r.mutated.Load(),
 	}
 }
 

@@ -156,6 +156,30 @@ func (s *Session) Resume(ctx context.Context, cp *Checkpoint) (*Result, error) {
 	return s.run(ctx, Vertex(cp.Source), cp)
 }
 
+// RunIncremental solves the session's (post-mutation) graph from
+// source by repairing prior — the exact distance array of a finished
+// solve from the same source on the delta's pre-mutation graph —
+// instead of starting cold. The delta's post-mutation snapshot must be
+// the session's graph. Distances converge to exactly what a fresh
+// solve produces; only the work differs: decrease-only batches
+// re-relax just the affected cone, increase/delete batches first
+// invalidate the cut cone (MutationDelta.Seed) and repair from its
+// frontier. Requires the same preallocated Wasp configuration as
+// Resume.
+func (s *Session) RunIncremental(ctx context.Context, source Vertex, delta *MutationDelta, prior []uint32) (*Result, error) {
+	if delta == nil {
+		return nil, fmt.Errorf("wasp: RunIncremental with nil delta")
+	}
+	if err := delta.matchesGraph(s.g); err != nil {
+		return nil, err
+	}
+	cp, err := delta.Seed(source, prior)
+	if err != nil {
+		return nil, err
+	}
+	return s.Resume(ctx, cp)
+}
+
 // run is the shared body of Run and Resume: warm, when non-nil, is a
 // validated checkpoint to seed from.
 func (s *Session) run(ctx context.Context, source Vertex, warm *Checkpoint) (*Result, error) {
